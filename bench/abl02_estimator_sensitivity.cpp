@@ -1,0 +1,47 @@
+// Ablation A2: load-estimation configuration.  Paper §4.4 attributes the
+// achieved-ratio error at large delta ratios to estimation error in short
+// windows; this bench varies the estimation history and the reallocation
+// period and reports achieved ratio and its windowed spread.
+//
+// Expected: longer histories / periods reduce estimation noise (ratio closer
+// to target, tighter p5..p95) but react slower; the paper's 5x1000-tu choice
+// is a middle point.  Error grows with the target ratio (8 >> 2).
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(40);
+  bench::header("Ablation A2 — estimator history and reallocation period",
+                "deltas (1,8) at 60% load: the regime the paper flags as "
+                "estimation-sensitive",
+                runs);
+  Table t({"history (windows)", "realloc (tu)", "achieved ratio (target 8)",
+           "windowed p5", "windowed p95"});
+  for (std::size_t history : {1, 5, 20}) {
+    for (double period : {200.0, 1000.0, 5000.0}) {
+      auto cfg = two_class_scenario(8.0, 60.0);
+      cfg.estimator_history = history;
+      cfg.realloc_tu = period;
+      const auto r = run_replications(cfg, runs);
+      t.add_row({std::to_string(history), Table::fmt(period, 0),
+                 Table::fmt(r.mean_ratio[1], 2), Table::fmt(r.ratio[0].p5, 2),
+                 Table::fmt(r.ratio[0].p95, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nreference: same sweep at target ratio 2\n";
+  Table t2({"history (windows)", "realloc (tu)", "achieved ratio (target 2)"});
+  for (std::size_t history : {1, 5, 20}) {
+    for (double period : {200.0, 1000.0, 5000.0}) {
+      auto cfg = two_class_scenario(2.0, 60.0);
+      cfg.estimator_history = history;
+      cfg.realloc_tu = period;
+      const auto r = run_replications(cfg, runs);
+      t2.add_row({std::to_string(history), Table::fmt(period, 0),
+                  Table::fmt(r.mean_ratio[1], 2)});
+    }
+  }
+  t2.print(std::cout);
+  return 0;
+}

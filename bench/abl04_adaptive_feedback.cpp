@@ -1,0 +1,39 @@
+// Ablation A4: the paper's future work — closed-loop correction of
+// short-timescale ratio error.  Compares the open-loop eq.-17 allocator
+// against the adaptive allocator (integral feedback on windowed normalized
+// slowdowns) at several gains.
+//
+// Expected: feedback tightens the windowed ratio distribution (p5..p95 band
+// narrows around the target) at moderate gain; an over-aggressive gain
+// re-widens it (control oscillation).
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(40);
+  bench::header("Ablation A4 — adaptive feedback extension",
+                "deltas (1,4) at 60% load; windowed ratio spread around the "
+                "target 4",
+                runs);
+  Table t({"allocator", "achieved ratio", "windowed p5", "windowed p50",
+           "windowed p95"});
+  {
+    auto cfg = two_class_scenario(4.0, 60.0);
+    const auto r = run_replications(cfg, runs);
+    t.add_row({"open-loop eq.17", Table::fmt(r.mean_ratio[1], 2),
+               Table::fmt(r.ratio[0].p5, 2), Table::fmt(r.ratio[0].p50, 2),
+               Table::fmt(r.ratio[0].p95, 2)});
+  }
+  for (double gain : {0.1, 0.3, 1.0, 3.0}) {
+    auto cfg = two_class_scenario(4.0, 60.0);
+    cfg.allocator = AllocatorKind::kAdaptivePsd;
+    cfg.adaptive.gain = gain;
+    const auto r = run_replications(cfg, runs);
+    t.add_row({"adaptive gain=" + Table::fmt(gain, 1),
+               Table::fmt(r.mean_ratio[1], 2), Table::fmt(r.ratio[0].p5, 2),
+               Table::fmt(r.ratio[0].p50, 2), Table::fmt(r.ratio[0].p95, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation A5: the paper's M/D/1 session argument (§2.2).  Session states
+// such as "home entry" or "register" have near-constant service demand, so
+// the per-class queues reduce to M/D/1 where eq. 15 applies:
+//   E[S] = rho / (2 (1 - rho)).
+//
+// Part 1 checks eq. 15 directly under PSD allocation with deterministic
+// service; part 2 drives the full storefront session workload through the
+// server and reports per-class slowdowns against the generic eq.-18
+// prediction computed from the session mix.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+#include "queueing/md1.hpp"
+#include "server/server.hpp"
+#include "sched/dedicated_rate.hpp"
+#include "core/hetero_psd_allocator.hpp"
+#include "workload/session.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(40);
+  bench::header("Ablation A5 — M/D/1 sessions (eq. 15)",
+                "deterministic service: simulated vs eq. 15 under PSD rates",
+                runs);
+
+  // Part 1: deterministic-service PSD across loads.
+  Table t({"load%", "S1 sim", "S1 exp", "S2 sim", "S2 exp", "ratio"});
+  for (double load : {20.0, 40.0, 60.0, 80.0}) {
+    auto cfg = two_class_scenario(2.0, load);
+    cfg.size_dist = DistSpec::deterministic(1.0);
+    const auto r = run_replications(cfg, runs);
+    t.add_row({Table::fmt(load, 0), Table::fmt(r.slowdown[0].mean, 3),
+               Table::fmt(r.expected[0], 3), Table::fmt(r.slowdown[1].mean, 3),
+               Table::fmt(r.expected[1], 3), Table::fmt(r.mean_ratio[1], 2)});
+  }
+  t.print(std::cout);
+
+  // Part 2: full storefront session workload (mixed deterministic + BP
+  // states, classes = transaction vs browsing path).
+  std::cout << "\nstorefront session workload (2 classes, PSD deltas 1:2):\n";
+  Simulator sim;
+  const auto profile = SessionProfile::storefront(0.35);
+
+  ServerConfig sc;
+  sc.num_classes = 2;
+  sc.realloc_period = 250.0;
+  sc.metrics.num_classes = 2;
+  sc.metrics.warmup_end = 2000.0;
+  sc.metrics.window = 250.0;
+
+  // Session classes mix different request types, so the allocator needs the
+  // heterogeneous generalization of eq. 17 with per-class mixtures.
+  const auto mixtures = profile.class_mixtures(2);
+  std::vector<const SizeDistribution*> dists = {mixtures[0].get(),
+                                                mixtures[1].get()};
+  Server server(sim, sc, std::make_unique<DedicatedRateBackend>(),
+                std::make_unique<HeteroPsdAllocator>(
+                    std::vector<double>{1.0, 2.0}, dists),
+                Rng(1));
+  server.start(0.0);
+  SessionWorkload sessions(sim, Rng(2), profile, server);
+  sessions.start(0.0);
+  sim.run_until(60000.0);
+  server.finalize();
+
+  Table t2({"class", "completed", "mean slowdown", "mean delay"});
+  for (ClassId c = 0; c < 2; ++c) {
+    t2.add_row({std::to_string(c + 1),
+                std::to_string(server.metrics().completed(c)),
+                Table::fmt(server.metrics().slowdown(c).mean(), 3),
+                Table::fmt(server.metrics().delay(c).mean(), 3)});
+  }
+  t2.print(std::cout);
+  const double m1 = server.metrics().slowdown(0).mean();
+  const double m2 = server.metrics().slowdown(1).mean();
+  std::cout << "achieved session-workload slowdown ratio S2/S1 = "
+            << Table::fmt(m2 / m1, 2) << " (target 2.0)\n";
+  return 0;
+}

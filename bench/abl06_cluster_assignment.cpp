@@ -1,0 +1,99 @@
+// Ablation A6: PSD on a server cluster under different task-assignment
+// policies (Harchol-Balter [13], Zhu et al. [25] — the slowdown literature
+// the paper builds on).
+//
+// Four unit-capacity nodes, each running the full eq.-17 pipeline; the
+// dispatcher varies.  Expected (Harchol-Balter's classic result): under
+// heavy-tailed sizes, SITA-E (size-interval assignment) crushes random and
+// round-robin on mean slowdown because small jobs never queue behind
+// monsters; least-work-left sits between.  The PSD ratio stays near the
+// target under per-node allocation for the class-blind policies; SITA-E
+// segregates sizes, which interacts with per-node estimation.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "cluster/dispatcher.hpp"
+#include "core/psd_rate_allocator.hpp"
+#include "sched/dedicated_rate.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t kNodes = 4;
+  const double kLoad = 0.7;
+  bench::header("Ablation A6 — cluster task assignment x PSD",
+                "4 nodes, deltas (1,2), 70% per-node load, BP(1.5,0.1,100)",
+                1);
+
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const std::vector<double> delta = {1.0, 2.0};
+
+  ServerConfig sc;
+  sc.num_classes = 2;
+  sc.realloc_period = 290.0;
+  sc.metrics.num_classes = 2;
+  sc.metrics.warmup_end = 3000.0;
+  sc.metrics.window = 290.0;
+
+  PsdAllocatorConfig pc;
+  pc.delta = delta;
+  pc.mean_size = bp.mean();
+
+  struct Row {
+    const char* label;
+    AssignmentPolicy policy;
+  };
+  const Row rows[] = {
+      {"random", AssignmentPolicy::kRandom},
+      {"round-robin", AssignmentPolicy::kRoundRobin},
+      {"least-work-left", AssignmentPolicy::kLeastWorkLeft},
+      {"SITA-E (size intervals)", AssignmentPolicy::kSizeInterval},
+  };
+
+  Table t({"assignment", "S1", "S2", "ratio", "system slowdown",
+           "completed"});
+  for (const auto& row : rows) {
+    Simulator sim;
+    std::vector<double> cutoffs;
+    if (row.policy == AssignmentPolicy::kSizeInterval) {
+      cutoffs = sita_equal_load_cutoffs(bp, kNodes);
+    }
+    Cluster cluster(
+        sim, kNodes, sc, [] { return std::make_unique<DedicatedRateBackend>(); },
+        [pc] { return std::make_unique<PsdRateAllocator>(pc); }, row.policy,
+        Rng(13), cutoffs);
+    cluster.start(0.0);
+
+    const auto lam = rates_for_equal_load(kLoad * kNodes, 1.0, bp.mean(), 2);
+    std::vector<std::unique_ptr<RequestGenerator>> gens;
+    for (ClassId c = 0; c < 2; ++c) {
+      gens.push_back(std::make_unique<RequestGenerator>(
+          sim, Rng(40 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
+          bp.clone(), cluster));
+      gens.back()->start(0.0);
+    }
+    sim.run_until(30000.0);
+    cluster.finalize();
+
+    const auto sd = cluster.mean_slowdowns();
+    double weighted = 0.0;
+    std::uint64_t total = cluster.completed_total();
+    for (ClassId c = 0; c < 2; ++c) {
+      std::uint64_t cc = 0;
+      for (std::size_t nn = 0; nn < kNodes; ++nn) {
+        cc += cluster.node(nn).metrics().completed(c);
+      }
+      weighted += sd[c] * static_cast<double>(cc);
+    }
+    weighted /= static_cast<double>(total);
+    t.add_row({row.label, Table::fmt(sd[0], 2), Table::fmt(sd[1], 2),
+               Table::fmt(sd[1] / sd[0], 2), Table::fmt(weighted, 2),
+               std::to_string(total)});
+  }
+  t.print(std::cout);
+  std::cout << "\nSITA-E's size segregation slashes the system slowdown under "
+               "heavy tails\n(small jobs never wait behind monsters) — the "
+               "effect Harchol-Balter [13]\nidentified with this same metric.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "experiment/runner.hpp"
+#include "experiment/table.hpp"
+
+namespace psd::bench {
+
+inline void header(const std::string& title, const std::string& paper_note,
+                   std::size_t runs) {
+  std::cout << "=== " << title << " ===\n"
+            << paper_note << "\n"
+            << "replications per point: " << runs
+            << "  (override with PSD_RUNS, PSD_FAST=1 for smoke runs)\n\n";
+}
+
+/// Effectiveness rows (Figs. 2-4): per class, simulated vs eq.-18 expected.
+inline void effectiveness_sweep(ScenarioConfig cfg,
+                                const std::vector<double>& loads,
+                                std::size_t runs) {
+  const std::size_t n = cfg.num_classes();
+  std::vector<std::string> cols = {"load%"};
+  for (std::size_t i = 0; i < n; ++i) {
+    cols.push_back("S" + std::to_string(i + 1) + " sim");
+    cols.push_back("S" + std::to_string(i + 1) + " exp");
+  }
+  cols.push_back("system sim");
+  cols.push_back("system exp");
+  Table t(cols);
+  for (double load : loads) {
+    cfg.load = load / 100.0;
+    const auto r = run_replications(cfg, runs);
+    std::vector<double> row = {load};
+    for (std::size_t i = 0; i < n; ++i) {
+      row.push_back(r.slowdown[i].mean);
+      row.push_back(r.expected[i]);
+    }
+    row.push_back(r.system_slowdown);
+    row.push_back(r.expected_system);
+    t.add_row(row, 3);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace psd::bench

@@ -1,0 +1,20 @@
+// Figure 2: simulated vs expected slowdowns of two classes,
+// deltas (1, 2), BP(1.5, 0.1, 100), equal class loads, load sweep.
+//
+// Paper shape: both curves grow hyperbolically in load (log-y from ~1 at 10%
+// to ~100 near saturation); simulated tracks eq. 18; class 2 is pinned at 2x
+// class 1.
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  bench::header("Figure 2 — effectiveness, two classes (delta1:delta2 = 1:2)",
+                "paper protocol: warmup 10k tu, measure 60k tu, realloc every "
+                "1k tu, estimate over last 5k tu",
+                runs);
+  auto cfg = two_class_scenario(2.0, 50.0);
+  bench::effectiveness_sweep(cfg, standard_load_sweep(), runs);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 3: as Figure 2 with differentiation parameters (1, 4) — a wider
+// quality spacing.  Shape: class-2 curve shifts up to 4x class 1; both still
+// track eq. 18 across the load sweep.
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  bench::header("Figure 3 — effectiveness, two classes (delta1:delta2 = 1:4)",
+                "identical protocol to Fig. 2 with delta2 = 4", runs);
+  auto cfg = two_class_scenario(4.0, 50.0);
+  bench::effectiveness_sweep(cfg, standard_load_sweep(), runs);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 4: simulated vs expected slowdowns with three classes,
+// deltas (1, 2, 3).  Shape: three ordered curves pinned at ratios 1:2:3,
+// all tracking eq. 18.
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  bench::header("Figure 4 — effectiveness, three classes (deltas 1:2:3)",
+                "identical protocol to Fig. 2 with N = 3", runs);
+  auto cfg = three_class_scenario(50.0);
+  bench::effectiveness_sweep(cfg, standard_load_sweep(), runs);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 6: percentiles of windowed slowdown ratios with three classes,
+// deltas (1, 2, 3): series class2/class1 (target 2) and class3/class1
+// (target 3).  Paper shape: medians near targets, wider spread than the
+// two-class case (estimation error compounds across classes).
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  bench::header("Figure 6 — ratio percentiles, three classes (deltas 1:2:3)",
+                "two series: S2/S1 (target 2) and S3/S1 (target 3)", runs);
+  Table t({"load%", "S2/S1 p5", "S2/S1 p50", "S2/S1 p95", "S3/S1 p5",
+           "S3/S1 p50", "S3/S1 p95"});
+  for (double load : standard_load_sweep()) {
+    auto cfg = three_class_scenario(load);
+    const auto r = run_replications(cfg, runs);
+    t.add_row({Table::fmt(load, 0), Table::fmt(r.ratio[0].p5, 2),
+               Table::fmt(r.ratio[0].p50, 2), Table::fmt(r.ratio[0].p95, 2),
+               Table::fmt(r.ratio[1].p5, 2), Table::fmt(r.ratio[1].p50, 2),
+               Table::fmt(r.ratio[1].p95, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8: slowdowns of individual requests in [60000, 61000) tu at 90%
+// load.  Paper shape: heavy backlogs; in the paper's sampled window class-1
+// requests experienced LARGER slowdowns than class-2 (achieved window ratio
+// 0.33 instead of 2) — short-timescale predictability is weak because the
+// allocator acts on class load, not per-request slowdowns.  Our summary
+// reports the same achieved-vs-target window ratio.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+namespace {
+
+void individual_report(double load_percent, std::uint64_t run_index) {
+  using namespace psd;
+  auto cfg = individual_request_scenario(load_percent);
+  const auto r = run_scenario(cfg, run_index);
+
+  std::vector<std::vector<double>> sd(2);
+  for (const auto& req : r.records) sd[req.cls].push_back(req.slowdown());
+  double s1 = 0, s2 = 0;
+  for (double x : sd[0]) s1 += x;
+  for (double x : sd[1]) s2 += x;
+  const double m1 = sd[0].empty() ? 0 : s1 / sd[0].size();
+  const double m2 = sd[1].empty() ? 0 : s2 / sd[1].size();
+  double mx1 = 0, mx2 = 0;
+  for (double x : sd[0]) mx1 = std::max(mx1, x);
+  for (double x : sd[1]) mx2 = std::max(mx2, x);
+
+  std::cout << "run " << run_index << ":  n1=" << sd[0].size()
+            << " mean S1=" << Table::fmt(m1, 2)
+            << " max S1=" << Table::fmt(mx1, 1) << "   n2=" << sd[1].size()
+            << " mean S2=" << Table::fmt(m2, 2)
+            << " max S2=" << Table::fmt(mx2, 1) << "   window ratio S2/S1="
+            << Table::fmt(m2 / std::max(m1, 1e-12), 2) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  psd::bench::header(
+      "Figure 8 — individual request slowdowns, 90% load",
+      "single runs, deltas (1,2); the windowed ratio can deviate far from "
+      "the target 2 (the paper observed 0.33) — weak short-timescale "
+      "predictability",
+      1);
+  // Several independent runs of the same window show both on-target and
+  // inverted short-timescale behaviour.
+  for (std::uint64_t run = 0; run < 6; ++run) individual_report(90.0, run);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 10: achieved slowdown ratios with three classes, deltas (1, 2, 3):
+// S2/S1 (target 2) and S3/S1 (target 3) vs load.
+//
+// Paper shape: both ratios hover around their targets with larger variance
+// than the two-class case — a mis-estimated class perturbs every other
+// class's rate, so error grows with the number of classes.
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  bench::header("Figure 10 — controllability, three classes (deltas 1:2:3)",
+                "achieved long-run ratios S2/S1 (target 2) and S3/S1 "
+                "(target 3) vs load",
+                runs);
+  Table t({"load%", "S2/S1 (target 2)", "S3/S1 (target 3)"});
+  for (double load : standard_load_sweep()) {
+    auto cfg = three_class_scenario(load);
+    const auto r = run_replications(cfg, runs);
+    t.add_row({Table::fmt(load, 0), Table::fmt(r.mean_ratio[1], 2),
+               Table::fmt(r.mean_ratio[2], 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 11: influence of the Bounded Pareto shape parameter alpha on the
+// experienced slowdowns, alpha in [1.0, 2.0], deltas (1, 2), fixed load.
+//
+// Paper shape (log-y): slowdown *decreases* as alpha increases (smaller
+// alpha => burstier traffic => larger E[X^2] => larger queueing delay);
+// the differentiation itself — simulated tracking expected, ratio pinned at
+// 2 — is insensitive to alpha because eq. 17 makes no assumption about it.
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  const double load = 80.0;
+  bench::header("Figure 11 — influence of the shape parameter alpha",
+                "BP(alpha, 0.1, 100), deltas (1,2), load 80%", runs);
+  Table t({"alpha", "S1 sim", "S1 exp", "S2 sim", "S2 exp", "ratio"});
+  for (double alpha : shape_parameter_sweep()) {
+    auto cfg = two_class_scenario(2.0, load);
+    cfg.size_dist = DistSpec::bounded_pareto(alpha, 0.1, 100.0);
+    const auto r = run_replications(cfg, runs);
+    t.add_row({Table::fmt(alpha, 1), Table::fmt(r.slowdown[0].mean, 2),
+               Table::fmt(r.expected[0], 2), Table::fmt(r.slowdown[1].mean, 2),
+               Table::fmt(r.expected[1], 2), Table::fmt(r.mean_ratio[1], 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 12: influence of the Bounded Pareto upper bound p on experienced
+// slowdowns, p in [100, 10000] (log axis), deltas (1, 2), fixed load.
+//
+// Paper shape: slowdown *increases* with p (heavier tail => larger E[X^2],
+// with E[1/X] nearly unchanged), while differentiation predictability is
+// unaffected — simulated still tracks eq. 18 and the ratio stays 2.
+#include "bench_util.hpp"
+#include "experiment/figures.hpp"
+
+int main() {
+  using namespace psd;
+  const std::size_t runs = default_runs(60);
+  const double load = 80.0;
+  bench::header("Figure 12 — influence of the upper bound p",
+                "BP(1.5, 0.1, p), deltas (1,2), load 80%", runs);
+  Table t({"p", "S1 sim", "S1 exp", "S2 sim", "S2 exp", "ratio"});
+  for (double p : upper_bound_sweep()) {
+    auto cfg = two_class_scenario(2.0, load);
+    cfg.size_dist = DistSpec::bounded_pareto(1.5, 0.1, p);
+    const auto r = run_replications(cfg, runs);
+    t.add_row({Table::fmt(p, 0), Table::fmt(r.slowdown[0].mean, 2),
+               Table::fmt(r.expected[0], 2), Table::fmt(r.slowdown[1].mean, 2),
+               Table::fmt(r.expected[1], 2), Table::fmt(r.mean_ratio[1], 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Microbenchmark M3: sampling throughput of the distribution layer (the
+// request generators call these on every arrival).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dist/bounded_exponential.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/deterministic.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+
+namespace {
+
+template <typename Dist, typename... Args>
+void sample_loop(benchmark::State& state, Args... args) {
+  Dist d(args...);
+  psd::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BoundedPareto(benchmark::State& state) {
+  sample_loop<psd::BoundedPareto>(state, 1.5, 0.1, 100.0);
+}
+BENCHMARK(BM_BoundedPareto);
+
+void BM_Exponential(benchmark::State& state) {
+  sample_loop<psd::Exponential>(state, 1.0);
+}
+BENCHMARK(BM_Exponential);
+
+void BM_BoundedExponential(benchmark::State& state) {
+  sample_loop<psd::BoundedExponential>(state, 1.0, 0.1, 10.0);
+}
+BENCHMARK(BM_BoundedExponential);
+
+void BM_Lognormal(benchmark::State& state) {
+  sample_loop<psd::Lognormal>(state, 0.0, 1.0);
+}
+BENCHMARK(BM_Lognormal);
+
+void BM_Deterministic(benchmark::State& state) {
+  sample_loop<psd::Deterministic>(state, 1.0);
+}
+BENCHMARK(BM_Deterministic);
+
+void BM_RngUniform01(benchmark::State& state) {
+  psd::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform01());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform01);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Microbenchmark M2: event-queue throughput — schedule/pop cycles at
+// different pending-set sizes, plus cancellation overhead.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+void BM_SchedulePop(benchmark::State& state) {
+  const auto backlog = static_cast<std::size_t>(state.range(0));
+  psd::EventQueue q;
+  psd::Rng rng(1);
+  double t = 0.0;
+  for (std::size_t i = 0; i < backlog; ++i) {
+    q.schedule_fast(t + rng.uniform01() * 100.0, [] {});
+  }
+  for (auto _ : state) {
+    q.schedule_fast(t + rng.uniform01() * 100.0, [] {});
+    t = q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulePop)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_CancellableSchedulePop(benchmark::State& state) {
+  psd::EventQueue q;
+  psd::Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 1024; ++i) {
+    q.schedule(t + rng.uniform01() * 100.0, [] {});
+  }
+  for (auto _ : state) {
+    auto h = q.schedule(t + rng.uniform01() * 100.0, [] {});
+    benchmark::DoNotOptimize(h.pending());
+    t = q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancellableSchedulePop);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  // Half of all scheduled events get cancelled before they fire.
+  psd::EventQueue q;
+  psd::Rng rng(3);
+  double t = 0.0;
+  for (auto _ : state) {
+    auto h1 = q.schedule(t + rng.uniform01() * 10.0, [] {});
+    q.schedule_fast(t + rng.uniform01() * 10.0, [] {});
+    h1.cancel();
+    t = q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelHeavy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

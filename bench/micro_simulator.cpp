@@ -1,0 +1,63 @@
+// Microbenchmark M4: end-to-end simulation throughput — requests simulated
+// per second for the full Fig.-1 server (generator + queues + estimator +
+// eq.-17 allocator + dedicated backend), the rate that bounds every
+// figure-reproduction bench.
+#include <benchmark/benchmark.h>
+
+#include "experiment/runner.hpp"
+
+namespace {
+
+void BM_FullServerSimulation(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  psd::ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = load;
+  cfg.warmup_tu = 500.0;
+  cfg.measure_tu = 5000.0;
+  std::uint64_t requests = 0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    const auto r = psd::run_scenario(cfg, run++);
+    requests += r.submitted;
+    benchmark::DoNotOptimize(r.system_slowdown);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["requests/run"] =
+      static_cast<double>(requests) / static_cast<double>(run);
+}
+BENCHMARK(BM_FullServerSimulation)->Arg(30)->Arg(60)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreeClassSimulation(benchmark::State& state) {
+  psd::ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0, 3.0};
+  cfg.load = 0.7;
+  cfg.warmup_tu = 500.0;
+  cfg.measure_tu = 5000.0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    const auto r = psd::run_scenario(cfg, run++);
+    benchmark::DoNotOptimize(r.system_slowdown);
+  }
+}
+BENCHMARK(BM_ThreeClassSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SfqSimulation(benchmark::State& state) {
+  psd::ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = 0.7;
+  cfg.backend = psd::BackendKind::kSfq;
+  cfg.warmup_tu = 500.0;
+  cfg.measure_tu = 5000.0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    const auto r = psd::run_scenario(cfg, run++);
+    benchmark::DoNotOptimize(r.system_slowdown);
+  }
+}
+BENCHMARK(BM_SfqSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Example: why delay-oriented schedulers cannot deliver PSD (paper §5).
+//
+// All policies see the *same* recorded arrival trace, so differences are
+// purely scheduling.  The PSD allocator pins the slowdown ratio; WTP (a
+// proportional *delay* scheduler) controls delay spacing instead, and
+// equal-share controls nothing.
+#include <iostream>
+
+#include "psd.hpp"
+
+int main() {
+  using namespace psd;
+
+  const std::vector<double> delta = {1.0, 2.0};
+  auto cfg = [&](BackendKind backend, AllocatorKind alloc) {
+    ScenarioConfig c;
+    c.delta = delta;
+    c.load = 0.7;
+    c.warmup_tu = 5000.0;
+    c.measure_tu = 40000.0;
+    c.backend = backend;
+    c.allocator = alloc;
+    c.seed = 777;  // identical arrival streams across policies
+    return c;
+  };
+
+  struct Policy {
+    const char* label;
+    BackendKind backend;
+    AllocatorKind alloc;
+  };
+  const Policy policies[] = {
+      {"psd-eq17 (paper)", BackendKind::kDedicated, AllocatorKind::kPsd},
+      {"adaptive psd", BackendKind::kDedicated, AllocatorKind::kAdaptivePsd},
+      {"equal-share", BackendKind::kDedicated, AllocatorKind::kEqualShare},
+      {"wtp delay scheduler", BackendKind::kWtp, AllocatorKind::kNone},
+      {"hpd delay scheduler", BackendKind::kHpd, AllocatorKind::kNone},
+      {"strict priority", BackendKind::kStrict, AllocatorKind::kNone},
+  };
+
+  std::cout << "two classes, deltas (1,2), 70% load, identical seeds\n"
+            << "target SLOWDOWN ratio = 2.0; WTP/HPD instead target the "
+               "DELAY ratio\n\n";
+  Table t({"policy", "S1", "S2", "slowdown ratio", "D1", "D2", "delay ratio"});
+  for (const auto& p : policies) {
+    const auto c = cfg(p.backend, p.alloc);
+    // Single long run (same seed!) so arrival streams are identical.
+    const auto r = run_scenario(c, 0);
+    const double s1 = r.cls[0].mean_slowdown;
+    const double s2 = r.cls[1].mean_slowdown;
+    const double d1 = r.cls[0].mean_delay;
+    const double d2 = r.cls[1].mean_delay;
+    t.add_row({p.label, Table::fmt(s1, 2), Table::fmt(s2, 2),
+               Table::fmt(s2 / s1, 2), Table::fmt(d1, 2), Table::fmt(d2, 2),
+               Table::fmt(d2 / d1, 2)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: only the PSD allocators put the SLOWDOWN ratio near 2.\n"
+         "WTP/HPD move the DELAY ratio toward 2 — which is their goal — but\n"
+         "slowdown mixes in service times they never observe (paper §5).\n";
+  return 0;
+}

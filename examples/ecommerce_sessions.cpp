@@ -1,0 +1,85 @@
+// Example: session-based e-commerce differentiation (paper §2.2).
+//
+// A storefront serves two request classes — the transaction path
+// (register/buy: class 1, delta 1) and the browsing path (home/browse/
+// search: class 2, delta 2).  Sessions walk a state machine; transaction
+// states have near-constant service demand (the paper's M/D/1 motivation).
+// The PSD allocator keeps the transaction path's slowdown at half the
+// browsing path's, whatever the traffic volume does.
+#include <iostream>
+
+#include "psd.hpp"
+
+int main() {
+  using namespace psd;
+
+  const auto profile = SessionProfile::storefront(/*session_rate=*/0.3);
+  std::cout << "storefront session profile:\n";
+  const auto visits = profile.expected_visits();
+  const char* names[] = {"home", "browse", "search", "register", "buy"};
+  for (std::size_t s = 0; s < profile.states.size(); ++s) {
+    std::cout << "  " << names[s] << ": expected visits/session "
+              << Table::fmt(visits[s], 3) << " -> class "
+              << profile.states[s].cls + 1 << "\n";
+  }
+  const auto rates = profile.class_request_rates(2);
+  std::cout << "implied request rates: class1 (transactions) = "
+            << Table::fmt(rates[0], 3) << "/tu, class2 (browsing) = "
+            << Table::fmt(rates[1], 3) << "/tu\n\n";
+
+  // Per-class service-time mixtures: class 1 = register/buy deterministic
+  // mixture, class 2 = home/browse/search (deterministic + Bounded Pareto).
+  // These feed the *heterogeneous* PSD allocator — the paper's eq. 17
+  // assumes one shared distribution, which session traffic violates.
+  const auto mixtures = profile.class_mixtures(2);
+  std::cout << "class service-time moments (visit-weighted mixtures):\n";
+  for (int c = 0; c < 2; ++c) {
+    std::cout << "  class " << c + 1 << ": E[X]="
+              << Table::fmt(mixtures[c]->mean(), 3)
+              << " E[X^2]=" << Table::fmt(mixtures[c]->second_moment(), 3)
+              << " E[1/X]=" << Table::fmt(mixtures[c]->mean_inverse(), 3)
+              << "\n";
+  }
+  std::cout << "\n";
+
+  // --- run the full server on this workload, three session intensities ---
+  Table t({"session rate", "class", "completed", "mean slowdown",
+           "achieved ratio"});
+  for (double session_rate : {0.2, 0.3, 0.4}) {
+    Simulator sim;
+    auto p = profile;
+    p.session_rate = session_rate;
+
+    ServerConfig sc;
+    sc.num_classes = 2;
+    sc.realloc_period = 500.0;
+    sc.metrics.num_classes = 2;
+    sc.metrics.warmup_end = 5000.0;
+    sc.metrics.window = 500.0;
+
+    std::vector<const SizeDistribution*> dists = {mixtures[0].get(),
+                                                  mixtures[1].get()};
+    Server server(sim, sc, std::make_unique<DedicatedRateBackend>(),
+                  std::make_unique<HeteroPsdAllocator>(
+                      std::vector<double>{1.0, 2.0}, dists),
+                  Rng(11));
+    server.start(0.0);
+    SessionWorkload sessions(sim, Rng(12), p, server);
+    sessions.start(0.0);
+    sim.run_until(80000.0);
+    server.finalize();
+
+    const double s1 = server.metrics().slowdown(0).mean();
+    const double s2 = server.metrics().slowdown(1).mean();
+    for (ClassId c = 0; c < 2; ++c) {
+      t.add_row({Table::fmt(session_rate, 2), std::to_string(c + 1),
+                 std::to_string(server.metrics().completed(c)),
+                 Table::fmt(c == 0 ? s1 : s2, 3),
+                 c == 1 ? Table::fmt(s2 / s1, 2) : std::string("-")});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe transaction path keeps ~half the browsing slowdown "
+               "across session intensities (target ratio 2.0).\n";
+  return 0;
+}

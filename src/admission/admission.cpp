@@ -1,0 +1,85 @@
+#include "admission/admission.hpp"
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+UtilizationGate::UtilizationGate(std::size_t num_classes, double mean_size,
+                                 double capacity, double threshold)
+    : mean_size_(mean_size), capacity_(capacity), threshold_(threshold) {
+  PSD_REQUIRE(num_classes > 0, "need at least one class");
+  PSD_REQUIRE(mean_size > 0.0, "mean size must be positive");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(threshold > 0.0 && threshold < 1.0, "threshold in (0,1)");
+  admit_.assign(num_classes, true);
+}
+
+void UtilizationGate::update(const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == admit_.size(), "estimate size mismatch");
+  admit_.assign(admit_.size(), true);
+  double demand = 0.0;
+  for (double l : lambda_hat) demand += l * mean_size_;
+  // Shed lowest classes (largest index) until under threshold.
+  for (std::size_t i = admit_.size(); i-- > 1;) {
+    if (demand <= threshold_ * capacity_) break;
+    demand -= lambda_hat[i] * mean_size_;
+    admit_[i] = false;
+  }
+}
+
+bool UtilizationGate::admit(ClassId cls) const {
+  PSD_REQUIRE(cls < admit_.size(), "class id out of range");
+  return admit_[cls];
+}
+
+SlowdownBudgetGate::SlowdownBudgetGate(std::vector<double> delta,
+                                       std::unique_ptr<SizeDistribution> dist,
+                                       double capacity,
+                                       double max_unit_slowdown)
+    : delta_(std::move(delta)),
+      dist_(std::move(dist)),
+      capacity_(capacity),
+      budget_(max_unit_slowdown) {
+  PSD_REQUIRE(!delta_.empty(), "need at least one class");
+  PSD_REQUIRE(dist_ != nullptr, "distribution required");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(max_unit_slowdown > 0.0, "budget must be positive");
+  admit_.assign(delta_.size(), true);
+}
+
+double SlowdownBudgetGate::predicted_unit_slowdown(
+    const std::vector<double>& lambda_hat,
+    const std::vector<bool>& mask) const {
+  // eq. 18 restricted to admitted classes: unit slowdown (E[S_i]/delta_i) is
+  // the class-independent factor sum(lambda_j/delta_j) E[X^2]E[1/X] /
+  // (2 (C - demand)).
+  const double ex = dist_->mean();
+  double demand = 0.0, denom = 0.0;
+  for (std::size_t j = 0; j < lambda_hat.size(); ++j) {
+    if (!mask[j]) continue;
+    demand += lambda_hat[j] * ex;
+    denom += lambda_hat[j] / delta_[j];
+  }
+  if (demand >= capacity_) return kInf;
+  if (denom <= 0.0) return 0.0;
+  return denom * dist_->second_moment() * dist_->mean_inverse() /
+         (2.0 * (capacity_ - demand));
+}
+
+void SlowdownBudgetGate::update(const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == delta_.size(), "estimate size mismatch");
+  admit_.assign(delta_.size(), true);
+  // Shed lowest classes until eq. 18 predicts the budget holds.
+  for (std::size_t i = delta_.size(); i-- > 1;) {
+    if (predicted_unit_slowdown(lambda_hat, admit_) <= budget_) return;
+    admit_[i] = false;
+  }
+}
+
+bool SlowdownBudgetGate::admit(ClassId cls) const {
+  PSD_REQUIRE(cls < admit_.size(), "class id out of range");
+  return admit_[cls];
+}
+
+}  // namespace psd

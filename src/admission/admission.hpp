@@ -1,0 +1,96 @@
+// Admission control (paper §5: admission control is the standard companion
+// of DiffServ scheduling — Abdelzaher et al., Lee/Lui/Yau — but is "not
+// sufficient" for PSD on its own; here it complements the eq.-17 allocator).
+//
+// Controllers gate requests *before* they enter the waiting queues:
+//   * AdmitAll            — pass-through (default).
+//   * UtilizationGate     — reject any class's request when the measured
+//                           total utilization demand exceeds a threshold
+//                           (overload protection, Abdelzaher-style).
+//   * SlowdownBudgetGate  — the PSD-native controller: admit a request only
+//                           while eq. 18 predicts every class's slowdown
+//                           stays within its budget delta_i * S_max at the
+//                           current estimated loads.  Uses the closed form,
+//                           so the gate is O(N) per decision window.
+// Controllers are evaluated per estimation window (decisions latch between
+// reallocations, mirroring the rate allocator's cadence).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  /// Latch per-class admit/deny decisions from fresh load estimates.
+  /// Called once per estimation window with per-class lambda estimates.
+  virtual void update(const std::vector<double>& lambda_hat) = 0;
+
+  /// Decide for one arriving request of class `cls` (must be O(1)).
+  virtual bool admit(ClassId cls) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class AdmitAll final : public AdmissionController {
+ public:
+  void update(const std::vector<double>& /*lambda_hat*/) override {}
+  bool admit(ClassId /*cls*/) const override { return true; }
+  std::string name() const override { return "admit-all"; }
+};
+
+/// Rejects *lower* classes first when estimated utilization exceeds the
+/// threshold: classes are dropped from the lowest priority (largest index)
+/// upward until the remaining demand fits.
+class UtilizationGate final : public AdmissionController {
+ public:
+  UtilizationGate(std::size_t num_classes, double mean_size, double capacity,
+                  double threshold = 0.9);
+
+  void update(const std::vector<double>& lambda_hat) override;
+  bool admit(ClassId cls) const override;
+  std::string name() const override { return "utilization-gate"; }
+
+  const std::vector<bool>& admitted() const { return admit_; }
+
+ private:
+  double mean_size_, capacity_, threshold_;
+  std::vector<bool> admit_;
+};
+
+/// Admit while eq. 18 keeps every class's predicted slowdown within
+/// delta_i * max_unit_slowdown; otherwise shed lower classes first.
+class SlowdownBudgetGate final : public AdmissionController {
+ public:
+  /// `max_unit_slowdown`: budget for a hypothetical delta == 1 class; class
+  /// i's budget is delta_i * max_unit_slowdown (proportionality preserved).
+  SlowdownBudgetGate(std::vector<double> delta,
+                     std::unique_ptr<SizeDistribution> dist, double capacity,
+                     double max_unit_slowdown);
+
+  void update(const std::vector<double>& lambda_hat) override;
+  bool admit(ClassId cls) const override;
+  std::string name() const override { return "slowdown-budget"; }
+
+  const std::vector<bool>& admitted() const { return admit_; }
+
+ private:
+  /// Predicted unit slowdown (E[S_i]/delta_i) if only classes with
+  /// mask[j] participate; +inf when infeasible.
+  double predicted_unit_slowdown(const std::vector<double>& lambda_hat,
+                                 const std::vector<bool>& mask) const;
+
+  std::vector<double> delta_;
+  std::unique_ptr<SizeDistribution> dist_;
+  double capacity_, budget_;
+  std::vector<bool> admit_;
+};
+
+}  // namespace psd

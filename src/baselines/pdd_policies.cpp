@@ -1,0 +1,27 @@
+#include "baselines/pdd_policies.hpp"
+
+namespace psd {
+
+std::unique_ptr<SchedulerBackend> make_wtp_backend(std::vector<double> deltas) {
+  return std::make_unique<PriorityBackend>(
+      std::make_unique<WtpPolicy>(std::move(deltas)));
+}
+
+std::unique_ptr<SchedulerBackend> make_pad_backend(std::vector<double> deltas) {
+  return std::make_unique<PriorityBackend>(
+      std::make_unique<PadPolicy>(std::move(deltas)));
+}
+
+std::unique_ptr<SchedulerBackend> make_hpd_backend(std::vector<double> deltas,
+                                                   double g) {
+  return std::make_unique<PriorityBackend>(
+      std::make_unique<HpdPolicy>(std::move(deltas), g));
+}
+
+std::unique_ptr<SchedulerBackend> make_strict_backend(
+    std::size_t num_classes) {
+  return std::make_unique<PriorityBackend>(
+      std::make_unique<StrictPolicy>(num_classes));
+}
+
+}  // namespace psd

@@ -1,0 +1,18 @@
+// Convenience constructors bundling the PDD priority baselines (WTP / PAD /
+// HPD / strict) as complete scheduler backends, plus a delay-based analytic
+// helper used by ablation A3 to report what the baselines *do* achieve.
+#pragma once
+
+#include <memory>
+
+#include "sched/priority.hpp"
+
+namespace psd {
+
+std::unique_ptr<SchedulerBackend> make_wtp_backend(std::vector<double> deltas);
+std::unique_ptr<SchedulerBackend> make_pad_backend(std::vector<double> deltas);
+std::unique_ptr<SchedulerBackend> make_hpd_backend(std::vector<double> deltas,
+                                                   double g = 0.875);
+std::unique_ptr<SchedulerBackend> make_strict_backend(std::size_t num_classes);
+
+}  // namespace psd

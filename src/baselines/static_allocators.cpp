@@ -1,0 +1,63 @@
+#include "baselines/static_allocators.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+EqualShareAllocator::EqualShareAllocator(std::size_t num_classes,
+                                         double capacity) {
+  PSD_REQUIRE(num_classes > 0, "need at least one class");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  rates_.assign(num_classes, capacity / static_cast<double>(num_classes));
+}
+
+std::vector<double> EqualShareAllocator::allocate(
+    const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == rates_.size(), "estimate size mismatch");
+  return rates_;
+}
+
+LoadProportionalAllocator::LoadProportionalAllocator(std::size_t num_classes,
+                                                     double capacity,
+                                                     double mean_size)
+    : n_(num_classes), capacity_(capacity), mean_size_(mean_size) {
+  PSD_REQUIRE(num_classes > 0, "need at least one class");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(mean_size > 0.0, "mean size must be positive");
+}
+
+std::vector<double> LoadProportionalAllocator::allocate(
+    const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == n_, "estimate size mismatch");
+  const double total =
+      std::accumulate(lambda_hat.begin(), lambda_hat.end(), 0.0);
+  std::vector<double> rates(n_);
+  if (total <= 0.0) {
+    for (auto& r : rates) r = capacity_ / static_cast<double>(n_);
+    return rates;
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    rates[i] = capacity_ * lambda_hat[i] / total;
+    // Keep a trickle for idle classes so they are not starved entirely.
+    rates[i] = std::max(rates[i], 1e-3 * capacity_);
+  }
+  const double sum = std::accumulate(rates.begin(), rates.end(), 0.0);
+  for (auto& r : rates) r *= capacity_ / sum;
+  return rates;
+}
+
+FixedRateAllocator::FixedRateAllocator(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  PSD_REQUIRE(!rates_.empty(), "need at least one class");
+  for (double r : rates_) PSD_REQUIRE(r > 0.0, "rates must be positive");
+}
+
+std::vector<double> FixedRateAllocator::allocate(
+    const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == rates_.size(), "estimate size mismatch");
+  return rates_;
+}
+
+}  // namespace psd

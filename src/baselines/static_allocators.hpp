@@ -1,0 +1,54 @@
+// Rate-allocation baselines that ignore the PSD closed form.
+//
+//   EqualShareAllocator    — r_i = C/N regardless of load (no differentiation
+//                            and no load awareness).
+//   LoadProportionalAllocator — r_i proportional to estimated work demand
+//                            (load-aware but delta-oblivious: every class
+//                            then sees the *same* expected slowdown, i.e.
+//                            a ratio of 1).
+//   FixedRateAllocator     — operator-pinned static rates (absolute
+//                            provisioning, the "absolute DiffServ" contrast).
+// Ablation A3 runs these against the eq.-17 allocator.
+#pragma once
+
+#include "server/allocator.hpp"
+
+namespace psd {
+
+class EqualShareAllocator final : public RateAllocator {
+ public:
+  EqualShareAllocator(std::size_t num_classes, double capacity);
+
+  std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
+  std::string name() const override { return "equal-share"; }
+
+ private:
+  std::vector<double> rates_;
+};
+
+class LoadProportionalAllocator final : public RateAllocator {
+ public:
+  LoadProportionalAllocator(std::size_t num_classes, double capacity,
+                            double mean_size);
+
+  std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
+  std::string name() const override { return "load-proportional"; }
+
+ private:
+  std::size_t n_;
+  double capacity_;
+  double mean_size_;
+};
+
+class FixedRateAllocator final : public RateAllocator {
+ public:
+  explicit FixedRateAllocator(std::vector<double> rates);
+
+  std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::vector<double> rates_;
+};
+
+}  // namespace psd

@@ -1,0 +1,133 @@
+#include "cluster/dispatcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+std::vector<double> sita_equal_load_cutoffs(const BoundedPareto& dist,
+                                            std::size_t nodes) {
+  PSD_REQUIRE(nodes >= 1, "need at least one node");
+  // Partial expected work up to x: W(x) = g (x^{1-a} - k^{1-a}) / (1-a)
+  // (log form at a == 1); each node takes an equal share of W(p).
+  const double a = dist.alpha();
+  const double g = dist.normalizer();
+  const double k = dist.lower();
+  auto partial = [&](double x) {
+    if (std::abs(a - 1.0) < 1e-12) return g * std::log(x / k);
+    return g * (std::pow(x, 1.0 - a) - std::pow(k, 1.0 - a)) / (1.0 - a);
+  };
+  const double total = partial(dist.upper());
+  std::vector<double> cutoffs;
+  cutoffs.reserve(nodes - 1);
+  for (std::size_t n = 1; n < nodes; ++n) {
+    const double target = total * static_cast<double>(n) /
+                          static_cast<double>(nodes);
+    double lo = dist.lower(), hi = dist.upper();
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (partial(mid) < target ? lo : hi) = mid;
+    }
+    cutoffs.push_back(0.5 * (lo + hi));
+  }
+  return cutoffs;
+}
+
+Cluster::Cluster(Simulator& sim, std::size_t nodes,
+                 const ServerConfig& node_cfg,
+                 const BackendFactory& backend_factory,
+                 const AllocatorFactory& allocator_factory,
+                 AssignmentPolicy policy, Rng rng, std::vector<double> cutoffs)
+    : sim_(sim), policy_(policy), rng_(rng), cutoffs_(std::move(cutoffs)) {
+  PSD_REQUIRE(nodes >= 1, "need at least one node");
+  PSD_REQUIRE(backend_factory != nullptr, "backend factory required");
+  if (policy == AssignmentPolicy::kSizeInterval) {
+    PSD_REQUIRE(cutoffs_.size() == nodes - 1,
+                "size-interval policy needs nodes-1 cutoffs");
+    PSD_REQUIRE(std::is_sorted(cutoffs_.begin(), cutoffs_.end()),
+                "cutoffs must be increasing");
+  }
+  num_classes_ = node_cfg.num_classes;
+  nodes_.reserve(nodes);
+  outstanding_.assign(nodes, 0.0);
+  dispatched_.assign(nodes, 0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    auto allocator = allocator_factory ? allocator_factory() : nullptr;
+    nodes_.push_back(std::make_unique<Server>(sim, node_cfg,
+                                              backend_factory(),
+                                              std::move(allocator),
+                                              rng_.fork(9000 + i)));
+    Server* node = nodes_.back().get();
+    double* out = &outstanding_[i];
+    node->set_completion_observer(
+        [out](const Request& req) { *out -= req.size; });
+  }
+}
+
+void Cluster::start(Time origin) {
+  for (auto& n : nodes_) n->start(origin);
+}
+
+std::size_t Cluster::route(const Request& req) {
+  switch (policy_) {
+    case AssignmentPolicy::kRandom:
+      return static_cast<std::size_t>(rng_.below(nodes_.size()));
+    case AssignmentPolicy::kRoundRobin: {
+      const std::size_t n = rr_next_;
+      rr_next_ = (rr_next_ + 1) % nodes_.size();
+      return n;
+    }
+    case AssignmentPolicy::kLeastWorkLeft: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        if (outstanding_[i] < outstanding_[best]) best = i;
+      }
+      return best;
+    }
+    case AssignmentPolicy::kSizeInterval: {
+      const auto it =
+          std::upper_bound(cutoffs_.begin(), cutoffs_.end(), req.size);
+      return static_cast<std::size_t>(it - cutoffs_.begin());
+    }
+  }
+  PSD_CHECK(false, "unknown assignment policy");
+}
+
+void Cluster::submit(Request req) {
+  const std::size_t n = route(req);
+  outstanding_[n] += req.size;
+  ++dispatched_[n];
+  nodes_[n]->submit(std::move(req));
+}
+
+void Cluster::finalize() {
+  for (auto& n : nodes_) n->finalize();
+}
+
+std::vector<double> Cluster::mean_slowdowns() const {
+  std::vector<double> out(num_classes_, kNaN);
+  for (ClassId c = 0; c < num_classes_; ++c) {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (const auto& n : nodes_) {
+      const auto& m = n->metrics().slowdown(c);
+      if (m.count() > 0) {
+        sum += m.mean() * static_cast<double>(m.count());
+        count += m.count();
+      }
+    }
+    if (count > 0) out[c] = sum / static_cast<double>(count);
+  }
+  return out;
+}
+
+std::uint64_t Cluster::completed_total() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->metrics().completed_total();
+  return n;
+}
+
+}  // namespace psd

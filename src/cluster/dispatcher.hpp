@@ -1,0 +1,82 @@
+// Cluster of PSD servers behind a task-assignment dispatcher.
+//
+// The paper's related work (Harchol-Balter's task assignment [13], Zhu/Tang/
+// Yang's cluster DiffServ [25], ADAPTLOAD [21]) studies slowdown on server
+// *clusters*; this module composes our single-node PSD server into that
+// setting.  Each node runs its own Fig.-1 pipeline (queues, estimator,
+// allocator, task servers); the dispatcher routes every arriving request to
+// one node:
+//   * kRandom        — uniform random node,
+//   * kRoundRobin    — cyclic,
+//   * kLeastWorkLeft — node with the least outstanding work (size-aware),
+//   * kSizeInterval  — SITA-E: node n serves sizes in [cutoff_{n-1},
+//                      cutoff_n), cutoffs chosen to equalize expected load;
+//                      the assignment Harchol-Balter showed to excel under
+//                      heavy tails because it keeps small jobs away from
+//                      monsters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/bounded_pareto.hpp"
+#include "server/server.hpp"
+
+namespace psd {
+
+enum class AssignmentPolicy {
+  kRandom,
+  kRoundRobin,
+  kLeastWorkLeft,
+  kSizeInterval,
+};
+
+/// SITA-E cutoffs: partition [k, p] into `nodes` intervals of equal expected
+/// work (equal contribution to E[X]).  Returns nodes-1 interior cutoffs.
+std::vector<double> sita_equal_load_cutoffs(const BoundedPareto& dist,
+                                            std::size_t nodes);
+
+class Cluster final : public RequestSink {
+ public:
+  using BackendFactory = std::function<std::unique_ptr<SchedulerBackend>()>;
+  using AllocatorFactory = std::function<std::unique_ptr<RateAllocator>()>;
+
+  /// Builds `nodes` identical servers from the config and factories.
+  /// `cutoffs` is required (size nodes-1, increasing) for kSizeInterval.
+  Cluster(Simulator& sim, std::size_t nodes, const ServerConfig& node_cfg,
+          const BackendFactory& backend_factory,
+          const AllocatorFactory& allocator_factory, AssignmentPolicy policy,
+          Rng rng, std::vector<double> cutoffs = {});
+
+  void start(Time origin);
+  void submit(Request req) override;
+  void finalize();
+
+  std::size_t nodes() const { return nodes_.size(); }
+  Server& node(std::size_t i) { return *nodes_[i]; }
+  const Server& node(std::size_t i) const { return *nodes_[i]; }
+
+  /// Outstanding (submitted - completed) work currently on a node.
+  double outstanding_work(std::size_t i) const { return outstanding_[i]; }
+
+  /// Cluster-wide per-class mean slowdown (completion-weighted over nodes).
+  std::vector<double> mean_slowdowns() const;
+  std::uint64_t completed_total() const;
+  std::uint64_t dispatched(std::size_t node) const { return dispatched_[node]; }
+
+ private:
+  std::size_t route(const Request& req);
+
+  Simulator& sim_;
+  AssignmentPolicy policy_;
+  Rng rng_;
+  std::vector<double> cutoffs_;
+  std::vector<std::unique_ptr<Server>> nodes_;
+  std::vector<double> outstanding_;
+  std::vector<std::uint64_t> dispatched_;
+  std::size_t rr_next_ = 0;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace psd

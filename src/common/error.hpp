@@ -1,0 +1,42 @@
+// Contract checking macros.
+//
+// PSD_REQUIRE guards public-API preconditions (throws std::invalid_argument,
+// always on).  PSD_CHECK guards internal invariants (throws std::logic_error,
+// always on; these sit off hot paths so the cost is negligible).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psd::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace psd::detail
+
+#define PSD_REQUIRE(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::psd::detail::throw_require(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define PSD_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond))                                                  \
+      ::psd::detail::throw_check(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,73 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+bool almost_equal(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+double relative_error(double a, double b, double floor) {
+  return std::abs(a - b) / std::max(std::abs(b), floor);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  PSD_REQUIRE(n >= 2, "linspace needs at least two points");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  PSD_REQUIRE(lo > 0.0 && hi > 0.0, "logspace bounds must be positive");
+  auto lin = linspace(std::log(lo), std::log(hi), n);
+  for (auto& x : lin) x = std::exp(x);
+  lin.back() = hi;
+  return lin;
+}
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa,
+                double b, double fb, double m, double fm, double whole,
+                double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol) {
+  PSD_REQUIRE(a <= b, "integration bounds out of order");
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive(f, a, fa, b, fb, m, fm, whole, tol, 48);
+}
+
+}  // namespace psd

@@ -1,0 +1,50 @@
+// Small numeric helpers: compensated summation, floating-point comparison,
+// grids, and adaptive quadrature (used by tests and by distributions whose
+// inverse-moment has no elementary closed form).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace psd {
+
+/// Kahan–Babuška compensated accumulator; O(1) state, ~exact for long sums.
+class KahanSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double value() const { return sum_ + comp_; }
+  void reset() { sum_ = comp_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// True when |a-b| <= tol * max(1, |a|, |b|).
+bool almost_equal(double a, double b, double tol = 1e-9);
+
+/// |a-b| / max(|b|, floor) — relative error against a reference value b.
+double relative_error(double a, double b, double floor = 1e-12);
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n log-spaced points from lo to hi inclusive (lo, hi > 0, n >= 2).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10);
+
+}  // namespace psd

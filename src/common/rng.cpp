@@ -1,0 +1,36 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace psd {
+
+double Rng::exponential(double rate) {
+  PSD_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  return -std::log(uniform01_open_low()) / rate;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  PSD_REQUIRE(n > 0, "below(0) is undefined");
+  // Lemire's nearly-divisionless bounded sampling with rejection; unbiased.
+  std::uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+    while (lo < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::fork(std::uint64_t index) const {
+  SplitMix64 sm(seed_ ^ 0xA02BDBF7BB3C0A7ULL);
+  const std::uint64_t base = sm.next();
+  SplitMix64 mix(base + 0x9E3779B97F4A7C15ULL * (index + 1));
+  return Rng(mix.next());
+}
+
+}  // namespace psd

@@ -1,0 +1,112 @@
+// Self-contained pseudo-random number generation.
+//
+// The paper drew variates from a modified GNU Scientific Library; offline we
+// implement the generator stack from scratch:
+//   * SplitMix64 — seed expansion / stream derivation,
+//   * xoshiro256** — the workhorse engine (satisfies UniformRandomBitGenerator),
+//   * Rng — convenience wrapper with uniform/exponential draws and
+//     deterministic per-replication stream forking.
+//
+// Stream independence: fork(i) reseeds a child through SplitMix64 on
+// (state hash, i), which is the standard recommendation of the xoshiro
+// authors for parallel streams.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+/// SplitMix64: tiny 64-bit generator used for seeding other generators.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // An all-zero state is a fixed point; SplitMix64 cannot produce four
+    // consecutive zeros, but keep the guard for cheap safety.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Facade used throughout the library.  One Rng per simulation replication;
+/// never shared across threads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9D2C5680F1A3C1ULL) : engine_(seed), seed_(seed) {}
+
+  /// Uniform in [0, 1) with full 53-bit mantissa resolution.
+  double uniform01() { return static_cast<double>(engine_() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in (0, 1] — safe as an argument to log().
+  double uniform01_open_low() { return 1.0 - uniform01(); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    PSD_REQUIRE(lo <= hi, "uniform bounds out of order");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return engine_(); }
+
+  /// Derive an independent child stream; deterministic in (parent seed, index).
+  Rng fork(std::uint64_t index) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  Xoshiro256ss engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace psd

@@ -1,0 +1,31 @@
+// Core scalar aliases shared across the psd library.
+//
+// The simulator works in continuous time with a server of configurable total
+// capacity.  "Paper time units" (1 tu = processing time of an average-size
+// request, i.e. E[X]/capacity) are a presentation-layer concept handled by
+// src/experiment; everything below that layer uses raw simulator time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace psd {
+
+/// Simulation clock value (continuous).
+using Time = double;
+/// Difference of two Time values.
+using Duration = double;
+/// Amount of work carried by a request, in units of (capacity * time).
+/// A request of size s served at rate r completes in s / r time.
+using Work = double;
+/// Processing rate; the whole server has rate `capacity` (default 1.0).
+using Rate = double;
+/// Dense zero-based class index; class 0 is the highest class (delta_0 minimal).
+using ClassId = std::uint32_t;
+/// Monotone per-request identifier, unique within one simulation run.
+using RequestId = std::uint64_t;
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+inline constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace psd

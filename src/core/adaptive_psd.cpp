@@ -1,0 +1,87 @@
+#include "core/adaptive_psd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+AdaptivePsdAllocator::AdaptivePsdAllocator(PsdAllocatorConfig cfg,
+                                           AdaptiveConfig adapt)
+    : cfg_(std::move(cfg)), adapt_(adapt) {
+  PSD_REQUIRE(!cfg_.delta.empty(), "need at least one class");
+  PSD_REQUIRE(adapt_.gain >= 0.0, "gain must be >= 0");
+  PSD_REQUIRE(adapt_.max_correction > 1.0, "max_correction must exceed 1");
+  PSD_REQUIRE(adapt_.smoothing >= 0.0 && adapt_.smoothing < 1.0,
+              "smoothing must be in [0,1)");
+  bias_.assign(cfg_.delta.size(), 0.0);
+  smoothed_.assign(cfg_.delta.size(), 0.0);
+  smoothed_valid_.assign(cfg_.delta.size(), false);
+}
+
+void AdaptivePsdAllocator::observe_slowdowns(
+    const std::vector<double>& mean_sd) {
+  PSD_REQUIRE(mean_sd.size() == bias_.size(), "observation size mismatch");
+  ++observations_;
+  // Optional EWMA pre-filter over the raw window means.
+  std::vector<double> obs(mean_sd.size(), kNaN);
+  for (std::size_t i = 0; i < mean_sd.size(); ++i) {
+    if (!(std::isfinite(mean_sd[i]) && mean_sd[i] > 0.0)) continue;
+    if (adapt_.smoothing > 0.0 && smoothed_valid_[i]) {
+      smoothed_[i] = adapt_.smoothing * smoothed_[i] +
+                     (1.0 - adapt_.smoothing) * mean_sd[i];
+    } else {
+      smoothed_[i] = mean_sd[i];
+      smoothed_valid_[i] = true;
+    }
+    obs[i] = adapt_.smoothing > 0.0 ? smoothed_[i] : mean_sd[i];
+  }
+  // Normalized log slowdowns; skip classes with no completions this window.
+  std::vector<double> logs(bias_.size(), kNaN);
+  double sum = 0.0;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (std::isfinite(obs[i]) && obs[i] > 0.0) {
+      logs[i] = std::log(obs[i] / cfg_.delta[i]);
+      sum += logs[i];
+      ++valid;
+    }
+  }
+  if (valid < 2) return;  // nothing to balance against
+  const double center = sum / static_cast<double>(valid);
+  const double clamp = std::log(adapt_.max_correction);
+  double bias_mean = 0.0;
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    if (std::isfinite(logs[i])) {
+      bias_[i] -= adapt_.gain * (logs[i] - center);
+      bias_[i] = std::clamp(bias_[i], -clamp, clamp);
+    }
+    bias_mean += bias_[i];
+  }
+  // Re-center so corrections stay purely relative.
+  bias_mean /= static_cast<double>(bias_.size());
+  for (auto& b : bias_) b -= bias_mean;
+}
+
+std::vector<double> AdaptivePsdAllocator::allocate(
+    const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == cfg_.delta.size(),
+              "estimate size mismatch");
+  std::vector<double> delta_eff(cfg_.delta.size());
+  for (std::size_t i = 0; i < delta_eff.size(); ++i) {
+    delta_eff[i] = cfg_.delta[i] * std::exp(bias_[i]);
+  }
+  PsdInput in;
+  in.lambda = lambda_hat;
+  in.delta = std::move(delta_eff);
+  in.mean_size = cfg_.mean_size;
+  in.capacity = cfg_.capacity;
+  in.overload = OverloadPolicy::kClamp;
+  in.rho_max = cfg_.rho_max;
+  in.min_residual_share = cfg_.min_residual_share;
+  return std::move(allocate_psd_rates(in).rate);
+}
+
+}  // namespace psd

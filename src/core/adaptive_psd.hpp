@@ -1,0 +1,53 @@
+// Adaptive PSD allocation — the paper's stated future work ("improving the
+// performance of the rate-allocation strategy in providing short-timescale
+// differentiation predictability").
+//
+// The open-loop eq.-17 strategy acts on class *load* only; achieved windowed
+// slowdown ratios wander around the target (Figs. 5-8).  This extension
+// closes the loop: after each window it compares per-class normalized
+// slowdowns S_i/delta_i against their geometric mean and nudges an internal
+// effective delta per class by an integral step in log space:
+//
+//   err_i   = log( (S_i/delta_i) / geomean_j(S_j/delta_j) )
+//   bias_i <- clamp(bias_i - gain * err_i, +/- log(max_correction))
+//   delta_eff_i = delta_i * exp(bias_i)
+//
+// A class running slower than its share (err > 0) gets a smaller effective
+// delta, hence more of the residual capacity next window.  Biases are
+// centered each step so the mean correction stays zero (only *relative*
+// rates matter).  Ablation A4 quantifies the effect.
+#pragma once
+
+#include "core/psd_rate_allocator.hpp"
+
+namespace psd {
+
+struct AdaptiveConfig {
+  double gain = 0.3;            ///< Integral gain on log-ratio error.
+  double max_correction = 4.0;  ///< Bias clamp: delta_eff within x/÷ this.
+  /// EWMA factor applied to windowed slowdown observations before computing
+  /// the error (0 = raw windows).  Heavy-tailed service times make single
+  /// windows extremely noisy; smoothing keeps the loop from chasing noise.
+  double smoothing = 0.0;
+};
+
+class AdaptivePsdAllocator final : public RateAllocator {
+ public:
+  AdaptivePsdAllocator(PsdAllocatorConfig cfg, AdaptiveConfig adapt);
+
+  std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
+  void observe_slowdowns(const std::vector<double>& mean_sd) override;
+  std::string name() const override { return "psd-adaptive"; }
+
+  const std::vector<double>& bias() const { return bias_; }
+
+ private:
+  PsdAllocatorConfig cfg_;
+  AdaptiveConfig adapt_;
+  std::vector<double> bias_;
+  std::vector<double> smoothed_;  ///< EWMA of per-class window slowdowns.
+  std::vector<bool> smoothed_valid_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace psd

@@ -1,0 +1,40 @@
+#include "core/hetero_psd_allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+HeteroPsdAllocator::HeteroPsdAllocator(
+    std::vector<double> delta,
+    const std::vector<const SizeDistribution*>& dists, double capacity,
+    double rho_max, double min_residual_share)
+    : delta_(std::move(delta)),
+      capacity_(capacity),
+      rho_max_(rho_max),
+      min_residual_share_(min_residual_share) {
+  PSD_REQUIRE(!delta_.empty(), "need at least one class");
+  PSD_REQUIRE(delta_.size() == dists.size(), "delta/dists size mismatch");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  dists_.reserve(dists.size());
+  for (const auto* d : dists) {
+    PSD_REQUIRE(d != nullptr, "distribution required per class");
+    dists_.push_back(d->clone());
+  }
+}
+
+std::vector<double> HeteroPsdAllocator::allocate(
+    const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == delta_.size(), "estimate size mismatch");
+  HeteroPsdInput in;
+  in.lambda = lambda_hat;
+  in.delta = delta_;
+  in.dist.reserve(dists_.size());
+  for (const auto& d : dists_) in.dist.push_back(d.get());
+  in.capacity = capacity_;
+  in.overload = OverloadPolicy::kClamp;
+  in.rho_max = rho_max_;
+  in.min_residual_share = min_residual_share_;
+  return std::move(allocate_psd_rates_hetero(in).rate);
+}
+
+}  // namespace psd

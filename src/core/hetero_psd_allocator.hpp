@@ -1,0 +1,33 @@
+// Runtime adapter for the heterogeneous PSD allocation: per-class
+// service-time distributions (e.g. session workloads whose classes mix
+// different request types).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/psd_allocation.hpp"
+#include "server/allocator.hpp"
+
+namespace psd {
+
+class HeteroPsdAllocator final : public RateAllocator {
+ public:
+  /// `dists[i]` is class i's service-time distribution (cloned, owned).
+  HeteroPsdAllocator(std::vector<double> delta,
+                     const std::vector<const SizeDistribution*>& dists,
+                     double capacity = 1.0, double rho_max = 0.98,
+                     double min_residual_share = 1e-3);
+
+  std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
+  std::string name() const override { return "psd-hetero"; }
+
+ private:
+  std::vector<double> delta_;
+  std::vector<std::unique_ptr<SizeDistribution>> dists_;
+  double capacity_;
+  double rho_max_;
+  double min_residual_share_;
+};
+
+}  // namespace psd

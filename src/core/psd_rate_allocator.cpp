@@ -1,0 +1,32 @@
+#include "core/psd_rate_allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+PsdRateAllocator::PsdRateAllocator(PsdAllocatorConfig cfg)
+    : cfg_(std::move(cfg)) {
+  PSD_REQUIRE(!cfg_.delta.empty(), "need at least one class");
+  for (double d : cfg_.delta) PSD_REQUIRE(d > 0.0, "delta must be > 0");
+  PSD_REQUIRE(cfg_.capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(cfg_.mean_size > 0.0, "mean size must be positive");
+}
+
+std::vector<double> PsdRateAllocator::allocate(
+    const std::vector<double>& lambda_hat) {
+  PSD_REQUIRE(lambda_hat.size() == cfg_.delta.size(),
+              "estimate size mismatch");
+  PsdInput in;
+  in.lambda = lambda_hat;
+  in.delta = cfg_.delta;
+  in.mean_size = cfg_.mean_size;
+  in.capacity = cfg_.capacity;
+  in.overload = OverloadPolicy::kClamp;
+  in.rho_max = cfg_.rho_max;
+  in.min_residual_share = cfg_.min_residual_share;
+  auto result = allocate_psd_rates(in);
+  if (result.clamped) ++clamps_;
+  return std::move(result.rate);
+}
+
+}  // namespace psd

@@ -1,0 +1,35 @@
+// Runtime adapter: plugs the eq.-17 closed form into the server's periodic
+// reallocation loop, consuming the load estimator's lambda estimates.
+#pragma once
+
+#include <memory>
+
+#include "core/psd_allocation.hpp"
+#include "server/allocator.hpp"
+
+namespace psd {
+
+struct PsdAllocatorConfig {
+  std::vector<double> delta;
+  double capacity = 1.0;
+  double mean_size = 1.0;  ///< E[X] of the (known) service-time distribution.
+  double rho_max = 0.98;   ///< Overload clamp (runtime always clamps).
+  double min_residual_share = 1e-3;
+};
+
+class PsdRateAllocator final : public RateAllocator {
+ public:
+  explicit PsdRateAllocator(PsdAllocatorConfig cfg);
+
+  std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
+  std::string name() const override { return "psd-eq17"; }
+
+  const PsdAllocatorConfig& config() const { return cfg_; }
+  std::uint64_t clamp_events() const { return clamps_; }
+
+ private:
+  PsdAllocatorConfig cfg_;
+  std::uint64_t clamps_ = 0;
+};
+
+}  // namespace psd

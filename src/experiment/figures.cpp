@@ -1,0 +1,46 @@
+#include "experiment/figures.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+std::vector<double> standard_load_sweep() {
+  return {5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95};
+}
+
+ScenarioConfig two_class_scenario(double delta2, double load_percent) {
+  PSD_REQUIRE(delta2 >= 1.0, "delta2 must be >= delta1 == 1");
+  PSD_REQUIRE(load_percent > 0.0 && load_percent < 100.0,
+              "load percent in (0,100)");
+  ScenarioConfig cfg;
+  cfg.delta = {1.0, delta2};
+  cfg.load = load_percent / 100.0;
+  cfg.size_dist = DistSpec::bounded_pareto(1.5, 0.1, 100.0);
+  return cfg;
+}
+
+ScenarioConfig three_class_scenario(double load_percent) {
+  ScenarioConfig cfg = two_class_scenario(2.0, load_percent);
+  cfg.delta = {1.0, 2.0, 3.0};
+  return cfg;
+}
+
+ScenarioConfig individual_request_scenario(double load_percent) {
+  ScenarioConfig cfg = two_class_scenario(2.0, load_percent);
+  cfg.record_requests = true;
+  cfg.record_from_tu = 60000.0;
+  cfg.record_to_tu = 61000.0;
+  // Records live inside the measurement span: measure through 61000 tu.
+  cfg.measure_tu = 61000.0;
+  return cfg;
+}
+
+std::vector<double> shape_parameter_sweep() {
+  return {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0};
+}
+
+std::vector<double> upper_bound_sweep() {
+  return {100, 316, 1000, 3162, 10000};
+}
+
+}  // namespace psd

@@ -1,0 +1,32 @@
+// Canned scenario builders matching the paper's evaluation section, one per
+// figure family, so every bench binary states only what varies.
+#pragma once
+
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace psd {
+
+/// Load sweep used across Figs. 2-6 and 9-10 (percent utilization).
+/// The paper plots 0-100%; we sweep 5-95% (0% has no slowdown, 100% is
+/// unstable).
+std::vector<double> standard_load_sweep();
+
+/// Baseline two-class scenario of §4.1-§4.2: BP(1.5, 0.1, 100), equal class
+/// loads, deltas (1, delta2), dedicated-rate backend, eq.-17 allocator.
+ScenarioConfig two_class_scenario(double delta2, double load_percent);
+
+/// Three-class scenario with deltas (1, 2, 3) (Figs. 4, 6, 10).
+ScenarioConfig three_class_scenario(double load_percent);
+
+/// Fig. 7/8: per-request recording in [60000, 61000) tu, single run.
+ScenarioConfig individual_request_scenario(double load_percent);
+
+/// Fig. 11: shape-parameter sweep grid (alpha in [1.0, 2.0]).
+std::vector<double> shape_parameter_sweep();
+
+/// Fig. 12: upper-bound sweep grid (p in [100, 10000], log-spaced).
+std::vector<double> upper_bound_sweep();
+
+}  // namespace psd

@@ -1,0 +1,264 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "baselines/pdd_policies.hpp"
+#include "baselines/static_allocators.hpp"
+#include "common/error.hpp"
+#include "core/psd_allocation.hpp"
+#include "core/psd_rate_allocator.hpp"
+#include "sched/lottery.hpp"
+#include "sched/sfq.hpp"
+#include "server/server.hpp"
+#include "stats/percentile.hpp"
+#include "workload/generator.hpp"
+
+namespace psd {
+
+namespace {
+
+std::unique_ptr<SchedulerBackend> make_backend(const ScenarioConfig& cfg,
+                                               double unit) {
+  switch (cfg.backend) {
+    case BackendKind::kDedicated:
+      return std::make_unique<DedicatedRateBackend>(cfg.rate_change);
+    case BackendKind::kSfq:
+      return std::make_unique<SfqBackend>();
+    case BackendKind::kLottery:
+      return std::make_unique<LotteryBackend>(cfg.lottery_quantum_tu * unit);
+    case BackendKind::kWtp:
+      return make_wtp_backend(cfg.delta);
+    case BackendKind::kPad:
+      return make_pad_backend(cfg.delta);
+    case BackendKind::kHpd:
+      return make_hpd_backend(cfg.delta);
+    case BackendKind::kStrict:
+      return make_strict_backend(cfg.num_classes());
+  }
+  PSD_CHECK(false, "unknown backend kind");
+}
+
+std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
+                                              double mean_size) {
+  PsdAllocatorConfig pc;
+  pc.delta = cfg.delta;
+  pc.capacity = cfg.capacity;
+  pc.mean_size = mean_size;
+  pc.rho_max = cfg.rho_max;
+  pc.min_residual_share = cfg.min_residual_share;
+  switch (cfg.allocator) {
+    case AllocatorKind::kPsd:
+      return std::make_unique<PsdRateAllocator>(pc);
+    case AllocatorKind::kAdaptivePsd:
+      return std::make_unique<AdaptivePsdAllocator>(pc, cfg.adaptive);
+    case AllocatorKind::kEqualShare:
+      return std::make_unique<EqualShareAllocator>(cfg.num_classes(),
+                                                   cfg.capacity);
+    case AllocatorKind::kLoadProportional:
+      return std::make_unique<LoadProportionalAllocator>(
+          cfg.num_classes(), cfg.capacity, mean_size);
+    case AllocatorKind::kNone:
+      return nullptr;
+  }
+  PSD_CHECK(false, "unknown allocator kind");
+}
+
+std::unique_ptr<ArrivalProcess> make_arrivals(const ScenarioConfig& cfg,
+                                              double rate) {
+  switch (cfg.arrivals) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(rate);
+    case ArrivalKind::kDeterministic:
+      return std::make_unique<DeterministicArrivals>(rate);
+    case ArrivalKind::kBursty:
+      return make_bursty_arrivals(rate, cfg.burstiness);
+  }
+  PSD_CHECK(false, "unknown arrival kind");
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index) {
+  cfg.validate();
+  const auto dist = make_distribution(cfg.size_dist);
+  const double unit = dist->mean() / cfg.capacity;
+  const auto lambdas = cfg.true_lambdas();
+  const std::size_t n = cfg.num_classes();
+
+  Simulator sim;
+  Rng master(cfg.seed);
+  Rng run_rng = master.fork(run_index);
+
+  // --- server ---
+  ServerConfig sc;
+  sc.num_classes = n;
+  sc.capacity = cfg.capacity;
+  sc.realloc_period =
+      cfg.allocator == AllocatorKind::kNone ? 0.0 : cfg.realloc_tu * unit;
+  sc.estimator_history = cfg.estimator_history;
+  sc.metrics.num_classes = n;
+  sc.metrics.warmup_end = cfg.warmup_tu * unit;
+  sc.metrics.window = cfg.window_tu * unit;
+  sc.metrics.record_requests = cfg.record_requests;
+  sc.metrics.record_from = cfg.record_from_tu * unit;
+  sc.metrics.record_to = cfg.record_to_tu * unit;
+
+  Server server(sim, sc, make_backend(cfg, unit),
+                make_allocator(cfg, dist->mean()), run_rng.fork(1000));
+  server.start(0.0);
+
+  // --- generators (one per class, independent streams) ---
+  std::vector<std::unique_ptr<RequestGenerator>> gens;
+  gens.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gens.push_back(std::make_unique<RequestGenerator>(
+        sim, run_rng.fork(i), static_cast<ClassId>(i),
+        make_arrivals(cfg, lambdas[i]), dist->clone(), server));
+    gens.back()->start(0.0);
+  }
+
+  // --- run: warmup + measurement ---
+  const Time horizon = (cfg.warmup_tu + cfg.measure_tu) * unit;
+  sim.run_until(horizon);
+  for (auto& g : gens) g->stop();
+  server.finalize();
+
+  // --- collect ---
+  RunResult out;
+  out.time_unit = unit;
+  out.submitted = server.submitted();
+  out.reallocations = server.reallocations();
+  out.system_slowdown = server.metrics().system_slowdown();
+  out.records = server.metrics().records();
+  out.cls.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& m = server.metrics();
+    out.cls[i].mean_slowdown = m.slowdown(static_cast<ClassId>(i)).mean();
+    out.cls[i].mean_delay = m.delay(static_cast<ClassId>(i)).mean();
+    out.cls[i].completed = m.completed(static_cast<ClassId>(i));
+    out.cls[i].windows = m.windows(static_cast<ClassId>(i));
+  }
+  return out;
+}
+
+ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
+                                  bool parallel) {
+  PSD_REQUIRE(runs > 0, "need at least one run");
+  std::vector<RunResult> results(runs);
+
+  if (parallel && runs > 1) {
+    const std::size_t workers = std::min<std::size_t>(
+        runs, std::max(1u, std::thread::hardware_concurrency()));
+    std::vector<std::future<void>> futs;
+    futs.reserve(workers);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t w = 0; w < workers; ++w) {
+      futs.push_back(std::async(std::launch::async, [&] {
+        for (;;) {
+          const std::size_t r = next.fetch_add(1);
+          if (r >= runs) return;
+          results[r] = run_scenario(cfg, r);
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+  } else {
+    for (std::size_t r = 0; r < runs; ++r) results[r] = run_scenario(cfg, r);
+  }
+
+  const std::size_t n = cfg.num_classes();
+  ReplicatedResult agg;
+  agg.runs = runs;
+
+  // Across-run means of per-class mean slowdowns.
+  agg.slowdown.resize(n);
+  std::vector<std::vector<double>> per_class(n);
+  std::vector<double> sys;
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (r.cls[i].completed > 0) {
+        per_class[i].push_back(r.cls[i].mean_slowdown);
+      }
+      agg.completed_total += r.cls[i].completed;
+    }
+    if (std::isfinite(r.system_slowdown)) sys.push_back(r.system_slowdown);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    agg.slowdown[i] = mean_confidence(per_class[i]);
+  }
+  agg.system_slowdown = mean_confidence(sys).mean;
+
+  // Long-timescale achieved ratios.
+  agg.mean_ratio.assign(n, kNaN);
+  if (agg.slowdown[0].mean > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      agg.mean_ratio[i] = agg.slowdown[i].mean / agg.slowdown[0].mean;
+    }
+  }
+
+  // Windowed ratio percentiles (class j vs class 0), pooled over runs.
+  agg.ratio.resize(n >= 1 ? n - 1 : 0);
+  for (std::size_t j = 1; j < n; ++j) {
+    std::vector<double> ratios;
+    for (const auto& r : results) {
+      const auto& w0 = r.cls[0].windows;
+      const auto& wj = r.cls[j].windows;
+      const std::size_t m = std::min(w0.size(), wj.size());
+      for (std::size_t w = 0; w < m; ++w) {
+        if (w0[w].count > 0 && wj[w].count > 0 && w0[w].mean > 0.0) {
+          ratios.push_back(wj[w].mean / w0[w].mean);
+        }
+      }
+    }
+    RatioPercentiles rp;
+    rp.windows = ratios.size();
+    if (!ratios.empty()) {
+      const auto ps = percentiles_of(ratios, {0.05, 0.5, 0.95});
+      rp.p5 = ps[0];
+      rp.p50 = ps[1];
+      rp.p95 = ps[2];
+      double s = 0.0;
+      for (double x : ratios) s += x;
+      rp.mean = s / static_cast<double>(ratios.size());
+    }
+    agg.ratio[j - 1] = rp;
+  }
+
+  // eq.-18 predictions (only meaningful for the PSD allocators with a
+  // distribution whose E[1/X] exists).
+  agg.expected.assign(n, kNaN);
+  agg.expected_system = kNaN;
+  if (cfg.allocator == AllocatorKind::kPsd ||
+      cfg.allocator == AllocatorKind::kAdaptivePsd) {
+    try {
+      const auto dist = make_distribution(cfg.size_dist);
+      agg.expected = expected_psd_slowdowns(cfg.true_lambdas(), cfg.delta,
+                                            *dist, cfg.capacity);
+      agg.expected_system = expected_system_slowdown(
+          cfg.true_lambdas(), cfg.delta, *dist, cfg.capacity);
+    } catch (const std::exception&) {
+      // leave NaNs (e.g. E[1/X] undefined)
+    }
+  }
+  return agg;
+}
+
+std::size_t default_runs(std::size_t paper_default) {
+  if (const char* env = std::getenv("PSD_RUNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  if (const char* fast = std::getenv("PSD_FAST")) {
+    if (std::string(fast) == "1") return 8;
+  }
+  return paper_default;
+}
+
+}  // namespace psd

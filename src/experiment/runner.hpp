@@ -1,0 +1,68 @@
+// Scenario execution: one replication, and thread-parallel replication sets
+// with deterministic aggregation.
+#pragma once
+
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "stats/ci.hpp"
+#include "stats/interval_series.hpp"
+#include "workload/request.hpp"
+
+namespace psd {
+
+struct ClassRunStats {
+  double mean_slowdown = 0.0;
+  double mean_delay = 0.0;
+  std::uint64_t completed = 0;
+  std::vector<IntervalStat> windows;  ///< Per-window mean slowdowns.
+};
+
+struct RunResult {
+  std::vector<ClassRunStats> cls;
+  double system_slowdown = 0.0;
+  std::vector<Request> records;  ///< Only when cfg.record_requests.
+  std::uint64_t submitted = 0;
+  std::uint64_t reallocations = 0;
+  double time_unit = 1.0;  ///< Raw time per paper tu.
+};
+
+/// Execute one replication; `run_index` derives an independent RNG stream
+/// from cfg.seed (same cfg + same index => identical result).
+RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index = 0);
+
+struct RatioPercentiles {
+  double p5 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  std::uint64_t windows = 0;  ///< Ratio samples pooled (windows x runs).
+};
+
+struct ReplicatedResult {
+  std::size_t runs = 0;
+  /// Across-run mean (with 95% CI) of each class's mean slowdown.
+  std::vector<ConfidenceInterval> slowdown;
+  /// eq.-18 predictions for the configured true lambdas (NaN for allocators
+  /// where the closed form does not apply).
+  std::vector<double> expected;
+  double system_slowdown = 0.0;
+  double expected_system = 0.0;
+  /// Windowed slowdown ratios class j / class 0, j = 1..N-1, pooled over all
+  /// windows of all runs (Figs. 5-6, 9-10).
+  std::vector<RatioPercentiles> ratio;
+  /// Ratio of across-run mean slowdowns (the long-timescale achieved ratio).
+  std::vector<double> mean_ratio;
+  std::uint64_t completed_total = 0;
+};
+
+/// Run `runs` replications (thread-parallel unless `parallel` is false) and
+/// aggregate.  Results are independent of thread scheduling.
+ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
+                                  bool parallel = true);
+
+/// Replication count for benches: PSD_RUNS env var if set; 8 under
+/// PSD_FAST=1; otherwise `paper_default` (the paper used 100).
+std::size_t default_runs(std::size_t paper_default = 40);
+
+}  // namespace psd

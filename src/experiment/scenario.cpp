@@ -1,0 +1,43 @@
+#include "experiment/scenario.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+double ScenarioConfig::time_unit() const {
+  const auto dist = make_distribution(size_dist);
+  return dist->mean() / capacity;
+}
+
+std::vector<double> ScenarioConfig::true_lambdas() const {
+  const auto dist = make_distribution(size_dist);
+  if (load_share.empty()) {
+    return rates_for_equal_load(load, capacity, dist->mean(), delta.size());
+  }
+  return rates_for_load(load, capacity, dist->mean(), load_share);
+}
+
+void ScenarioConfig::validate() const {
+  PSD_REQUIRE(!delta.empty(), "need at least one class");
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    PSD_REQUIRE(delta[i] > 0.0, "delta must be positive");
+    if (i > 0) {
+      PSD_REQUIRE(delta[i] >= delta[i - 1],
+                  "deltas must be non-decreasing (class 0 is highest)");
+    }
+  }
+  PSD_REQUIRE(load > 0.0 && load < 1.0,
+              "load must be in (0,1) for a stable system");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(warmup_tu >= 0.0, "warmup must be >= 0");
+  PSD_REQUIRE(measure_tu > 0.0, "measurement length must be positive");
+  PSD_REQUIRE(window_tu > 0.0, "window must be positive");
+  PSD_REQUIRE(realloc_tu >= 0.0, "realloc period must be >= 0");
+  PSD_REQUIRE(!load_share.empty() ? load_share.size() == delta.size() : true,
+              "load_share size mismatch");
+  if (record_requests) {
+    PSD_REQUIRE(record_to_tu > record_from_tu, "empty recording window");
+  }
+}
+
+}  // namespace psd

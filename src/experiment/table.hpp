@@ -1,0 +1,34 @@
+// Fixed-width ASCII table / CSV output for the bench harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row of already-formatted cells (size must match headers).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision; NaN prints "-".
+  void add_row(const std::vector<double>& values, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Format helper shared with bench mains.
+  static std::string fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psd

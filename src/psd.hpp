@@ -1,0 +1,65 @@
+// Umbrella header for the psd library.
+//
+// psdserv — processing-rate allocation for proportional slowdown
+// differentiation (PSD) on Internet servers, after Zhou, Wei & Xu,
+// IPDPS 2004.  See README.md for a tour and DESIGN.md for the system map.
+#pragma once
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+#include "stats/batch_means.hpp"
+#include "stats/ci.hpp"
+#include "stats/histogram.hpp"
+#include "stats/interval_series.hpp"
+#include "stats/online.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/percentile.hpp"
+#include "stats/reservoir.hpp"
+
+#include "dist/bounded_exponential.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/deterministic.hpp"
+#include "dist/empirical.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/mixture.hpp"
+#include "dist/pareto.hpp"
+#include "dist/uniform.hpp"
+
+#include "queueing/md1.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mg1_priority.hpp"
+#include "queueing/mm1.hpp"
+
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+
+#include "workload/arrival.hpp"
+#include "workload/class_spec.hpp"
+#include "workload/generator.hpp"
+#include "workload/session.hpp"
+#include "workload/trace.hpp"
+
+#include "sched/dedicated_rate.hpp"
+#include "sched/lottery.hpp"
+#include "sched/priority.hpp"
+#include "sched/sfq.hpp"
+
+#include "admission/admission.hpp"
+#include "cluster/dispatcher.hpp"
+#include "server/server.hpp"
+
+#include "core/adaptive_psd.hpp"
+#include "core/hetero_psd_allocator.hpp"
+#include "core/psd_allocation.hpp"
+#include "core/psd_rate_allocator.hpp"
+
+#include "baselines/pdd_policies.hpp"
+#include "baselines/static_allocators.hpp"
+
+#include "experiment/figures.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/table.hpp"

@@ -1,0 +1,39 @@
+#include "queueing/md1.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+Md1::Md1(double lambda, double service_time, double rate)
+    : lambda_(lambda), c_(service_time), rate_(rate) {
+  PSD_REQUIRE(lambda > 0.0, "arrival rate must be positive");
+  PSD_REQUIRE(service_time > 0.0, "service time must be positive");
+  PSD_REQUIRE(rate > 0.0, "processing rate must be positive");
+}
+
+double Md1::utilization() const { return lambda_ * c_ / rate_; }
+
+void Md1::require_stable() const {
+  if (utilization() >= 1.0) {
+    throw std::domain_error("M/D/1 queue is unstable (rho >= 1)");
+  }
+}
+
+double Md1::expected_wait() const {
+  require_stable();
+  const double rho = utilization();
+  const double service = c_ / rate_;
+  return lambda_ * service * service / (2.0 * (1.0 - rho)) / 1.0;
+}
+
+double Md1::expected_response() const { return expected_wait() + c_ / rate_; }
+
+double Md1::expected_slowdown() const {
+  require_stable();
+  const double rho = utilization();
+  return rho / (2.0 * (1.0 - rho));
+}
+
+}  // namespace psd

@@ -1,0 +1,26 @@
+// Analytic M/D/1 FCFS results — the paper's eq. (15):
+//   E[S] = rho / (2 (1 - rho)),
+// independent of the constant service time c.  This models session states
+// (home entry, register, ...) with near-constant processing demand.
+#pragma once
+
+namespace psd {
+
+class Md1 {
+ public:
+  /// lambda > 0, c > 0 (constant service time at full capacity), rate > 0.
+  Md1(double lambda, double service_time, double rate = 1.0);
+
+  double utilization() const;
+  double expected_wait() const;      ///< lambda c^2 / (2 r^2 (1 - rho)).
+  double expected_response() const;
+  double expected_slowdown() const;  ///< eq. (15): rho / (2 (1 - rho)).
+  bool stable() const { return utilization() < 1.0; }
+
+ private:
+  void require_stable() const;
+
+  double lambda_, c_, rate_;
+};
+
+}  // namespace psd

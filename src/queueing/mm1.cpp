@@ -1,0 +1,38 @@
+#include "queueing/mm1.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+Mm1::Mm1(double lambda, double mu) : lambda_(lambda), mu_(mu) {
+  PSD_REQUIRE(lambda > 0.0, "arrival rate must be positive");
+  PSD_REQUIRE(mu > 0.0, "service rate must be positive");
+}
+
+double Mm1::utilization() const { return lambda_ / mu_; }
+
+void Mm1::require_stable() const {
+  if (utilization() >= 1.0) {
+    throw std::domain_error("M/M/1 queue is unstable (rho >= 1)");
+  }
+}
+
+double Mm1::expected_wait() const {
+  require_stable();
+  return utilization() / (mu_ - lambda_);
+}
+
+double Mm1::expected_response() const {
+  require_stable();
+  return 1.0 / (mu_ - lambda_);
+}
+
+double Mm1::expected_queue_length() const {
+  require_stable();
+  const double rho = utilization();
+  return rho * rho / (1.0 - rho);
+}
+
+}  // namespace psd

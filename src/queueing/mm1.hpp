@@ -1,0 +1,26 @@
+// Textbook M/M/1 FCFS results, used to validate the simulation engine
+// (service = Exponential) independently of the Bounded Pareto machinery.
+// Note slowdown has no finite expectation in M/M/1 (E[1/X] diverges), which
+// is why the paper bounds the service-time distribution.
+#pragma once
+
+namespace psd {
+
+class Mm1 {
+ public:
+  /// lambda: arrival rate; mu: service rate (1 / mean service time).
+  Mm1(double lambda, double mu);
+
+  double utilization() const;
+  double expected_wait() const;          ///< rho / (mu - lambda).
+  double expected_response() const;      ///< 1 / (mu - lambda).
+  double expected_queue_length() const;  ///< rho^2 / (1 - rho) (waiting only).
+  bool stable() const { return utilization() < 1.0; }
+
+ private:
+  void require_stable() const;
+
+  double lambda_, mu_;
+};
+
+}  // namespace psd

@@ -1,0 +1,53 @@
+// Scheduling backend interface: how the server's processing capacity is
+// turned into per-class service.
+//
+// The paper assumes capacity "can be proportionally allocated to a number of
+// task servers" via GPS / PGPS / lottery scheduling; the backends here make
+// that assumption concrete at different fidelities:
+//   * DedicatedRateBackend — the paper's model: class i is a private fluid
+//     server of rate r_i (strict partition, non-work-conserving).
+//   * SfqBackend — start-time fair queueing over one shared processor
+//     (packet-by-packet GPS, work-conserving).
+//   * LotteryBackend — quantum-based randomized proportional share.
+//   * PriorityBackend — non-preemptive priority policies (hosts the WTP/PAD/
+//     HPD delay-differentiation baselines, which ignore rates entirely).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "server/waiting_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace psd {
+
+/// Invoked exactly once per request at completion; the request has
+/// service_start, departure and service_elapsed filled in.
+using CompletionFn = std::function<void(Request&&)>;
+
+class SchedulerBackend {
+ public:
+  virtual ~SchedulerBackend() = default;
+
+  /// Wire the backend to its runtime.  Called once before any arrival.
+  /// `queues` outlives the backend; `capacity` is the server's total rate.
+  virtual void attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+                      double capacity, Rng rng, CompletionFn on_complete) = 0;
+
+  /// Install new absolute per-class rates (sum <= capacity).  Backends that
+  /// share one processor interpret them as weights.
+  virtual void set_rates(const std::vector<double>& rates) = 0;
+
+  /// A request for `cls` was just pushed to queues[cls].
+  virtual void notify_arrival(ClassId cls) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Work still in progress (for drain diagnostics); default 0.
+  virtual std::size_t in_service() const = 0;
+};
+
+}  // namespace psd

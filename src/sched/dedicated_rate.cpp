@@ -1,0 +1,107 @@
+#include "sched/dedicated_rate.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+namespace {
+// A paused class (rate ~ 0) never completes; keep a tiny floor so the
+// completion time stays finite and the event heap stays sane.
+constexpr double kMinRate = 1e-9;
+}  // namespace
+
+DedicatedRateBackend::DedicatedRateBackend(RateChangePolicy policy)
+    : policy_(policy) {}
+
+void DedicatedRateBackend::attach(Simulator& sim,
+                                  std::vector<WaitingQueue>& queues,
+                                  double capacity, Rng /*rng*/,
+                                  CompletionFn on_complete) {
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  sim_ = &sim;
+  queues_ = &queues;
+  on_complete_ = std::move(on_complete);
+  const std::size_t n = queues.size();
+  slots_.resize(n);
+  // Until the allocator runs, split capacity evenly.
+  rates_.assign(n, capacity / static_cast<double>(n));
+}
+
+std::size_t DedicatedRateBackend::in_service() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += s.busy ? 1 : 0;
+  return n;
+}
+
+void DedicatedRateBackend::settle(ClassId cls) {
+  Slot& s = slots_[cls];
+  if (!s.busy) return;
+  const Time now = sim_->now();
+  s.remaining -= (now - s.last_settle) * rates_[cls];
+  if (s.remaining < 0.0) s.remaining = 0.0;
+  s.last_settle = now;
+}
+
+void DedicatedRateBackend::schedule_completion(ClassId cls) {
+  Slot& s = slots_[cls];
+  const double rate = std::max(rates_[cls], kMinRate);
+  const Duration left = s.remaining / rate;
+  s.completion = sim_->after(left, [this, cls] { complete(cls); });
+}
+
+void DedicatedRateBackend::set_rates(const std::vector<double>& rates) {
+  PSD_REQUIRE(rates.size() == rates_.size(), "rate vector size mismatch");
+  if (policy_ == RateChangePolicy::kFinishAtOldRate) {
+    // Idle classes adopt the new rate now; busy classes keep their current
+    // completion event and pick up the new rate at their next completion.
+    pending_rates_ = rates;
+    for (ClassId cls = 0; cls < rates.size(); ++cls) {
+      if (!slots_[cls].busy) rates_[cls] = rates[cls];
+    }
+    return;
+  }
+  for (ClassId cls = 0; cls < rates.size(); ++cls) {
+    settle(cls);
+    rates_[cls] = rates[cls];
+    if (slots_[cls].busy) {
+      slots_[cls].completion.cancel();
+      schedule_completion(cls);
+    }
+  }
+}
+
+void DedicatedRateBackend::notify_arrival(ClassId cls) {
+  if (!slots_[cls].busy) start_service(cls);
+}
+
+void DedicatedRateBackend::start_service(ClassId cls) {
+  auto& q = (*queues_)[cls];
+  if (q.empty()) return;
+  Slot& s = slots_[cls];
+  PSD_CHECK(!s.busy, "start_service on busy task server");
+  const Time now = sim_->now();
+  s.current = q.pop(now);
+  s.current.service_start = now;
+  s.remaining = s.current.size;
+  s.last_settle = now;
+  s.busy = true;
+  schedule_completion(cls);
+}
+
+void DedicatedRateBackend::complete(ClassId cls) {
+  Slot& s = slots_[cls];
+  PSD_CHECK(s.busy, "completion for idle task server");
+  const Time now = sim_->now();
+  Request done = std::move(s.current);
+  done.departure = now;
+  done.service_elapsed = now - done.service_start;
+  s.busy = false;
+  s.remaining = 0.0;
+  if (policy_ == RateChangePolicy::kFinishAtOldRate && !pending_rates_.empty()) {
+    rates_[cls] = pending_rates_[cls];
+  }
+  on_complete_(std::move(done));
+  start_service(cls);
+}
+
+}  // namespace psd

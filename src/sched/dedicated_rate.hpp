@@ -1,0 +1,56 @@
+// The paper's task-server model: each class owns a private fluid server of
+// rate r_i.  Strict partition — idle capacity of one class is NOT lent to
+// another (non-work-conserving), exactly matching the M/G_B/1-per-class
+// analysis of Theorem 1.
+//
+// Rate changes take effect immediately: the in-service request's remaining
+// work is settled at the old rate and its completion is rescheduled at the
+// new rate (RateChangePolicy::kRescaleRemaining, default).  The alternative
+// kFinishAtOldRate lets the current request finish untouched, applying the
+// new rate from the next request on.
+#pragma once
+
+#include "sched/backend.hpp"
+
+namespace psd {
+
+enum class RateChangePolicy { kRescaleRemaining, kFinishAtOldRate };
+
+class DedicatedRateBackend final : public SchedulerBackend {
+ public:
+  explicit DedicatedRateBackend(
+      RateChangePolicy policy = RateChangePolicy::kRescaleRemaining);
+
+  void attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+              double capacity, Rng rng, CompletionFn on_complete) override;
+  void set_rates(const std::vector<double>& rates) override;
+  void notify_arrival(ClassId cls) override;
+  std::string name() const override { return "dedicated-rate"; }
+  std::size_t in_service() const override;
+
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  struct Slot {
+    bool busy = false;
+    Request current;
+    Work remaining = 0.0;     ///< Work left at full capacity units.
+    Time last_settle = 0.0;   ///< Last time `remaining` was updated.
+    EventHandle completion;
+  };
+
+  void start_service(ClassId cls);
+  void settle(ClassId cls);
+  void schedule_completion(ClassId cls);
+  void complete(ClassId cls);
+
+  RateChangePolicy policy_;
+  Simulator* sim_ = nullptr;
+  std::vector<WaitingQueue>* queues_ = nullptr;
+  CompletionFn on_complete_;
+  std::vector<double> rates_;
+  std::vector<double> pending_rates_;  ///< kFinishAtOldRate: rates to adopt.
+  std::vector<Slot> slots_;
+};
+
+}  // namespace psd

@@ -1,0 +1,88 @@
+#include "sched/lottery.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+LotteryBackend::LotteryBackend(Duration quantum) : quantum_(quantum) {
+  PSD_REQUIRE(quantum > 0.0, "quantum must be positive");
+}
+
+void LotteryBackend::attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+                            double capacity, Rng rng,
+                            CompletionFn on_complete) {
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  sim_ = &sim;
+  queues_ = &queues;
+  capacity_ = capacity;
+  rng_ = rng;
+  on_complete_ = std::move(on_complete);
+  const std::size_t n = queues.size();
+  tickets_.assign(n, 1.0);
+  state_.resize(n);
+}
+
+void LotteryBackend::set_rates(const std::vector<double>& rates) {
+  PSD_REQUIRE(rates.size() == tickets_.size(), "rate vector size mismatch");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    tickets_[i] = std::max(rates[i], 0.0);
+  }
+}
+
+void LotteryBackend::notify_arrival(ClassId /*cls*/) {
+  if (!running_) draw_and_run();
+}
+
+void LotteryBackend::draw_and_run() {
+  // Collect backlogged classes (partial request parked or queue non-empty).
+  double total = 0.0;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i].has_partial || !(*queues_)[i].empty()) {
+      total += tickets_[i] > 0.0 ? tickets_[i] : 1e-12;
+    }
+  }
+  if (total <= 0.0) return;  // nothing backlogged
+
+  double pick = rng_.uniform01() * total;
+  std::size_t winner = state_.size();
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (!(state_[i].has_partial || !(*queues_)[i].empty())) continue;
+    const double t = tickets_[i] > 0.0 ? tickets_[i] : 1e-12;
+    winner = i;
+    if (pick < t) break;
+    pick -= t;
+  }
+  PSD_CHECK(winner < state_.size(), "lottery draw failed");
+
+  auto& st = state_[winner];
+  const Time now = sim_->now();
+  if (!st.has_partial) {
+    st.partial = (*queues_)[winner].pop(now);
+    st.partial.service_start = now;
+    st.remaining = st.partial.size;
+    st.has_partial = true;
+  }
+  const Duration need = st.remaining / capacity_;
+  const Duration ran = std::min(need, quantum_);
+  running_ = true;
+  const ClassId cls = static_cast<ClassId>(winner);
+  sim_->after_fast(ran, [this, cls, ran] { quantum_end(cls, ran); });
+}
+
+void LotteryBackend::quantum_end(ClassId cls, Duration ran) {
+  auto& st = state_[cls];
+  PSD_CHECK(st.has_partial, "quantum end without a running request");
+  st.remaining -= ran * capacity_;
+  st.partial.service_elapsed += ran;
+  running_ = false;
+  if (st.remaining <= 1e-12) {
+    Request done = std::move(st.partial);
+    done.departure = sim_->now();
+    st.has_partial = false;
+    st.remaining = 0.0;
+    on_complete_(std::move(done));
+  }
+  draw_and_run();
+}
+
+}  // namespace psd

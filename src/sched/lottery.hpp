@@ -1,0 +1,50 @@
+// Lottery scheduling (Waldspurger & Weihl, OSDI'94) over one shared
+// processor: at every quantum boundary a backlogged class is drawn with
+// probability proportional to its ticket count (= allocated rate), and its
+// head-of-line request runs at full capacity for one quantum (preempt-resume
+// at quantum grain).
+//
+// Proportional share holds in expectation; the quantum length trades
+// scheduling overhead against allocation variance (ablation A1).
+#pragma once
+
+#include "sched/backend.hpp"
+
+namespace psd {
+
+class LotteryBackend final : public SchedulerBackend {
+ public:
+  /// `quantum`: processor time slice per lottery draw (simulator time).
+  explicit LotteryBackend(Duration quantum);
+
+  void attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+              double capacity, Rng rng, CompletionFn on_complete) override;
+  void set_rates(const std::vector<double>& rates) override;
+  void notify_arrival(ClassId cls) override;
+  std::string name() const override { return "lottery"; }
+  std::size_t in_service() const override { return running_ ? 1 : 0; }
+
+  Duration quantum() const { return quantum_; }
+
+ private:
+  struct PerClass {
+    bool has_partial = false;  ///< A preempted request is parked here.
+    Request partial;
+    Work remaining = 0.0;
+  };
+
+  void draw_and_run();
+  void quantum_end(ClassId cls, Duration ran);
+
+  Duration quantum_;
+  Simulator* sim_ = nullptr;
+  std::vector<WaitingQueue>* queues_ = nullptr;
+  CompletionFn on_complete_;
+  double capacity_ = 1.0;
+  Rng rng_{0};
+  std::vector<double> tickets_;
+  std::vector<PerClass> state_;
+  bool running_ = false;
+};
+
+}  // namespace psd

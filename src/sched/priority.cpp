@@ -1,0 +1,124 @@
+#include "sched/priority.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+namespace {
+void require_deltas(const std::vector<double>& deltas) {
+  PSD_REQUIRE(!deltas.empty(), "need at least one delta");
+  for (double d : deltas) PSD_REQUIRE(d > 0.0, "deltas must be positive");
+}
+}  // namespace
+
+WtpPolicy::WtpPolicy(std::vector<double> deltas) : deltas_(std::move(deltas)) {
+  require_deltas(deltas_);
+}
+
+double WtpPolicy::score(ClassId cls, Duration hol_wait,
+                        double /*avg_delay*/) const {
+  return hol_wait / deltas_[cls];
+}
+
+PadPolicy::PadPolicy(std::vector<double> deltas) : deltas_(std::move(deltas)) {
+  require_deltas(deltas_);
+}
+
+double PadPolicy::score(ClassId cls, Duration /*hol_wait*/,
+                        double avg_delay) const {
+  // Serve the class whose normalized average delay is largest: it is the one
+  // furthest *behind* its proportional-delay target.
+  return avg_delay / deltas_[cls];
+}
+
+HpdPolicy::HpdPolicy(std::vector<double> deltas, double g)
+    : wtp_(deltas), pad_(std::move(deltas)), g_(g) {
+  PSD_REQUIRE(g >= 0.0 && g <= 1.0, "g must be in [0,1]");
+}
+
+double HpdPolicy::score(ClassId cls, Duration hol_wait, double avg_delay) const {
+  return g_ * wtp_.score(cls, hol_wait, avg_delay) +
+         (1.0 - g_) * pad_.score(cls, hol_wait, avg_delay);
+}
+
+StrictPolicy::StrictPolicy(std::size_t num_classes) : n_(num_classes) {
+  PSD_REQUIRE(num_classes > 0, "need at least one class");
+}
+
+double StrictPolicy::score(ClassId cls, Duration /*hol_wait*/,
+                           double /*avg_delay*/) const {
+  // Higher classes (smaller index) always dominate.
+  return static_cast<double>(n_ - cls);
+}
+
+PriorityBackend::PriorityBackend(std::unique_ptr<PriorityPolicy> policy)
+    : policy_(std::move(policy)) {
+  PSD_REQUIRE(policy_ != nullptr, "policy required");
+}
+
+void PriorityBackend::attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+                             double capacity, Rng /*rng*/,
+                             CompletionFn on_complete) {
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  sim_ = &sim;
+  queues_ = &queues;
+  capacity_ = capacity;
+  on_complete_ = std::move(on_complete);
+  delay_sum_.assign(queues.size(), 0.0);
+  delay_count_.assign(queues.size(), 0);
+}
+
+void PriorityBackend::set_rates(const std::vector<double>& /*rates*/) {
+  // Priority policies are rate-oblivious by design.
+}
+
+void PriorityBackend::notify_arrival(ClassId /*cls*/) {
+  if (!busy_) dispatch();
+}
+
+std::string PriorityBackend::name() const {
+  return "priority-" + policy_->name();
+}
+
+void PriorityBackend::dispatch() {
+  const Time now = sim_->now();
+  std::size_t best = queues_->size();
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < queues_->size(); ++i) {
+    auto& q = (*queues_)[i];
+    if (q.empty()) continue;
+    const Duration wait = now - q.front().arrival;
+    const double avg = delay_count_[i]
+                           ? delay_sum_[i] / static_cast<double>(delay_count_[i])
+                           : 0.0;
+    const double s = policy_->score(static_cast<ClassId>(i), wait, avg);
+    if (best == queues_->size() || s > best_score) {
+      best = i;
+      best_score = s;
+    }
+  }
+  if (best == queues_->size()) return;
+
+  busy_ = true;
+  current_ = (*queues_)[best].pop(now);
+  current_.service_start = now;
+  delay_sum_[best] += current_.delay();
+  ++delay_count_[best];
+  const Duration service = current_.size / capacity_;
+  sim_->after_fast(service, [this] { complete(); });
+}
+
+void PriorityBackend::complete() {
+  PSD_CHECK(busy_, "completion while idle");
+  const Time now = sim_->now();
+  Request done = std::move(current_);
+  done.departure = now;
+  done.service_elapsed = now - done.service_start;
+  busy_ = false;
+  on_complete_(std::move(done));
+  dispatch();
+}
+
+}  // namespace psd

@@ -1,0 +1,111 @@
+// Non-preemptive priority scheduling over one shared processor, hosting the
+// time-dependent-priority PDD baselines from the literature (Dovrolis et al.):
+//
+//   WTP (waiting-time priority):  p_i(t) = w_i(t) / delta_i, where w_i(t) is
+//       the head-of-line waiting time of class i;
+//   PAD (proportional average delay): p_i(t) = Dbar_i / delta_i, where Dbar_i
+//       is the running average queueing delay of class i's served requests —
+//       serve the class *furthest below* its proportional share, i.e. the
+//       one with minimum normalized average delay... (PAD serves the class
+//       whose normalized average delay is smallest relative to the target,
+//       implemented as maximizing the deficit);
+//   HPD (hybrid): g * WTP + (1 - g) * PAD.
+//
+// These schedulers differentiate *queueing delay*.  The paper's §5 argues
+// they cannot provide proportional *slowdown* differentiation because they
+// never look at service times; ablation A3 demonstrates that.
+#pragma once
+
+#include <memory>
+
+#include "sched/backend.hpp"
+
+namespace psd {
+
+/// Strategy for choosing which backlogged class to serve next.
+class PriorityPolicy {
+ public:
+  virtual ~PriorityPolicy() = default;
+
+  /// Score for a backlogged class; the largest score is served next.
+  /// `hol_wait` is the current waiting time of the class's oldest request;
+  /// `avg_delay` is the running mean queueing delay of completed requests.
+  virtual double score(ClassId cls, Duration hol_wait,
+                       double avg_delay) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class WtpPolicy final : public PriorityPolicy {
+ public:
+  explicit WtpPolicy(std::vector<double> deltas);
+  double score(ClassId cls, Duration hol_wait, double avg_delay) const override;
+  std::string name() const override { return "wtp"; }
+
+ private:
+  std::vector<double> deltas_;
+};
+
+class PadPolicy final : public PriorityPolicy {
+ public:
+  explicit PadPolicy(std::vector<double> deltas);
+  double score(ClassId cls, Duration hol_wait, double avg_delay) const override;
+  std::string name() const override { return "pad"; }
+
+ private:
+  std::vector<double> deltas_;
+};
+
+class HpdPolicy final : public PriorityPolicy {
+ public:
+  /// g in [0,1]: weight of the WTP term.
+  HpdPolicy(std::vector<double> deltas, double g);
+  double score(ClassId cls, Duration hol_wait, double avg_delay) const override;
+  std::string name() const override { return "hpd"; }
+
+ private:
+  WtpPolicy wtp_;
+  PadPolicy pad_;
+  double g_;
+};
+
+/// Strict priority: class 0 always first (the Almeida et al. scheme the paper
+/// cites as failing controllability).
+class StrictPolicy final : public PriorityPolicy {
+ public:
+  explicit StrictPolicy(std::size_t num_classes);
+  double score(ClassId cls, Duration hol_wait, double avg_delay) const override;
+  std::string name() const override { return "strict"; }
+
+ private:
+  std::size_t n_;
+};
+
+class PriorityBackend final : public SchedulerBackend {
+ public:
+  explicit PriorityBackend(std::unique_ptr<PriorityPolicy> policy);
+
+  void attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+              double capacity, Rng rng, CompletionFn on_complete) override;
+  void set_rates(const std::vector<double>& rates) override;  // ignored
+  void notify_arrival(ClassId cls) override;
+  std::string name() const override;
+  std::size_t in_service() const override { return busy_ ? 1 : 0; }
+
+ private:
+  void dispatch();
+  void complete();
+
+  std::unique_ptr<PriorityPolicy> policy_;
+  Simulator* sim_ = nullptr;
+  std::vector<WaitingQueue>* queues_ = nullptr;
+  CompletionFn on_complete_;
+  double capacity_ = 1.0;
+  bool busy_ = false;
+  Request current_;
+  // Running average queueing delay per class (for PAD/HPD).
+  std::vector<double> delay_sum_;
+  std::vector<std::uint64_t> delay_count_;
+};
+
+}  // namespace psd

@@ -1,0 +1,92 @@
+#include "sched/sfq.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+namespace {
+constexpr double kMinWeight = 1e-9;
+}
+
+void SfqBackend::attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+                        double capacity, Rng /*rng*/,
+                        CompletionFn on_complete) {
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  sim_ = &sim;
+  queues_ = &queues;
+  capacity_ = capacity;
+  on_complete_ = std::move(on_complete);
+  const std::size_t n = queues.size();
+  weights_.assign(n, 1.0 / static_cast<double>(n));
+  last_finish_.assign(n, 0.0);
+  hol_.resize(n);
+  hol_valid_.assign(n, false);
+}
+
+void SfqBackend::set_rates(const std::vector<double>& rates) {
+  PSD_REQUIRE(rates.size() == weights_.size(), "rate vector size mismatch");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    weights_[i] = std::max(rates[i], kMinWeight);
+  }
+}
+
+void SfqBackend::notify_arrival(ClassId cls) {
+  // Tag the head-of-line request if the class had none tagged yet.
+  if (!hol_valid_[cls] && !(*queues_)[cls].empty()) {
+    Tagged t;
+    t.req = (*queues_)[cls].pop(sim_->now());
+    t.start_tag = std::max(vtime_, last_finish_[cls]);
+    last_finish_[cls] = t.start_tag + t.req.size / weights_[cls];
+    hol_[cls] = std::move(t);
+    hol_valid_[cls] = true;
+  }
+  if (!busy_) dispatch();
+}
+
+void SfqBackend::dispatch() {
+  // Pick the tagged head-of-line request with minimum start tag.
+  std::size_t best = hol_.size();
+  for (std::size_t i = 0; i < hol_.size(); ++i) {
+    if (!hol_valid_[i]) continue;
+    if (best == hol_.size() || hol_[i].start_tag < hol_[best].start_tag) {
+      best = i;
+    }
+  }
+  if (best == hol_.size()) return;  // all idle
+
+  Tagged t = std::move(hol_[best]);
+  hol_valid_[best] = false;
+  vtime_ = t.start_tag;
+
+  // Promote the next queued request of that class to tagged HOL.
+  auto& q = (*queues_)[best];
+  if (!q.empty()) {
+    Tagged nt;
+    nt.req = q.pop(sim_->now());
+    nt.start_tag = std::max(vtime_, last_finish_[best]);
+    last_finish_[best] = nt.start_tag + nt.req.size / weights_[best];
+    hol_[best] = std::move(nt);
+    hol_valid_[best] = true;
+  }
+
+  busy_ = true;
+  current_ = std::move(t.req);
+  current_.service_start = sim_->now();
+  const Duration service = current_.size / capacity_;
+  sim_->after_fast(service, [this] { complete(); });
+}
+
+void SfqBackend::complete() {
+  PSD_CHECK(busy_, "completion while idle");
+  const Time now = sim_->now();
+  Request done = std::move(current_);
+  done.departure = now;
+  done.service_elapsed = now - done.service_start;
+  busy_ = false;
+  on_complete_(std::move(done));
+  dispatch();
+}
+
+}  // namespace psd

@@ -1,0 +1,55 @@
+// Start-time Fair Queueing (Goyal, Vin & Cheng 1996) — a practical
+// packet-by-packet approximation of GPS over one shared processor.
+//
+// Contrasts with the paper's strict-partition task servers: SFQ is
+// work-conserving (idle class capacity is redistributed), so achieved
+// per-class rates exceed the nominal allocation whenever some class is idle.
+// Ablation A1 measures how this distorts slowdown proportionality.
+//
+// Mechanics: request r of class i gets start tag S = max(V, F_i) and finish
+// tag F_i = S + size / w_i, where V is the start tag of the request in
+// service; the server picks the eligible head-of-line request with the
+// minimum start tag (ties by class index). Non-preemptive at request grain,
+// served at full capacity.
+#pragma once
+
+#include "sched/backend.hpp"
+
+namespace psd {
+
+class SfqBackend final : public SchedulerBackend {
+ public:
+  void attach(Simulator& sim, std::vector<WaitingQueue>& queues,
+              double capacity, Rng rng, CompletionFn on_complete) override;
+  void set_rates(const std::vector<double>& rates) override;
+  void notify_arrival(ClassId cls) override;
+  std::string name() const override { return "sfq"; }
+  std::size_t in_service() const override { return busy_ ? 1 : 0; }
+
+  double virtual_time() const { return vtime_; }
+
+ private:
+  struct Tagged {
+    Request req;
+    double start_tag = 0.0;
+  };
+
+  void dispatch();
+  void complete();
+
+  Simulator* sim_ = nullptr;
+  std::vector<WaitingQueue>* queues_ = nullptr;
+  CompletionFn on_complete_;
+  double capacity_ = 1.0;
+  std::vector<double> weights_;
+  std::vector<double> last_finish_;  ///< F_i per class.
+  // Tagged head-of-line view: tags are assigned when a request reaches the
+  // head of its class queue (FCFS within class preserves the SFQ order).
+  std::vector<Tagged> hol_;
+  std::vector<bool> hol_valid_;
+  bool busy_ = false;
+  Request current_;
+  double vtime_ = 0.0;
+};
+
+}  // namespace psd

@@ -1,0 +1,31 @@
+// Rate-allocation strategy interface (paper Fig. 1, "rate allocator").
+//
+// Called periodically with the load estimator's per-class arrival-rate
+// estimates; returns absolute per-class processing rates summing to the
+// server capacity.  The paper's eq.-17 strategy lives in src/core; static
+// baselines live in src/baselines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psd {
+
+class RateAllocator {
+ public:
+  virtual ~RateAllocator() = default;
+
+  /// `lambda_hat[i]`: estimated arrival rate of class i (>= 0; zero means the
+  /// estimator saw no arrivals).  Returns rates r with sum(r) == capacity.
+  virtual std::vector<double> allocate(
+      const std::vector<double>& lambda_hat) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Feedback hook: measured mean slowdown per class over the last window
+  /// (NaN where a class completed nothing).  Default: ignored.  The adaptive
+  /// extension (core/adaptive_psd) overrides this.
+  virtual void observe_slowdowns(const std::vector<double>& /*mean_sd*/) {}
+};
+
+}  // namespace psd

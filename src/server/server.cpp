@@ -1,0 +1,110 @@
+#include "server/server.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+Server::Server(Simulator& sim, const ServerConfig& cfg,
+               std::unique_ptr<SchedulerBackend> backend,
+               std::unique_ptr<RateAllocator> allocator, Rng rng)
+    : sim_(sim),
+      cfg_(cfg),
+      queues_(cfg.num_classes),
+      backend_(std::move(backend)),
+      allocator_(std::move(allocator)),
+      rejected_(cfg.num_classes, 0),
+      estimator_(cfg.num_classes,
+                 cfg.realloc_period > 0.0 ? cfg.realloc_period : 1.0,
+                 cfg.estimator_history),
+      offered_(cfg.num_classes,
+               cfg.realloc_period > 0.0 ? cfg.realloc_period : 1.0,
+               cfg.estimator_history),
+      metrics_(cfg.metrics) {
+  PSD_REQUIRE(cfg.num_classes > 0, "need at least one class");
+  PSD_REQUIRE(cfg.capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(backend_ != nullptr, "backend required");
+  PSD_REQUIRE(cfg.metrics.num_classes == cfg.num_classes,
+              "metrics class count mismatch");
+  if (cfg.realloc_period > 0.0) {
+    PSD_REQUIRE(allocator_ != nullptr,
+                "allocator required when reallocation is enabled");
+  }
+
+  backend_->attach(sim_, queues_, cfg.capacity, rng, [this](Request&& req) {
+    metrics_.on_complete(req);
+    if (observer_) observer_(req);
+  });
+
+  if (!cfg.initial_rates.empty()) {
+    PSD_REQUIRE(cfg.initial_rates.size() == cfg.num_classes,
+                "initial rate vector size mismatch");
+    const double total = std::accumulate(cfg.initial_rates.begin(),
+                                         cfg.initial_rates.end(), 0.0);
+    PSD_REQUIRE(total <= cfg.capacity * (1.0 + 1e-9),
+                "initial rates exceed capacity");
+    rates_ = cfg.initial_rates;
+  } else {
+    rates_.assign(cfg.num_classes,
+                  cfg.capacity / static_cast<double>(cfg.num_classes));
+  }
+  backend_->set_rates(rates_);
+}
+
+void Server::start(Time origin) {
+  if (cfg_.realloc_period <= 0.0) return;
+  realloc_ = std::make_unique<PeriodicProcess>(
+      sim_, cfg_.realloc_period, [this](Time t) { realloc_tick(t); });
+  realloc_->start(origin + cfg_.realloc_period);
+}
+
+void Server::set_admission(std::unique_ptr<AdmissionController> admission) {
+  admission_ = std::move(admission);
+}
+
+void Server::set_completion_observer(
+    std::function<void(const Request&)> observer) {
+  observer_ = std::move(observer);
+}
+
+std::uint64_t Server::rejected_total() const {
+  std::uint64_t n = 0;
+  for (auto r : rejected_) n += r;
+  return n;
+}
+
+void Server::submit(Request req) {
+  PSD_REQUIRE(req.cls < cfg_.num_classes, "class id out of range");
+  PSD_REQUIRE(req.size > 0.0, "request size must be positive");
+  ++submitted_;
+  // Offered-load estimator sees everything (so the admission gate keeps an
+  // accurate view of demand while shedding); the allocator's estimator only
+  // sees what was actually admitted into the queues.
+  offered_.on_arrival(req.cls, req.size);
+  if (admission_ != nullptr && !admission_->admit(req.cls)) {
+    ++rejected_[req.cls];
+    return;
+  }
+  estimator_.on_arrival(req.cls, req.size);
+  const ClassId cls = req.cls;
+  queues_[cls].push(std::move(req), sim_.now());
+  backend_->notify_arrival(cls);
+}
+
+void Server::realloc_tick(Time now) {
+  estimator_.roll(now);
+  offered_.roll(now);
+  if (admission_ != nullptr) {
+    admission_->update(offered_.lambda_estimate());
+  }
+  allocator_->observe_slowdowns(metrics_.last_window_slowdowns());
+  rates_ = allocator_->allocate(estimator_.lambda_estimate());
+  PSD_CHECK(rates_.size() == cfg_.num_classes, "allocator size mismatch");
+  backend_->set_rates(rates_);
+  ++reallocs_;
+}
+
+void Server::finalize() { metrics_.finalize(); }
+
+}  // namespace psd

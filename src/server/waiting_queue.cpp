@@ -1,0 +1,40 @@
+#include "server/waiting_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+void WaitingQueue::advance(Time now) {
+  if (now > last_change_) {
+    area_ += static_cast<double>(q_.size()) * (now - last_change_);
+    last_change_ = now;
+  }
+}
+
+void WaitingQueue::push(Request req, Time now) {
+  advance(now);
+  q_.push_back(std::move(req));
+  ++arrivals_;
+  max_depth_ = std::max(max_depth_, q_.size());
+}
+
+Request WaitingQueue::pop(Time now) {
+  PSD_CHECK(!q_.empty(), "pop from empty waiting queue");
+  advance(now);
+  Request r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+const Request& WaitingQueue::front() const {
+  PSD_CHECK(!q_.empty(), "front of empty waiting queue");
+  return q_.front();
+}
+
+double WaitingQueue::length_time_integral(Time now) const {
+  return area_ + static_cast<double>(q_.size()) * (now - last_change_);
+}
+
+}  // namespace psd

@@ -1,0 +1,43 @@
+// Per-class FCFS waiting queue with occupancy statistics.
+//
+// Tracks a time-weighted queue-length integral so tests can cross-check
+// Little's law (L = lambda W) against the analytic models.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "workload/request.hpp"
+
+namespace psd {
+
+class WaitingQueue {
+ public:
+  void push(Request req, Time now);
+
+  /// Pop the head-of-line request.  Precondition: !empty().
+  Request pop(Time now);
+
+  /// Head-of-line request without removing it.  Precondition: !empty().
+  const Request& front() const;
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  std::uint64_t total_arrivals() const { return arrivals_; }
+  std::size_t max_depth() const { return max_depth_; }
+
+  /// Integral of queue length over time up to `now` (finalize before reading).
+  double length_time_integral(Time now) const;
+
+ private:
+  void advance(Time now);
+
+  std::deque<Request> q_;
+  std::uint64_t arrivals_ = 0;
+  std::size_t max_depth_ = 0;
+  Time last_change_ = 0.0;
+  double area_ = 0.0;
+};
+
+}  // namespace psd

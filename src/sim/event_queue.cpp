@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+namespace {
+struct EntryGreater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    return a > b;
+  }
+};
+}  // namespace
+
+EventHandle EventQueue::schedule(Time t, EventFn fn) {
+  auto state = std::make_shared<bool>(false);
+  heap_.push_back(Entry{t, seq_++, std::move(fn), state});
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::schedule_fast(Time t, EventFn fn) {
+  heap_.push_back(Entry{t, seq_++, std::move(fn), nullptr});
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && heap_.front().cancelled && *heap_.front().cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const {
+  skip_cancelled();
+  return heap_.size();
+}
+
+Time EventQueue::next_time() const {
+  skip_cancelled();
+  return heap_.empty() ? kInf : heap_.front().time;
+}
+
+Time EventQueue::pop_and_run() {
+  skip_cancelled();
+  PSD_CHECK(!heap_.empty(), "pop from empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  if (e.cancelled) *e.cancelled = true;  // mark fired
+  e.fn();
+  return e.time;
+}
+
+}  // namespace psd

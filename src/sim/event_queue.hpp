@@ -1,0 +1,83 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap keyed on (time, sequence).  The sequence number makes
+// simultaneous events fire in schedule order, which keeps runs deterministic
+// — a property the replication harness relies on.
+// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+// when it reaches the top, which is O(1) amortized and avoids heap surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace psd {
+
+using EventFn = std::function<void()>;
+
+/// Shared token that lets a scheduler invalidate an event after the fact.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is still pending (not fired, not cancelled).
+  bool pending() const { return state_ && !*state_; }
+
+  /// Cancel; no-op if already fired or cancelled.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> s) : state_(std::move(s)) {}
+  std::shared_ptr<bool> state_;  ///< true == cancelled-or-fired.
+};
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t`; returns a cancellable handle.
+  EventHandle schedule(Time t, EventFn fn);
+
+  /// Cheap schedule without a cancellation token (hot path: arrivals).
+  void schedule_fast(Time t, EventFn fn);
+
+  /// True when no *pending* (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Number of heap entries still pending (skips cancelled top entries;
+  /// interior cancelled entries are counted until they surface).
+  std::size_t size() const;
+
+  /// Earliest pending event time; +inf when empty.
+  Time next_time() const;
+
+  /// Pop and run the earliest pending event; returns its time.
+  /// Precondition: !empty().
+  Time pop_and_run();
+
+  std::uint64_t scheduled_total() const { return seq_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;  ///< null for schedule_fast entries.
+
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  // Mutable: peeking prunes cancelled entries, which is observably const.
+  mutable std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace psd

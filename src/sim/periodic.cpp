@@ -1,0 +1,31 @@
+#include "sim/periodic.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, Duration period, TickFn on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+  PSD_REQUIRE(period > 0.0, "period must be positive");
+  PSD_REQUIRE(static_cast<bool>(on_tick_), "tick callback must be set");
+}
+
+void PeriodicProcess::start(Time first) {
+  stop();
+  stopped_ = false;
+  handle_ = sim_.at(first, [this, first] { fire(first); });
+}
+
+void PeriodicProcess::stop() {
+  stopped_ = true;
+  handle_.cancel();
+}
+
+void PeriodicProcess::fire(Time t) {
+  on_tick_(t);
+  if (stopped_) return;  // the callback itself may have called stop()
+  const Time next = t + period_;
+  handle_ = sim_.at(next, [this, next] { fire(next); });
+}
+
+}  // namespace psd

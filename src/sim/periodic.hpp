@@ -1,0 +1,42 @@
+// Periodic simulation process: fires a callback every `period` starting at
+// `first`.  Drives the paper's load-estimation windows and rate reallocation
+// ticks ("the processing rate was reallocated for every thousand time units").
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace psd {
+
+class PeriodicProcess {
+ public:
+  using TickFn = std::function<void(Time)>;
+
+  /// Does not start automatically; call start().
+  PeriodicProcess(Simulator& sim, Duration period, TickFn on_tick);
+  ~PeriodicProcess() { stop(); }
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Schedule the first tick at absolute time `first`.
+  void start(Time first);
+
+  /// Cancel any pending tick.
+  void stop();
+
+  bool running() const { return handle_.pending(); }
+  Duration period() const { return period_; }
+
+ private:
+  void fire(Time t);
+
+  Simulator& sim_;
+  Duration period_;
+  TickFn on_tick_;
+  EventHandle handle_;
+  bool stopped_ = true;  ///< Allows stop() from inside the tick callback.
+};
+
+}  // namespace psd

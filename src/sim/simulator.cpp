@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+EventHandle Simulator::at(Time t, EventFn fn) {
+  PSD_REQUIRE(t >= now_, "cannot schedule into the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventHandle Simulator::after(Duration d, EventFn fn) {
+  PSD_REQUIRE(d >= 0.0, "negative delay");
+  return queue_.schedule(now_ + d, std::move(fn));
+}
+
+void Simulator::at_fast(Time t, EventFn fn) {
+  PSD_REQUIRE(t >= now_, "cannot schedule into the past");
+  queue_.schedule_fast(t, std::move(fn));
+}
+
+void Simulator::after_fast(Duration d, EventFn fn) {
+  PSD_REQUIRE(d >= 0.0, "negative delay");
+  queue_.schedule_fast(now_ + d, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(Time horizon) {
+  std::uint64_t n = 0;
+  for (;;) {
+    const Time t = queue_.next_time();  // +inf when drained
+    if (t > horizon) break;
+    now_ = t;  // advance the clock BEFORE the event body runs
+    queue_.pop_and_run();
+    ++n;
+  }
+  if (now_ < horizon) now_ = horizon;
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  ++executed_;
+  return true;
+}
+
+}  // namespace psd

@@ -1,0 +1,47 @@
+// Discrete-event simulator: a clock plus the pending-event set.
+//
+// Single-threaded by design; parallelism lives one level up (independent
+// replications run on separate Simulator instances, one per thread).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace psd {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedule at absolute time t (>= now) with a cancellation handle.
+  EventHandle at(Time t, EventFn fn);
+
+  /// Schedule after a non-negative delay with a cancellation handle.
+  EventHandle after(Duration d, EventFn fn);
+
+  /// Handle-free variants for hot paths.
+  void at_fast(Time t, EventFn fn);
+  void after_fast(Duration d, EventFn fn);
+
+  /// Run until the event set drains or the clock would pass `horizon`.
+  /// Events exactly at the horizon are executed.  Returns events executed.
+  std::uint64_t run_until(Time horizon);
+
+  /// Run until the event set drains completely.
+  std::uint64_t run_all();
+
+  /// Execute exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  std::uint64_t events_executed() const { return executed_; }
+  bool idle() const { return queue_.empty(); }
+  const EventQueue& queue() const { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace psd

@@ -1,0 +1,43 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/ci.hpp"
+#include "stats/online.hpp"
+
+namespace psd {
+
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             std::size_t batches) {
+  PSD_REQUIRE(batches >= 2, "need at least two batches");
+  BatchMeansResult out;
+  if (observations.size() < batches) {
+    // Not enough data to batch; fall back to the plain mean, zero CI.
+    OnlineMoments m;
+    for (double x : observations) m.add(x);
+    out.mean = observations.empty() ? 0.0 : m.mean();
+    out.batches = observations.empty() ? 0 : 1;
+    out.per_batch = observations.size();
+    return out;
+  }
+  const std::size_t per_batch = observations.size() / batches;
+  const std::size_t skip = observations.size() - per_batch * batches;
+
+  std::vector<double> means;
+  means.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    OnlineMoments m;
+    const std::size_t begin = skip + b * per_batch;
+    for (std::size_t i = 0; i < per_batch; ++i) m.add(observations[begin + i]);
+    means.push_back(m.mean());
+  }
+  const auto ci = mean_confidence(means);
+  out.mean = ci.mean;
+  out.half_width = ci.half_width;
+  out.batches = batches;
+  out.per_batch = per_batch;
+  return out;
+}
+
+}  // namespace psd

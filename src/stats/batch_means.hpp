@@ -1,0 +1,25 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// Correlated within-run observations (consecutive slowdowns share queue
+// state) are grouped into B batches whose means are approximately i.i.d.;
+// the CI is then a t-interval over batch means.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psd {
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 95% CI half width; 0 when < 2 batches.
+  std::size_t batches = 0;
+  std::size_t per_batch = 0;
+};
+
+/// Split `observations` (in arrival order) into `batches` equal batches,
+/// discarding the remainder at the front (warmup-biased observations).
+BatchMeansResult batch_means(const std::vector<double>& observations,
+                             std::size_t batches = 20);
+
+}  // namespace psd

@@ -1,0 +1,35 @@
+#include "stats/ci.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "stats/online.hpp"
+
+namespace psd {
+
+double t_quantile_975(std::size_t df) {
+  // Standard two-sided 95% critical values, df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= kTable.size()) return kTable[df - 1];
+  return 1.96;
+}
+
+ConfidenceInterval mean_confidence(const std::vector<double>& samples) {
+  ConfidenceInterval ci;
+  OnlineMoments m;
+  for (double x : samples) m.add(x);
+  ci.n = samples.size();
+  if (ci.n == 0) return ci;
+  ci.mean = m.mean();
+  if (ci.n >= 2) {
+    const double se = m.stddev() / std::sqrt(static_cast<double>(ci.n));
+    ci.half_width = t_quantile_975(ci.n - 1) * se;
+  }
+  return ci;
+}
+
+}  // namespace psd

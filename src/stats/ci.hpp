@@ -1,0 +1,23 @@
+// Student-t confidence intervals for replication means.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psd {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t n = 0;
+};
+
+/// 95% two-sided t-interval on the mean of `samples`.
+/// half_width == 0 when fewer than two samples.
+ConfidenceInterval mean_confidence(const std::vector<double>& samples);
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom
+/// (exact table for df <= 30, normal limit 1.96 beyond).
+double t_quantile_975(std::size_t df);
+
+}  // namespace psd

@@ -1,0 +1,102 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : lo_(lo), min_seen_(kInf), max_seen_(-kInf) {
+  PSD_REQUIRE(lo > 0.0 && hi > lo, "LogHistogram needs 0 < lo < hi");
+  PSD_REQUIRE(bins_per_decade > 0, "bins_per_decade must be positive");
+  log_lo_ = std::log10(lo);
+  const double decades = std::log10(hi) - log_lo_;
+  const auto bins = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(bins_per_decade)));
+  log_step_ = decades / static_cast<double>(std::max<std::size_t>(bins, 1));
+  counts_.assign(std::max<std::size_t>(bins, 1), 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  min_seen_ = std::min(min_seen_, x);
+  max_seen_ = std::max(max_seen_, x);
+  if (!(x >= lo_)) {  // also catches NaN -> underflow
+    ++underflow_;
+    return;
+  }
+  const double pos = (std::log10(x) - log_lo_) / log_step_;
+  if (pos >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(pos)];
+}
+
+double LogHistogram::bin_lower(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i));
+}
+
+double LogHistogram::quantile(double q) const {
+  PSD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile in [0,1]");
+  if (total_ == 0) return kNaN;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return min_seen_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      const double lo_log = log_lo_ + log_step_ * static_cast<double>(i);
+      return std::pow(10.0, lo_log + frac * log_step_);
+    }
+    cum = next;
+  }
+  return max_seen_;
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), min_seen_(kInf), max_seen_(-kInf) {
+  PSD_REQUIRE(hi > lo, "LinearHistogram needs lo < hi");
+  PSD_REQUIRE(bins > 0, "bins must be positive");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void LinearHistogram::add(double x) {
+  ++total_;
+  min_seen_ = std::min(min_seen_, x);
+  max_seen_ = std::max(max_seen_, x);
+  if (!(x >= lo_)) {
+    ++underflow_;
+    return;
+  }
+  const double pos = (x - lo_) / width_;
+  if (pos >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(pos)];
+}
+
+double LinearHistogram::quantile(double q) const {
+  PSD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile in [0,1]");
+  if (total_ == 0) return kNaN;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return min_seen_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + width_ * (static_cast<double>(i) + frac);
+    }
+    cum = next;
+  }
+  return max_seen_;
+}
+
+}  // namespace psd

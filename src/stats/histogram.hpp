@@ -1,0 +1,54 @@
+// Fixed-layout histograms with quantile queries.
+//
+// LogHistogram matches the dynamic range of slowdown data (the paper plots
+// slowdowns on log axes spanning 1..1000); LinearHistogram serves bounded
+// quantities such as utilization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psd {
+
+/// Histogram with logarithmically spaced bins between lo and hi, plus
+/// underflow/overflow bins.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade = 20);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+
+  /// Linear-in-log interpolated quantile; NaN when empty.
+  double quantile(double q) const;
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  double bin_lower(std::size_t i) const;
+
+ private:
+  double lo_, log_lo_, log_step_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+  double min_seen_, max_seen_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Histogram with equal-width bins on [lo, hi].
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  double quantile(double q) const;
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+
+ private:
+  double lo_, width_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+  double min_seen_, max_seen_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace psd

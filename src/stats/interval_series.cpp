@@ -1,0 +1,52 @@
+#include "stats/interval_series.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+IntervalSeries::IntervalSeries(Time origin, Duration window)
+    : origin_(origin), window_(window), current_start_(origin) {
+  PSD_REQUIRE(window > 0.0, "window length must be positive");
+}
+
+void IntervalSeries::roll_to(Time t) {
+  while (t >= current_start_ + window_) {
+    IntervalStat s;
+    s.start = current_start_;
+    s.count = current_count_;
+    s.mean = current_count_ ? current_sum_ / static_cast<double>(current_count_)
+                            : 0.0;
+    s.max = current_count_ ? current_max_ : 0.0;
+    windows_.push_back(s);
+    current_start_ += window_;
+    current_count_ = 0;
+    current_sum_ = 0.0;
+    current_max_ = 0.0;
+  }
+}
+
+void IntervalSeries::add(Time t, double value) {
+  PSD_CHECK(!finalized_, "add() after finalize()");
+  if (t < current_start_) t = current_start_;  // clamp clock jitter
+  roll_to(t);
+  ++current_count_;
+  current_sum_ += value;
+  current_max_ = std::max(current_max_, value);
+}
+
+void IntervalSeries::finalize() {
+  if (finalized_) return;
+  if (current_count_ > 0) {
+    IntervalStat s;
+    s.start = current_start_;
+    s.count = current_count_;
+    s.mean = current_sum_ / static_cast<double>(current_count_);
+    s.max = current_max_;
+    windows_.push_back(s);
+  }
+  finalized_ = true;
+}
+
+}  // namespace psd

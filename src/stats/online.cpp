@@ -1,0 +1,66 @@
+#include "stats/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psd {
+
+void OnlineMoments::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double d = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += d * nb / n;
+  m2_ += other.m2_ + d * d * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineMoments::reset() { *this = OnlineMoments{}; }
+
+double OnlineMoments::mean() const { return n_ ? mean_ : kNaN; }
+
+double OnlineMoments::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : kNaN;
+}
+
+double OnlineMoments::variance_population() const {
+  return n_ ? m2_ / static_cast<double>(n_) : kNaN;
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+double OnlineMoments::min() const { return min_; }
+double OnlineMoments::max() const { return max_; }
+
+void WeightedMean::add(double value, double weight) {
+  if (weight <= 0.0) return;
+  w_ += weight;
+  mean_ += (value - mean_) * weight / w_;
+}
+
+void WeightedMean::merge(const WeightedMean& other) {
+  if (other.w_ <= 0.0) return;
+  add(other.mean_, other.w_);
+}
+
+void WeightedMean::reset() { *this = WeightedMean{}; }
+
+double WeightedMean::mean() const { return w_ > 0.0 ? mean_ : kNaN; }
+
+}  // namespace psd

@@ -1,0 +1,56 @@
+// Streaming moment accumulators (Welford / Chan parallel-merge form).
+//
+// Used for per-class slowdown statistics inside the simulator and for
+// replication-level aggregation in the experiment harness.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace psd {
+
+/// Count / mean / variance / extrema in a single pass, numerically stable.
+class OnlineMoments {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (Chan et al.); enables parallel reduction.
+  void merge(const OnlineMoments& other);
+
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;            ///< NaN when empty.
+  double variance() const;        ///< Unbiased sample variance; NaN when n < 2.
+  double variance_population() const;  ///< Biased (divide by n); NaN when empty.
+  double stddev() const;          ///< sqrt(variance()); NaN when n < 2.
+  double min() const;             ///< +inf when empty.
+  double max() const;             ///< -inf when empty.
+  double sum() const { return static_cast<double>(n_) * (n_ ? mean_ : 0.0); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = kInf;
+  double max_ = -kInf;
+};
+
+/// Weighted mean (e.g. the paper's "system slowdown": per-class slowdowns
+/// weighted by completed-request counts).
+class WeightedMean {
+ public:
+  void add(double value, double weight);
+  void merge(const WeightedMean& other);
+  void reset();
+
+  double mean() const;  ///< NaN when total weight is zero.
+  double weight() const { return w_; }
+
+ private:
+  double w_ = 0.0;
+  double mean_ = 0.0;
+};
+
+}  // namespace psd

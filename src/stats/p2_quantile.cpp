@@ -1,0 +1,104 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  PSD_REQUIRE(q > 0.0 && q < 1.0, "quantile must lie strictly in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::insert_sorted(double x) {
+  auto end = heights_.begin() + static_cast<std::ptrdiff_t>(n_);
+  auto pos = std::upper_bound(heights_.begin(), end, x);
+  std::copy_backward(pos, end, end + 1);
+  *pos = x;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    insert_sorted(x);
+    ++n_;
+    if (n_ == 5) {
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++n_;
+
+  // Locate the cell containing x and bump marker positions above it.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers with parabolic interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right = positions_[i + 1] - positions_[i];
+    const double left = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double hp = heights_[i + 1];
+      const double hm = heights_[i - 1];
+      const double h = heights_[i];
+      double candidate =
+          h + s / (right - left) *
+                  ((positions_[i] - positions_[i - 1] + s) * (hp - h) / right +
+                   (positions_[i + 1] - positions_[i] - s) * (h - hm) / -left);
+      if (!(hm < candidate && candidate < hp)) {
+        // Fall back to linear interpolation toward the chosen neighbour.
+        const int j = s > 0 ? i + 1 : i - 1;
+        candidate = h + s * (heights_[j] - h) /
+                            (positions_[j] - positions_[i]);
+      }
+      heights_[i] = candidate;
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return kNaN;
+  if (n_ < 5) {
+    // Exact quantile (nearest-rank with interpolation) over the sorted buffer.
+    const double idx = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, n_ - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return heights_[lo] * (1.0 - frac) + heights_[hi] * frac;
+  }
+  return heights_[2];
+}
+
+P2QuantileSet::P2QuantileSet(std::vector<double> quantiles) {
+  PSD_REQUIRE(!quantiles.empty(), "need at least one quantile");
+  estimators_.reserve(quantiles.size());
+  for (double q : quantiles) estimators_.emplace_back(q);
+}
+
+void P2QuantileSet::add(double x) {
+  for (auto& e : estimators_) e.add(x);
+}
+
+std::uint64_t P2QuantileSet::count() const {
+  return estimators_.front().count();
+}
+
+}  // namespace psd

@@ -1,0 +1,48 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+namespace {
+
+double interpolate_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return kNaN;
+  if (sorted.size() == 1) return sorted.front();
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double percentile_of(std::vector<double>& values, double q) {
+  PSD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile in [0,1]");
+  std::sort(values.begin(), values.end());
+  return interpolate_sorted(values, q);
+}
+
+double percentile_copy(const std::vector<double>& values, double q) {
+  auto copy = values;
+  return percentile_of(copy, q);
+}
+
+std::vector<double> percentiles_of(std::vector<double>& values,
+                                   const std::vector<double>& qs) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    PSD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile in [0,1]");
+    out.push_back(interpolate_sorted(values, q));
+  }
+  return out;
+}
+
+}  // namespace psd

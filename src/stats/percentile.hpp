@@ -1,0 +1,19 @@
+// Exact percentiles of in-memory samples.
+#pragma once
+
+#include <vector>
+
+namespace psd {
+
+/// q-quantile (q in [0,1]) with linear interpolation between order statistics.
+/// Sorts `values` in place; NaN when empty.
+double percentile_of(std::vector<double>& values, double q);
+
+/// Convenience: copies, then delegates to percentile_of.
+double percentile_copy(const std::vector<double>& values, double q);
+
+/// Several quantiles of one (already unsorted) sample; sorts once.
+std::vector<double> percentiles_of(std::vector<double>& values,
+                                   const std::vector<double>& qs);
+
+}  // namespace psd

@@ -1,0 +1,28 @@
+#include "stats/reservoir.hpp"
+
+#include "common/error.hpp"
+#include "stats/percentile.hpp"
+
+namespace psd {
+
+ReservoirSample::ReservoirSample(std::size_t capacity) : capacity_(capacity) {
+  PSD_REQUIRE(capacity > 0, "reservoir capacity must be positive");
+  values_.reserve(capacity);
+}
+
+void ReservoirSample::add(double x, Rng& rng) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = rng.below(seen_);
+  if (j < capacity_) values_[static_cast<std::size_t>(j)] = x;
+}
+
+double ReservoirSample::quantile(double q) const {
+  auto copy = values_;
+  return percentile_of(copy, q);
+}
+
+}  // namespace psd

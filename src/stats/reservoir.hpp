@@ -1,0 +1,33 @@
+// Uniform reservoir sampling (Vitter's Algorithm R).
+//
+// Keeps an unbiased fixed-size sample of an unbounded stream; used when a
+// bench needs exact quantiles of per-request slowdowns without retaining
+// millions of observations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace psd {
+
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(std::size_t capacity);
+
+  void add(double x, Rng& rng);
+
+  std::uint64_t seen() const { return seen_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Exact quantile over the retained sample (linear interpolation).
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace psd

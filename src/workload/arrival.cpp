@@ -1,0 +1,108 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  PSD_REQUIRE(rate > 0.0, "arrival rate must be positive");
+}
+
+Duration PoissonArrivals::next_interarrival(Rng& rng) {
+  return rng.exponential(rate_);
+}
+
+std::string PoissonArrivals::name() const {
+  std::ostringstream os;
+  os << "Poisson(rate=" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> PoissonArrivals::clone() const {
+  return std::make_unique<PoissonArrivals>(*this);
+}
+
+DeterministicArrivals::DeterministicArrivals(double rate) : rate_(rate) {
+  PSD_REQUIRE(rate > 0.0, "arrival rate must be positive");
+}
+
+Duration DeterministicArrivals::next_interarrival(Rng& /*rng*/) {
+  return 1.0 / rate_;
+}
+
+std::string DeterministicArrivals::name() const {
+  std::ostringstream os;
+  os << "Deterministic(rate=" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> DeterministicArrivals::clone() const {
+  return std::make_unique<DeterministicArrivals>(*this);
+}
+
+Mmpp2Arrivals::Mmpp2Arrivals(double rate_low, double rate_high,
+                             double switch_to_high, double switch_to_low)
+    : rate_low_(rate_low),
+      rate_high_(rate_high),
+      to_high_(switch_to_high),
+      to_low_(switch_to_low) {
+  PSD_REQUIRE(rate_low > 0.0 && rate_high > 0.0, "phase rates must be positive");
+  PSD_REQUIRE(switch_to_high > 0.0 && switch_to_low > 0.0,
+              "switching rates must be positive");
+}
+
+Duration Mmpp2Arrivals::next_interarrival(Rng& rng) {
+  // Competing exponentials: the next arrival in the current phase races the
+  // phase switch; phase changes accumulate into the interarrival gap.
+  Duration gap = 0.0;
+  for (;;) {
+    if (residual_phase_ <= 0.0) {
+      residual_phase_ = rng.exponential(high_ ? to_low_ : to_high_);
+    }
+    const double rate = high_ ? rate_high_ : rate_low_;
+    const Duration to_arrival = rng.exponential(rate);
+    if (to_arrival <= residual_phase_) {
+      residual_phase_ -= to_arrival;
+      return gap + to_arrival;
+    }
+    gap += residual_phase_;
+    residual_phase_ = 0.0;
+    high_ = !high_;
+  }
+}
+
+double Mmpp2Arrivals::mean_rate() const {
+  // Stationary phase probabilities of the two-state chain.
+  const double p_high = to_high_ / (to_high_ + to_low_);
+  return p_high * rate_high_ + (1.0 - p_high) * rate_low_;
+}
+
+std::string Mmpp2Arrivals::name() const {
+  std::ostringstream os;
+  os << "MMPP2(low=" << rate_low_ << ", high=" << rate_high_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ArrivalProcess> Mmpp2Arrivals::clone() const {
+  return std::make_unique<Mmpp2Arrivals>(*this);
+}
+
+std::unique_ptr<ArrivalProcess> make_bursty_arrivals(double mean_rate,
+                                                     double burstiness) {
+  PSD_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
+  PSD_REQUIRE(burstiness >= 1.0, "burstiness >= 1 (1 == plain Poisson)");
+  if (burstiness == 1.0) return std::make_unique<PoissonArrivals>(mean_rate);
+  // Symmetric two-phase chain: phases split time evenly, so the mean rate is
+  // (low + high) / 2; spread controlled by `burstiness` = high/mean.
+  const double high = burstiness * mean_rate;
+  const double low = std::max(2.0 * mean_rate - high, 0.05 * mean_rate);
+  // Renormalize so (low + high)/2 == mean_rate even after the floor.
+  const double scale = 2.0 * mean_rate / (low + high);
+  const double sw = mean_rate / 10.0;  // phases last ~10 mean interarrivals
+  return std::make_unique<Mmpp2Arrivals>(low * scale, high * scale, sw, sw);
+}
+
+}  // namespace psd

@@ -1,0 +1,83 @@
+// Arrival processes.
+//
+// The paper's traffic model is Poisson (the M in M/G_B/1); deterministic
+// arrivals support engine validation and the MMPP keeps a knob for bursty
+// extensions (§4.4 attributes estimation error to traffic burstiness).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Time until the next arrival (strictly positive).
+  virtual Duration next_interarrival(Rng& rng) = 0;
+
+  /// Long-run average arrival rate.
+  virtual double mean_rate() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
+};
+
+/// Poisson process: exponential i.i.d. interarrivals.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+
+  Duration next_interarrival(Rng& rng) override;
+  double mean_rate() const override { return rate_; }
+  std::string name() const override;
+  std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double rate_;
+};
+
+/// Deterministic arrivals with fixed spacing 1/rate.
+class DeterministicArrivals final : public ArrivalProcess {
+ public:
+  explicit DeterministicArrivals(double rate);
+
+  Duration next_interarrival(Rng& rng) override;
+  double mean_rate() const override { return rate_; }
+  std::string name() const override;
+  std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double rate_;
+};
+
+/// Two-state Markov-modulated Poisson process; the chain switches between a
+/// low-rate and a high-rate phase with exponential sojourns.  mean_rate() is
+/// the stationary-weighted average of the two phase rates.
+class Mmpp2Arrivals final : public ArrivalProcess {
+ public:
+  /// rate_low/rate_high: Poisson rates in each phase;
+  /// switch_to_high/switch_to_low: phase transition rates.
+  Mmpp2Arrivals(double rate_low, double rate_high, double switch_to_high,
+                double switch_to_low);
+
+  Duration next_interarrival(Rng& rng) override;
+  double mean_rate() const override;
+  std::string name() const override;
+  std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double rate_low_, rate_high_, to_high_, to_low_;
+  bool high_ = false;
+  Duration residual_phase_ = 0.0;  ///< Time left in the current phase.
+};
+
+/// Scale an MMPP-style burstiness profile to a target mean rate.
+std::unique_ptr<ArrivalProcess> make_bursty_arrivals(double mean_rate,
+                                                     double burstiness);
+
+}  // namespace psd

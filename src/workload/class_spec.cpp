@@ -1,0 +1,36 @@
+#include "workload/class_spec.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+std::vector<double> rates_for_load(double load, double capacity,
+                                   double mean_size,
+                                   const std::vector<double>& share) {
+  PSD_REQUIRE(load > 0.0, "load must be positive");
+  PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
+  PSD_REQUIRE(mean_size > 0.0, "mean size must be positive");
+  PSD_REQUIRE(!share.empty(), "need at least one class");
+  const double total = std::accumulate(share.begin(), share.end(), 0.0);
+  PSD_REQUIRE(std::abs(total - 1.0) < 1e-6, "load shares must sum to 1");
+  std::vector<double> rates(share.size());
+  for (std::size_t i = 0; i < share.size(); ++i) {
+    PSD_REQUIRE(share[i] > 0.0, "each class share must be positive");
+    rates[i] = share[i] * load * capacity / mean_size;
+  }
+  return rates;
+}
+
+std::vector<double> rates_for_equal_load(double load, double capacity,
+                                         double mean_size,
+                                         std::size_t num_classes) {
+  PSD_REQUIRE(num_classes > 0, "need at least one class");
+  const std::vector<double> share(num_classes,
+                                  1.0 / static_cast<double>(num_classes));
+  return rates_for_load(load, capacity, mean_size, share);
+}
+
+}  // namespace psd

@@ -1,0 +1,35 @@
+// Per-class workload specification and helpers that translate the paper's
+// experiment parameters ("system load X%, all classes share load equally")
+// into per-class arrival rates.
+#pragma once
+
+#include <vector>
+
+#include "dist/factory.hpp"
+
+namespace psd {
+
+enum class ArrivalKind { kPoisson, kDeterministic, kBursty };
+
+struct ClassSpec {
+  double delta = 1.0;       ///< Differentiation parameter (class 0 smallest).
+  double arrival_rate = 0;  ///< Mean arrivals per unit time.
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double burstiness = 1.0;  ///< Only for kBursty.
+  DistSpec size;            ///< Service-time distribution at full capacity.
+};
+
+/// Compute per-class Poisson rates so that class i contributes
+/// `share[i] * load * capacity` of utilization given mean size E[X].
+/// share must sum to 1 (within tolerance).
+std::vector<double> rates_for_load(double load, double capacity,
+                                   double mean_size,
+                                   const std::vector<double>& share);
+
+/// Equal-share convenience (the paper: "we assumed that all classes had the
+/// same load").
+std::vector<double> rates_for_equal_load(double load, double capacity,
+                                         double mean_size,
+                                         std::size_t num_classes);
+
+}  // namespace psd

@@ -1,0 +1,46 @@
+#include "workload/generator.hpp"
+
+#include "common/error.hpp"
+
+namespace psd {
+
+RequestGenerator::RequestGenerator(Simulator& sim, Rng rng, ClassId cls,
+                                   std::unique_ptr<ArrivalProcess> arrivals,
+                                   std::unique_ptr<SizeDistribution> sizes,
+                                   RequestSink& sink)
+    : sim_(sim),
+      rng_(rng),
+      cls_(cls),
+      arrivals_(std::move(arrivals)),
+      sizes_(std::move(sizes)),
+      sink_(sink) {
+  PSD_REQUIRE(arrivals_ != nullptr, "arrival process required");
+  PSD_REQUIRE(sizes_ != nullptr, "size distribution required");
+}
+
+void RequestGenerator::start(Time origin) {
+  stop();
+  const Duration gap = arrivals_->next_interarrival(rng_);
+  next_ = sim_.at(origin + gap, [this] { arrive(); });
+}
+
+void RequestGenerator::stop() { next_.cancel(); }
+
+void RequestGenerator::arrive() {
+  Request req;
+  // Encode the class in the top bits so ids are unique across generators.
+  req.id = (static_cast<RequestId>(cls_) << 48) | count_;
+  req.cls = cls_;
+  req.arrival = sim_.now();
+  req.size = sizes_->sample(rng_);
+  ++count_;
+  sink_.submit(req);
+  schedule_next();
+}
+
+void RequestGenerator::schedule_next() {
+  const Duration gap = arrivals_->next_interarrival(rng_);
+  next_ = sim_.at(sim_.now() + gap, [this] { arrive(); });
+}
+
+}  // namespace psd

@@ -1,0 +1,49 @@
+// Open-loop per-class request generator (paper Fig. 1, "request generators").
+//
+// Each generator owns an arrival process and a size distribution, creates
+// requests for exactly one class, and submits them to a RequestSink.
+#pragma once
+
+#include <memory>
+
+#include "dist/distribution.hpp"
+#include "sim/simulator.hpp"
+#include "workload/arrival.hpp"
+#include "workload/sink.hpp"
+
+namespace psd {
+
+class RequestGenerator {
+ public:
+  /// The generator does not own the sink; all other collaborators are owned.
+  RequestGenerator(Simulator& sim, Rng rng, ClassId cls,
+                   std::unique_ptr<ArrivalProcess> arrivals,
+                   std::unique_ptr<SizeDistribution> sizes, RequestSink& sink);
+
+  RequestGenerator(const RequestGenerator&) = delete;
+  RequestGenerator& operator=(const RequestGenerator&) = delete;
+
+  /// Schedule the first arrival (one interarrival after `origin`).
+  void start(Time origin);
+
+  /// Stop generating (pending arrival is cancelled).
+  void stop();
+
+  std::uint64_t generated() const { return count_; }
+  ClassId cls() const { return cls_; }
+
+ private:
+  void arrive();
+  void schedule_next();
+
+  Simulator& sim_;
+  Rng rng_;
+  ClassId cls_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  std::unique_ptr<SizeDistribution> sizes_;
+  RequestSink& sink_;
+  EventHandle next_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace psd

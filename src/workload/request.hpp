@@ -1,0 +1,27 @@
+// Request record flowing through the server.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace psd {
+
+struct Request {
+  RequestId id = 0;
+  ClassId cls = 0;
+  Time arrival = 0.0;        ///< Enqueue time at the server.
+  Work size = 0.0;           ///< Processing demand at full capacity.
+  Time service_start = -1.0; ///< First moment the request receives service.
+  Time departure = -1.0;     ///< Completion time.
+  Duration service_elapsed = 0.0;  ///< Total time spent receiving service.
+
+  /// Queueing delay: time between arrival and first service.
+  Duration delay() const { return service_start - arrival; }
+
+  /// Slowdown = queueing delay / actual service duration (paper's metric:
+  /// "the ratio of a request's queueing delay to its service time").
+  double slowdown() const { return delay() / service_elapsed; }
+
+  bool completed() const { return departure >= 0.0; }
+};
+
+}  // namespace psd

@@ -1,0 +1,146 @@
+#include "workload/session.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dist/mixture.hpp"
+
+namespace psd {
+
+SessionProfile SessionProfile::storefront(double session_rate) {
+  SessionProfile p;
+  p.session_rate = session_rate;
+  // State indices: 0 home, 1 browse, 2 search, 3 register, 4 buy.
+  // Class mapping: 0 = premium transaction path (register/buy),
+  //                1 = browsing path (home/browse/search).
+  p.states = {
+      {"home", 1, DistSpec::deterministic(0.2), 0.5, {0.0, 0.7, 0.2, 0.05, 0.0}},
+      {"browse", 1, DistSpec::bounded_pareto(1.5, 0.1, 50.0), 1.0,
+       {0.0, 0.45, 0.3, 0.1, 0.05}},
+      {"search", 1, DistSpec::bounded_pareto(1.5, 0.2, 80.0), 1.0,
+       {0.0, 0.4, 0.25, 0.1, 0.05}},
+      {"register", 0, DistSpec::deterministic(0.3), 0.5,
+       {0.0, 0.2, 0.1, 0.0, 0.6}},
+      {"buy", 0, DistSpec::deterministic(0.5), 0.5, {0.0, 0.15, 0.0, 0.0, 0.0}},
+  };
+  return p;
+}
+
+std::vector<double> SessionProfile::expected_visits() const {
+  const std::size_t n = states.size();
+  PSD_REQUIRE(n > 0, "profile has no states");
+  // v = e + P^T v  solved by damped fixed-point iteration; the chain is
+  // substochastic (every state leaks probability to "exit"), so the
+  // iteration converges geometrically.
+  std::vector<double> v(n, 0.0);
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::vector<double> next(n, 0.0);
+    next[entry_state] = 1.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      PSD_REQUIRE(states[s].next_prob.size() == n,
+                  "transition row size mismatch");
+      for (std::size_t t = 0; t < n; ++t) {
+        next[t] += v[s] * states[s].next_prob[t];
+      }
+    }
+    double diff = 0.0;
+    for (std::size_t s = 0; s < n; ++s) diff += std::abs(next[s] - v[s]);
+    v = std::move(next);
+    if (diff < 1e-13) break;
+  }
+  return v;
+}
+
+std::vector<double> SessionProfile::class_request_rates(
+    std::size_t num_classes) const {
+  const auto visits = expected_visits();
+  std::vector<double> rates(num_classes, 0.0);
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    PSD_REQUIRE(states[s].cls < num_classes, "state class out of range");
+    rates[states[s].cls] += session_rate * visits[s];
+  }
+  return rates;
+}
+
+std::vector<std::unique_ptr<SizeDistribution>> SessionProfile::class_mixtures(
+    std::size_t num_classes) const {
+  const auto visits = expected_visits();
+  std::vector<std::vector<Mixture::Component>> per_class(num_classes);
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    PSD_REQUIRE(states[s].cls < num_classes, "state class out of range");
+    if (visits[s] <= 0.0) continue;
+    per_class[states[s].cls].push_back(
+        Mixture::Component{visits[s], make_distribution(states[s].size)});
+  }
+  std::vector<std::unique_ptr<SizeDistribution>> out;
+  out.reserve(num_classes);
+  for (auto& comps : per_class) {
+    PSD_REQUIRE(!comps.empty(), "a class has no reachable states");
+    out.push_back(std::make_unique<Mixture>(std::move(comps)));
+  }
+  return out;
+}
+
+SessionWorkload::SessionWorkload(Simulator& sim, Rng rng,
+                                 SessionProfile profile, RequestSink& sink)
+    : sim_(sim), rng_(rng), profile_(std::move(profile)), sink_(sink) {
+  PSD_REQUIRE(!profile_.states.empty(), "profile has no states");
+  PSD_REQUIRE(profile_.entry_state < profile_.states.size(),
+              "entry state out of range");
+  PSD_REQUIRE(profile_.session_rate > 0.0, "session rate must be positive");
+  dists_.reserve(profile_.states.size());
+  for (const auto& st : profile_.states) {
+    double total = 0.0;
+    for (double q : st.next_prob) total += q;
+    PSD_REQUIRE(total <= 1.0 + 1e-9, "transition row exceeds probability 1");
+    dists_.push_back(make_distribution(st.size));
+  }
+}
+
+void SessionWorkload::start(Time origin) {
+  stopped_ = false;
+  const Duration gap = rng_.exponential(profile_.session_rate);
+  next_session_ = sim_.at(origin + gap, [this] { session_arrive(); });
+}
+
+void SessionWorkload::stop() {
+  stopped_ = true;
+  next_session_.cancel();
+}
+
+void SessionWorkload::schedule_next_session() {
+  const Duration gap = rng_.exponential(profile_.session_rate);
+  next_session_ = sim_.at(sim_.now() + gap, [this] { session_arrive(); });
+}
+
+void SessionWorkload::session_arrive() {
+  ++sessions_;
+  visit_state(profile_.entry_state);
+  schedule_next_session();
+}
+
+void SessionWorkload::visit_state(std::size_t state) {
+  if (stopped_) return;
+  const auto& st = profile_.states[state];
+  Request req;
+  req.id = (static_cast<RequestId>(st.cls) << 48) | requests_;
+  req.cls = st.cls;
+  req.arrival = sim_.now();
+  req.size = dists_[state]->sample(rng_);
+  ++requests_;
+  sink_.submit(req);
+
+  // Choose the next state (or end the session with the leftover mass).
+  double u = rng_.uniform01();
+  for (std::size_t t = 0; t < st.next_prob.size(); ++t) {
+    if (u < st.next_prob[t]) {
+      const Duration think = rng_.exponential(1.0 / st.think_mean);
+      sim_.after_fast(think, [this, t] { visit_state(t); });
+      return;
+    }
+    u -= st.next_prob[t];
+  }
+  // Session ends.
+}
+
+}  // namespace psd

@@ -1,0 +1,82 @@
+// Session-based e-commerce workload (paper §2.2).
+//
+// A session is "a sequence of requests of different types made by a single
+// customer during a single visit".  Sessions arrive as a Poisson stream; each
+// session walks a finite state machine (home → browse → search → register →
+// buy → exit); every visited state issues one request whose class and size
+// distribution are state-specific, separated by exponential think times.
+// States like "home entry" and "register" have near-constant service demand,
+// which is what motivates the paper's M/D/1 special case (eq. 15).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/sink.hpp"
+
+namespace psd {
+
+struct SessionState {
+  std::string label;
+  ClassId cls = 0;          ///< Service class of requests issued here.
+  DistSpec size;            ///< Request size distribution for this state.
+  double think_mean = 1.0;  ///< Mean exponential think time before next state.
+  /// Transition probabilities to each state; remaining mass = session ends.
+  std::vector<double> next_prob;
+};
+
+struct SessionProfile {
+  double session_rate = 0.1;  ///< Poisson arrival rate of new sessions.
+  std::size_t entry_state = 0;
+  std::vector<SessionState> states;
+
+  /// Canonical 5-state storefront used by examples/benches:
+  /// home(cls hi, det) → browse(BP) → search(BP) → register(det) → buy(det).
+  static SessionProfile storefront(double session_rate);
+
+  /// Expected number of visits to each state per session (absorbing-chain
+  /// solve); used to convert session rate into per-class request rates.
+  std::vector<double> expected_visits() const;
+
+  /// Long-run request arrival rate per class implied by the profile.
+  std::vector<double> class_request_rates(std::size_t num_classes) const;
+
+  /// Per-class service-time distribution: the visit-weighted mixture of the
+  /// state distributions mapped to each class.  Feeds the heterogeneous PSD
+  /// allocator.
+  std::vector<std::unique_ptr<SizeDistribution>> class_mixtures(
+      std::size_t num_classes) const;
+};
+
+/// Drives session arrivals and state walks, emitting requests into a sink.
+class SessionWorkload {
+ public:
+  SessionWorkload(Simulator& sim, Rng rng, SessionProfile profile,
+                  RequestSink& sink);
+
+  void start(Time origin);
+  void stop();
+
+  std::uint64_t sessions_started() const { return sessions_; }
+  std::uint64_t requests_issued() const { return requests_; }
+
+ private:
+  void session_arrive();
+  void visit_state(std::size_t state);
+  void schedule_next_session();
+
+  Simulator& sim_;
+  Rng rng_;
+  SessionProfile profile_;
+  RequestSink& sink_;
+  EventHandle next_session_;
+  std::vector<std::unique_ptr<SizeDistribution>> dists_;
+  bool stopped_ = false;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace psd

@@ -1,0 +1,15 @@
+// Consumer-side interface for generated requests; implemented by the server
+// runtime and by trace recorders.
+#pragma once
+
+#include "workload/request.hpp"
+
+namespace psd {
+
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual void submit(Request req) = 0;
+};
+
+}  // namespace psd

@@ -1,0 +1,67 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+void RecordingSink::submit(Request req) {
+  trace_.push_back(TraceEntry{req.arrival, req.cls, req.size});
+  if (downstream_ != nullptr) downstream_->submit(req);
+}
+
+TracePlayer::TracePlayer(Simulator& sim, Trace trace, RequestSink& sink)
+    : sim_(sim), trace_(std::move(trace)), sink_(sink) {
+  for (std::size_t i = 1; i < trace_.size(); ++i) {
+    PSD_REQUIRE(trace_[i].time >= trace_[i - 1].time,
+                "trace must be time-ordered");
+  }
+}
+
+void TracePlayer::start(Time origin) {
+  if (trace_.empty()) return;
+  const Time base = trace_.front().time;
+  RequestId id = 0;
+  for (const auto& e : trace_) {
+    const Time when = origin + (e.time - base);
+    const TraceEntry entry = e;
+    const RequestId rid = id++;
+    sim_.at_fast(when, [this, entry, when, rid] {
+      Request req;
+      req.id = (static_cast<RequestId>(entry.cls) << 48) | rid;
+      req.cls = entry.cls;
+      req.arrival = when;
+      req.size = entry.size;
+      sink_.submit(req);
+    });
+  }
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# time,class,size\n";
+  for (const auto& e : trace) {
+    os << e.time << ',' << e.cls << ',' << e.size << '\n';
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  Trace out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceEntry e;
+    char comma1 = 0, comma2 = 0;
+    ls >> e.time >> comma1 >> e.cls >> comma2 >> e.size;
+    PSD_REQUIRE(comma1 == ',' && comma2 == ',' && !ls.fail(),
+                "malformed trace line: " + line);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace psd

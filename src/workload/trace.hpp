@@ -1,0 +1,62 @@
+// Arrival-trace record and replay.
+//
+// A trace is a time-ordered list of (time, class, size) tuples.  Recording
+// wraps any RequestSink; replay feeds a recorded (or synthetic) trace back
+// into a server, enabling reproducible workload comparisons across
+// allocators (the same arrivals hit every policy).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/sink.hpp"
+
+namespace psd {
+
+struct TraceEntry {
+  Time time = 0.0;
+  ClassId cls = 0;
+  Work size = 0.0;
+};
+
+using Trace = std::vector<TraceEntry>;
+
+/// Tee: forwards every submitted request downstream and appends it to a trace.
+class RecordingSink final : public RequestSink {
+ public:
+  explicit RecordingSink(RequestSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  void submit(Request req) override;
+
+  const Trace& trace() const { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+
+ private:
+  RequestSink* downstream_;
+  Trace trace_;
+};
+
+/// Schedules every trace entry as a future submission into a sink.
+class TracePlayer {
+ public:
+  TracePlayer(Simulator& sim, Trace trace, RequestSink& sink);
+
+  /// Schedule all entries, shifted so the first entry fires at `origin` +
+  /// its recorded offset from the trace start.
+  void start(Time origin);
+
+  std::size_t size() const { return trace_.size(); }
+
+ private:
+  Simulator& sim_;
+  Trace trace_;
+  RequestSink& sink_;
+};
+
+/// CSV round-trip: "time,class,size" per line, '#' comments allowed.
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+}  // namespace psd

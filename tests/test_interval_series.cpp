@@ -1,0 +1,93 @@
+// IntervalSeries: the per-1000-tu windowing that underlies Figs. 5-8.
+#include <gtest/gtest.h>
+
+#include "stats/interval_series.hpp"
+
+namespace psd {
+namespace {
+
+TEST(IntervalSeries, RejectsNonPositiveWindow) {
+  EXPECT_THROW(IntervalSeries(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(IntervalSeries(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(IntervalSeries, SingleWindowMean) {
+  IntervalSeries s(0.0, 10.0);
+  s.add(1.0, 2.0);
+  s.add(2.0, 4.0);
+  s.finalize();
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_EQ(s.windows()[0].count, 2u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.windows()[0].max, 4.0);
+  EXPECT_DOUBLE_EQ(s.windows()[0].start, 0.0);
+}
+
+TEST(IntervalSeries, RollsAcrossWindows) {
+  IntervalSeries s(0.0, 10.0);
+  s.add(5.0, 1.0);
+  s.add(15.0, 3.0);
+  s.add(25.0, 5.0);
+  s.finalize();
+  ASSERT_EQ(s.windows().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.windows()[1].mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.windows()[2].mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.windows()[1].start, 10.0);
+}
+
+TEST(IntervalSeries, EmptyGapWindowsAreRecorded) {
+  IntervalSeries s(0.0, 1.0);
+  s.add(0.5, 1.0);
+  s.add(4.5, 2.0);  // windows 1,2,3 are empty
+  s.finalize();
+  ASSERT_EQ(s.windows().size(), 5u);
+  EXPECT_EQ(s.windows()[1].count, 0u);
+  EXPECT_EQ(s.windows()[2].count, 0u);
+  EXPECT_EQ(s.windows()[3].count, 0u);
+  EXPECT_EQ(s.windows()[4].count, 1u);
+}
+
+TEST(IntervalSeries, NonZeroOrigin) {
+  IntervalSeries s(100.0, 50.0);
+  s.add(120.0, 7.0);
+  s.add(160.0, 9.0);
+  s.finalize();
+  ASSERT_EQ(s.windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].start, 100.0);
+  EXPECT_DOUBLE_EQ(s.windows()[1].start, 150.0);
+}
+
+TEST(IntervalSeries, BoundaryObservationGoesToNextWindow) {
+  IntervalSeries s(0.0, 10.0);
+  s.add(10.0, 5.0);  // exactly at the boundary -> second window
+  s.finalize();
+  ASSERT_EQ(s.windows().size(), 2u);
+  EXPECT_EQ(s.windows()[0].count, 0u);
+  EXPECT_EQ(s.windows()[1].count, 1u);
+}
+
+TEST(IntervalSeries, FinalizeIsIdempotent) {
+  IntervalSeries s(0.0, 10.0);
+  s.add(1.0, 1.0);
+  s.finalize();
+  s.finalize();
+  EXPECT_EQ(s.windows().size(), 1u);
+}
+
+TEST(IntervalSeries, AddAfterFinalizeThrows) {
+  IntervalSeries s(0.0, 10.0);
+  s.finalize();
+  EXPECT_THROW(s.add(1.0, 1.0), std::logic_error);
+}
+
+TEST(IntervalSeries, ClampsSlightClockJitterBeforeOrigin) {
+  IntervalSeries s(10.0, 10.0);
+  s.add(9.9999, 1.0);  // clamped into the first window
+  s.finalize();
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_EQ(s.windows()[0].count, 1u);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,101 @@
+// Load estimator: the paper's five-window moving average, cold start, and
+// per-class bookkeeping.
+#include <gtest/gtest.h>
+
+#include "server/load_estimator.hpp"
+
+namespace psd {
+namespace {
+
+TEST(LoadEstimator, RejectsBadConstruction) {
+  EXPECT_THROW(LoadEstimator(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LoadEstimator(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(LoadEstimator(2, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LoadEstimator, ColdStartEstimatesZero) {
+  LoadEstimator est(2, 1000.0);
+  EXPECT_FALSE(est.warm());
+  const auto l = est.lambda_estimate();
+  EXPECT_DOUBLE_EQ(l[0], 0.0);
+  EXPECT_DOUBLE_EQ(l[1], 0.0);
+}
+
+TEST(LoadEstimator, SingleWindowRate) {
+  LoadEstimator est(2, 1000.0);
+  for (int i = 0; i < 500; ++i) est.on_arrival(0, 1.0);
+  for (int i = 0; i < 100; ++i) est.on_arrival(1, 2.0);
+  est.roll(1000.0);
+  EXPECT_TRUE(est.warm());
+  const auto l = est.lambda_estimate();
+  EXPECT_DOUBLE_EQ(l[0], 0.5);
+  EXPECT_DOUBLE_EQ(l[1], 0.1);
+  const auto w = est.work_rate_estimate();
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.2);
+}
+
+TEST(LoadEstimator, MovingAverageOverHistory) {
+  // Paper: "the load for next thousand time units was the average load in
+  // past five thousand time units."
+  LoadEstimator est(1, 1000.0, 5);
+  double t = 0.0;
+  // Six windows with arrival counts 100, 200, 300, 400, 500, 600.
+  for (int w = 1; w <= 6; ++w) {
+    for (int i = 0; i < 100 * w; ++i) est.on_arrival(0, 1.0);
+    t += 1000.0;
+    est.roll(t);
+  }
+  // Only the last five windows (200..600) count: mean rate = 400/1000.
+  EXPECT_DOUBLE_EQ(est.lambda_estimate()[0], 0.4);
+  EXPECT_EQ(est.windows_closed(), 6u);
+}
+
+TEST(LoadEstimator, PartialHistoryAveragesWhatExists) {
+  LoadEstimator est(1, 1000.0, 5);
+  for (int i = 0; i < 300; ++i) est.on_arrival(0, 1.0);
+  est.roll(1000.0);
+  for (int i = 0; i < 100; ++i) est.on_arrival(0, 1.0);
+  est.roll(2000.0);
+  EXPECT_DOUBLE_EQ(est.lambda_estimate()[0], 0.2);
+}
+
+TEST(LoadEstimator, ZeroArrivalWindowDilutesEstimate) {
+  LoadEstimator est(1, 1000.0, 5);
+  for (int i = 0; i < 400; ++i) est.on_arrival(0, 1.0);
+  est.roll(1000.0);
+  est.roll(2000.0);  // empty window
+  EXPECT_DOUBLE_EQ(est.lambda_estimate()[0], 0.2);
+}
+
+TEST(LoadEstimator, IrregularWindowLengthsWeightedByTime) {
+  LoadEstimator est(1, 1000.0, 5);
+  for (int i = 0; i < 100; ++i) est.on_arrival(0, 1.0);
+  est.roll(500.0);  // 0.2 arrivals / time over 500
+  for (int i = 0; i < 300; ++i) est.on_arrival(0, 1.0);
+  est.roll(2000.0);  // 0.2 over 1500
+  EXPECT_DOUBLE_EQ(est.lambda_estimate()[0], 0.2);
+}
+
+TEST(LoadEstimator, ClassIsolation) {
+  LoadEstimator est(3, 100.0);
+  est.on_arrival(1, 5.0);
+  est.roll(100.0);
+  const auto l = est.lambda_estimate();
+  EXPECT_DOUBLE_EQ(l[0], 0.0);
+  EXPECT_DOUBLE_EQ(l[1], 0.01);
+  EXPECT_DOUBLE_EQ(l[2], 0.0);
+}
+
+TEST(LoadEstimator, RejectsOutOfRangeClass) {
+  LoadEstimator est(2, 100.0);
+  EXPECT_THROW(est.on_arrival(2, 1.0), std::invalid_argument);
+}
+
+TEST(LoadEstimator, RollWithoutElapsedTimeThrows) {
+  LoadEstimator est(1, 100.0);
+  EXPECT_THROW(est.roll(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,104 @@
+// Numeric helpers: compensated summation, grids, adaptive quadrature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/math.hpp"
+
+namespace psd {
+namespace {
+
+TEST(KahanSum, ExactForSmallSums) {
+  KahanSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+}
+
+TEST(KahanSum, CompensatesCatastrophicCancellation) {
+  KahanSum s;
+  s.add(1.0);
+  for (int i = 0; i < 10000000; ++i) s.add(1e-16);
+  // Naive summation would lose the small terms entirely.
+  EXPECT_NEAR(s.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(KahanSum, ResetClearsState) {
+  KahanSum s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(AlmostEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1e9, 1e9 * (1 + 1e-10)));
+  EXPECT_TRUE(almost_equal(0.0, 1e-12));
+}
+
+TEST(RelativeError, AgainstReference) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 10.0), 0.0);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto g = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(g.size(), 11u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_NEAR(g[i] - g[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(Linspace, RejectsDegenerate) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Logspace, EndpointsAndGeometricSpacing) {
+  const auto g = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_DOUBLE_EQ(g.front(), 1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1000.0);
+  EXPECT_NEAR(g[1], 10.0, 1e-9);
+  EXPECT_NEAR(g[2], 100.0, 1e-9);
+}
+
+TEST(Logspace, RejectsNonPositive) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(-1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Integrate, Polynomial) {
+  const double v = integrate([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 8.0, 1e-9);
+}
+
+TEST(Integrate, SineOverHalfPeriod) {
+  const double v =
+      integrate([](double x) { return std::sin(x); }, 0.0, std::numbers::pi);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(Integrate, SteepIntegrand) {
+  // x^{-2.5} over [0.1, 100]: the Bounded Pareto inverse-moment shape.
+  const double v =
+      integrate([](double x) { return std::pow(x, -2.5); }, 0.1, 100.0);
+  const double exact = (std::pow(0.1, -1.5) - std::pow(100.0, -1.5)) / 1.5;
+  EXPECT_NEAR(v, exact, 1e-7 * exact);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 1.0; }, 3.0, 3.0), 0.0);
+}
+
+TEST(Integrate, RejectsInvertedBounds) {
+  EXPECT_THROW(integrate([](double) { return 1.0; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psd

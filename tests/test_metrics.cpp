@@ -1,0 +1,111 @@
+// MetricsCollector: warmup cutoff, per-window series, recording, weighting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "server/metrics.hpp"
+
+namespace psd {
+namespace {
+
+Request completed_req(ClassId cls, Time arrival, Time start, Time depart) {
+  Request r;
+  r.cls = cls;
+  r.arrival = arrival;
+  r.service_start = start;
+  r.departure = depart;
+  r.service_elapsed = depart - start;
+  return r;
+}
+
+MetricsConfig base_cfg() {
+  MetricsConfig c;
+  c.num_classes = 2;
+  c.warmup_end = 100.0;
+  c.window = 50.0;
+  return c;
+}
+
+TEST(Metrics, WarmupCompletionsIgnored) {
+  MetricsCollector m(base_cfg());
+  m.on_complete(completed_req(0, 10.0, 20.0, 30.0));  // before warmup end
+  EXPECT_EQ(m.completed(0), 0u);
+  m.on_complete(completed_req(0, 90.0, 100.0, 110.0));  // departs after
+  EXPECT_EQ(m.completed(0), 1u);
+}
+
+TEST(Metrics, SlowdownAndDelayMoments) {
+  MetricsCollector m(base_cfg());
+  // delay 8, service 2 -> slowdown 4.
+  m.on_complete(completed_req(0, 100.0, 108.0, 110.0));
+  // delay 1, service 1 -> slowdown 1.
+  m.on_complete(completed_req(0, 110.0, 111.0, 112.0));
+  EXPECT_DOUBLE_EQ(m.slowdown(0).mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.delay(0).mean(), 4.5);
+  EXPECT_DOUBLE_EQ(m.service(0).mean(), 1.5);
+}
+
+TEST(Metrics, SystemSlowdownIsCompletionWeighted) {
+  MetricsCollector m(base_cfg());
+  // class 0: two completions with slowdown 1.
+  m.on_complete(completed_req(0, 100.0, 101.0, 102.0));
+  m.on_complete(completed_req(0, 102.0, 103.0, 104.0));
+  // class 1: one completion with slowdown 4 (delay 4, service 1).
+  m.on_complete(completed_req(1, 104.0, 108.0, 109.0));
+  EXPECT_DOUBLE_EQ(m.system_slowdown(), (1.0 * 2 + 4.0 * 1) / 3.0);
+  EXPECT_EQ(m.completed_total(), 3u);
+}
+
+TEST(Metrics, WindowSeriesRollsAtWindowLength) {
+  MetricsCollector m(base_cfg());  // windows of 50 starting at 100
+  m.on_complete(completed_req(0, 100.0, 110.0, 120.0));  // window 0
+  m.on_complete(completed_req(0, 120.0, 130.0, 160.0));  // window 1
+  m.on_complete(completed_req(0, 160.0, 170.0, 210.0));  // window 2
+  m.finalize();
+  const auto& w = m.windows(0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].start, 100.0);
+  EXPECT_EQ(w[0].count, 1u);
+  EXPECT_DOUBLE_EQ(w[1].start, 150.0);
+}
+
+TEST(Metrics, RecordingWindowFilter) {
+  auto cfg = base_cfg();
+  cfg.record_requests = true;
+  cfg.record_from = 200.0;
+  cfg.record_to = 300.0;
+  MetricsCollector m(cfg);
+  m.on_complete(completed_req(0, 150.0, 160.0, 170.0));  // outside
+  m.on_complete(completed_req(1, 200.0, 210.0, 250.0));  // inside
+  m.on_complete(completed_req(0, 290.0, 295.0, 300.0));  // at upper edge: out
+  ASSERT_EQ(m.records().size(), 1u);
+  EXPECT_EQ(m.records()[0].cls, 1u);
+}
+
+TEST(Metrics, LastWindowSlowdownsNaNWhenSilent) {
+  MetricsCollector m(base_cfg());
+  m.on_complete(completed_req(0, 100.0, 110.0, 120.0));
+  // Window for class 0 still open, class 1 never completed anything.
+  m.on_complete(completed_req(0, 140.0, 150.0, 160.0));  // closes window 0
+  const auto sd = m.last_window_slowdowns();
+  EXPECT_FALSE(std::isnan(sd[0]));
+  EXPECT_TRUE(std::isnan(sd[1]));
+}
+
+TEST(Metrics, RejectsBadInput) {
+  MetricsCollector m(base_cfg());
+  EXPECT_THROW(m.on_complete(completed_req(5, 100.0, 101.0, 102.0)),
+               std::invalid_argument);
+  Request incomplete;
+  incomplete.cls = 0;
+  EXPECT_THROW(m.on_complete(incomplete), std::logic_error);
+}
+
+TEST(Metrics, ZeroDelayRequestsHaveZeroSlowdown) {
+  MetricsCollector m(base_cfg());
+  m.on_complete(completed_req(0, 100.0, 100.0, 105.0));
+  EXPECT_DOUBLE_EQ(m.slowdown(0).mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace psd

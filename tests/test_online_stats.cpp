@@ -1,0 +1,124 @@
+// OnlineMoments / WeightedMean: correctness against direct computation,
+// merge semantics, numerical stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/online.hpp"
+
+namespace psd {
+namespace {
+
+TEST(OnlineMoments, EmptyStateIsNeutral) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_TRUE(std::isnan(m.mean()));
+  EXPECT_TRUE(std::isnan(m.variance()));
+  EXPECT_TRUE(std::isinf(m.min()));
+  EXPECT_TRUE(std::isinf(m.max()));
+}
+
+TEST(OnlineMoments, SingleValue) {
+  OnlineMoments m;
+  m.add(3.5);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.5);
+  EXPECT_TRUE(std::isnan(m.variance()));  // undefined for n < 2
+  EXPECT_DOUBLE_EQ(m.min(), 3.5);
+  EXPECT_DOUBLE_EQ(m.max(), 3.5);
+}
+
+TEST(OnlineMoments, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineMoments m;
+  for (double x : xs) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance_population(), 4.0);
+  EXPECT_NEAR(m.variance(), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 40.0);
+}
+
+TEST(OnlineMoments, MergeEqualsSequential) {
+  Rng rng(21);
+  OnlineMoments whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineMoments, MergeWithEmptyIsIdentity) {
+  OnlineMoments a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  OnlineMoments b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(OnlineMoments, StableUnderLargeOffset) {
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  OnlineMoments m;
+  for (int i = 0; i < 1000; ++i) m.add(1e9 + (i % 2));
+  EXPECT_NEAR(m.variance_population(), 0.25, 1e-6);
+}
+
+TEST(OnlineMoments, ResetRestoresEmpty) {
+  OnlineMoments m;
+  m.add(1.0);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_TRUE(std::isnan(m.mean()));
+}
+
+TEST(WeightedMean, BasicWeighting) {
+  WeightedMean wm;
+  wm.add(10.0, 1.0);
+  wm.add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(wm.mean(), 17.5);
+  EXPECT_DOUBLE_EQ(wm.weight(), 4.0);
+}
+
+TEST(WeightedMean, ZeroWeightIgnored) {
+  WeightedMean wm;
+  wm.add(10.0, 1.0);
+  wm.add(1e9, 0.0);
+  EXPECT_DOUBLE_EQ(wm.mean(), 10.0);
+}
+
+TEST(WeightedMean, EmptyIsNaN) {
+  WeightedMean wm;
+  EXPECT_TRUE(std::isnan(wm.mean()));
+}
+
+TEST(WeightedMean, MergeMatchesCombined) {
+  WeightedMean a, b, whole;
+  a.add(1.0, 2.0);
+  a.add(3.0, 1.0);
+  b.add(10.0, 5.0);
+  whole.add(1.0, 2.0);
+  whole.add(3.0, 1.0);
+  whole.add(10.0, 5.0);
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.weight(), whole.weight());
+}
+
+}  // namespace
+}  // namespace psd

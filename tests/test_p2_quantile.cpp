@@ -1,0 +1,108 @@
+// P² streaming quantile estimator vs exact percentiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/percentile.hpp"
+
+namespace psd {
+namespace {
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, EmptyIsNaN) {
+  P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.value()));
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  q.add(5.0);
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);  // median of {1, 5}
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);  // median of {1, 3, 5}
+}
+
+// Parameterized over (quantile, distribution shape): the estimator must stay
+// within a few percent of the exact sample quantile.
+class P2Accuracy : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(P2Accuracy, TracksExactQuantile) {
+  const double q = std::get<0>(GetParam());
+  const int shape = std::get<1>(GetParam());
+  Rng rng(1234 + shape);
+  P2Quantile est(q);
+  std::vector<double> all;
+  all.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    double x = 0;
+    switch (shape) {
+      case 0: x = rng.uniform01(); break;
+      case 1: x = rng.exponential(1.0); break;
+      case 2: {  // heavy-tailed: the regime the library actually faces
+        BoundedPareto bp(1.5, 0.1, 100.0);
+        x = bp.sample(rng);
+        break;
+      }
+      default: x = rng.uniform(5, 6);
+    }
+    est.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile_of(all, q);
+  // Relative tolerance loosened for extreme quantiles of heavy tails.
+  const double tol = (shape == 2 ? 0.15 : 0.05) * std::max(exact, 0.05);
+  EXPECT_NEAR(est.value(), exact, tol)
+      << "q=" << q << " shape=" << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantileSweep, P2Accuracy,
+    ::testing::Combine(::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(P2QuantileSet, TracksMultipleQuantiles) {
+  Rng rng(7);
+  P2QuantileSet set({0.05, 0.5, 0.95});
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(2.0);
+    set.add(x);
+    all.push_back(x);
+  }
+  const auto exact = percentiles_of(all, {0.05, 0.5, 0.95});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(set.value(i), exact[i], 0.05 * std::max(exact[i], 0.05));
+  }
+  EXPECT_EQ(set.count(), 20000u);
+}
+
+TEST(P2QuantileSet, RejectsEmpty) {
+  EXPECT_THROW(P2QuantileSet({}), std::invalid_argument);
+}
+
+TEST(P2Quantile, MonotoneDataConverges) {
+  P2Quantile q(0.5);
+  for (int i = 1; i <= 10001; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.value(), 5001.0, 100.0);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 1000; ++i) q.add(4.2);
+  EXPECT_DOUBLE_EQ(q.value(), 4.2);
+}
+
+}  // namespace
+}  // namespace psd

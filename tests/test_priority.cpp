@@ -1,0 +1,144 @@
+// Priority backend with the PDD baselines (WTP / PAD / HPD / strict).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/pdd_policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace psd {
+namespace {
+
+struct Harness {
+  Simulator sim;
+  std::vector<WaitingQueue> queues;
+  std::vector<Request> done;
+  std::unique_ptr<SchedulerBackend> backend;
+
+  Harness(std::size_t classes, std::unique_ptr<SchedulerBackend> b)
+      : queues(classes), backend(std::move(b)) {
+    backend->attach(sim, queues, 1.0, Rng(1),
+                    [this](Request&& r) { done.push_back(std::move(r)); });
+  }
+
+  void submit(ClassId cls, Time t, Work size, RequestId id = 0) {
+    Request r;
+    r.id = id;
+    r.cls = cls;
+    r.arrival = t;
+    r.size = size;
+    sim.at_fast(t, [this, r, cls] {
+      queues[cls].push(r, sim.now());
+      backend->notify_arrival(cls);
+    });
+  }
+};
+
+TEST(WtpPolicyUnit, ScoresAreWaitOverDelta) {
+  WtpPolicy p({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.score(0, 4.0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.score(1, 4.0, 0.0), 2.0);
+}
+
+TEST(WtpPolicyUnit, RejectsBadDeltas) {
+  EXPECT_THROW(WtpPolicy({}), std::invalid_argument);
+  EXPECT_THROW(WtpPolicy({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(HpdPolicyUnit, BlendsWtpAndPad) {
+  HpdPolicy p({1.0, 1.0}, 0.25);
+  // score = 0.25 * wait/delta + 0.75 * avg/delta
+  EXPECT_DOUBLE_EQ(p.score(0, 4.0, 8.0), 0.25 * 4.0 + 0.75 * 8.0);
+  EXPECT_THROW(HpdPolicy({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(PriorityBackend, ServesHigherWtpScoreFirst) {
+  // Both classes backlogged behind a long job; the class-0 request (delta 1)
+  // outranks the *older* class-1 request only when wait_1/2 < wait_0.
+  Harness h(2, make_wtp_backend({1.0, 2.0}));
+  h.submit(0, 0.0, 5.0, 1);   // occupies the server until t=5
+  h.submit(1, 0.5, 1.0, 2);   // at t=5 waited 4.5 -> score 2.25
+  h.submit(0, 2.0, 1.0, 3);   // at t=5 waited 3.0 -> score 3.0 (wins)
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 3u);
+  EXPECT_EQ(h.done[1].id, 3u);
+  EXPECT_EQ(h.done[2].id, 2u);
+}
+
+TEST(PriorityBackend, WtpEqualDeltasApproximateGlobalFcfs) {
+  Harness h(2, make_wtp_backend({1.0, 1.0}));
+  h.submit(0, 0.0, 1.0, 1);
+  h.submit(1, 0.1, 1.0, 2);
+  h.submit(0, 0.2, 1.0, 3);
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 3u);
+  EXPECT_EQ(h.done[0].id, 1u);
+  EXPECT_EQ(h.done[1].id, 2u);
+  EXPECT_EQ(h.done[2].id, 3u);
+}
+
+TEST(PriorityBackend, StrictAlwaysPrefersClassZero) {
+  Harness h(2, make_strict_backend(2));
+  h.submit(1, 0.0, 1.0, 1);           // starts immediately (server idle)
+  for (int i = 0; i < 5; ++i) {
+    h.submit(0, 0.1, 1.0, 10 + i);    // queued class-0 burst
+    h.submit(1, 0.1, 1.0, 20 + i);
+  }
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 11u);
+  // After the in-flight job, all five class-0 jobs precede any class-1 job.
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(h.done[i].cls, 0u);
+  for (int i = 6; i <= 10; ++i) EXPECT_EQ(h.done[i].cls, 1u);
+}
+
+TEST(PriorityBackend, NonPreemptive) {
+  Harness h(2, make_strict_backend(2));
+  h.submit(1, 0.0, 5.0, 1);
+  h.submit(0, 1.0, 1.0, 2);  // higher class arrives mid-service
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 2u);
+  EXPECT_EQ(h.done[0].id, 1u);  // finishes its service uninterrupted
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 5.0);
+  EXPECT_DOUBLE_EQ(h.done[1].departure, 6.0);
+}
+
+TEST(PriorityBackend, PadConvergesTowardDelayRatios) {
+  // Saturated two-class system with PAD(delta 1:2): average delays should
+  // order correctly (class 0 smaller delay).
+  Harness h(2, make_pad_backend({1.0, 2.0}));
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    t += rng.exponential(2.5);  // ~83% load with mean size 1/3
+    h.submit(i % 2, t, 1.0 / 3.0, i);
+  }
+  h.sim.run_until(t + 1000.0);
+  double d0 = 0, d1 = 0;
+  std::size_t n0 = 0, n1 = 0;
+  for (const auto& r : h.done) {
+    if (r.cls == 0) { d0 += r.delay(); ++n0; }
+    else { d1 += r.delay(); ++n1; }
+  }
+  ASSERT_GT(n0, 100u);
+  ASSERT_GT(n1, 100u);
+  EXPECT_LT(d0 / n0, d1 / n1);
+}
+
+TEST(PriorityBackend, IgnoresSetRates) {
+  Harness h(2, make_wtp_backend({1.0, 2.0}));
+  h.backend->set_rates({0.9, 0.1});  // must be a no-op, not a crash
+  h.submit(0, 0.0, 1.0);
+  h.sim.run_until(10.0);
+  EXPECT_EQ(h.done.size(), 1u);
+}
+
+TEST(PriorityBackend, NamesIdentifyPolicy) {
+  EXPECT_EQ(make_wtp_backend({1.0})->name(), "priority-wtp");
+  EXPECT_EQ(make_pad_backend({1.0})->name(), "priority-pad");
+  EXPECT_EQ(make_hpd_backend({1.0})->name(), "priority-hpd");
+  EXPECT_EQ(make_strict_backend(1)->name(), "priority-strict");
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,150 @@
+// RNG substrate: determinism, stream independence, distributional sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/online.hpp"
+
+namespace psd {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGeneratorBounds) {
+  EXPECT_EQ(Xoshiro256ss::min(), 0u);
+  EXPECT_EQ(Xoshiro256ss::max(), ~std::uint64_t{0});
+}
+
+TEST(Xoshiro, ReproducibleFromSeed) {
+  Xoshiro256ss a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.uniform01());
+  EXPECT_NEAR(m.mean(), 0.5, 0.005);
+  EXPECT_NEAR(m.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(5);
+  OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.exponential(4.0));
+  EXPECT_NEAR(m.mean(), 0.25, 0.005);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(m.stddev(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRequiresPositiveRate) {
+  Rng rng(5);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsBoundedAndCoversSupport) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(10);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(100);
+  Rng a = parent.fork(3);
+  Rng b = parent.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent(100);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.bits() == b.bits());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIndependentOfConsumption) {
+  // fork() derives from the seed, not the engine state, so child streams do
+  // not depend on how much the parent has been used.
+  Rng p1(55), p2(55);
+  for (int i = 0; i < 10; ++i) p2.bits();
+  Rng a = p1.fork(2);
+  Rng b = p2.fork(2);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, ManyForksPairwiseDistinctFirstDraw) {
+  Rng parent(77);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 1000; ++i) firsts.insert(parent.fork(i).bits());
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
+TEST(Rng, Uniform01OpenLowNeverZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_GT(rng.uniform01_open_low(), 0.0);
+    EXPECT_LE(rng.uniform01_open_low(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace psd

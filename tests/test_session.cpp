@@ -1,0 +1,128 @@
+// Session-based e-commerce workload (§2.2): chain analysis and emission.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/session.hpp"
+
+namespace psd {
+namespace {
+
+class CollectingSink final : public RequestSink {
+ public:
+  void submit(Request req) override { requests.push_back(req); }
+  std::vector<Request> requests;
+};
+
+TEST(SessionProfile, StorefrontIsWellFormed) {
+  const auto p = SessionProfile::storefront(0.1);
+  ASSERT_EQ(p.states.size(), 5u);
+  for (const auto& st : p.states) {
+    double total = 0.0;
+    for (double q : st.next_prob) total += q;
+    EXPECT_LE(total, 1.0) << st.label;
+    EXPECT_EQ(st.next_prob.size(), 5u);
+  }
+}
+
+TEST(SessionProfile, ExpectedVisitsSolveTheChain) {
+  // Two-state chain: entry -> state1 w.p. 0.5, state1 -> state1 w.p. 0.5.
+  SessionProfile p;
+  p.session_rate = 1.0;
+  p.states = {
+      {"a", 0, DistSpec::deterministic(1.0), 1.0, {0.0, 0.5}},
+      {"b", 1, DistSpec::deterministic(1.0), 1.0, {0.0, 0.5}},
+  };
+  const auto v = p.expected_visits();
+  EXPECT_NEAR(v[0], 1.0, 1e-10);
+  // visits(b) = 0.5 * visits(a) + 0.5 * visits(b) -> visits(b) = 1.0
+  EXPECT_NEAR(v[1], 1.0, 1e-10);
+}
+
+TEST(SessionProfile, ClassRequestRatesAggregateByClass) {
+  SessionProfile p;
+  p.session_rate = 2.0;
+  p.states = {
+      {"a", 0, DistSpec::deterministic(1.0), 1.0, {0.0, 1.0}},
+      {"b", 1, DistSpec::deterministic(1.0), 1.0, {0.0, 0.0}},
+  };
+  const auto rates = p.class_request_rates(2);
+  EXPECT_NEAR(rates[0], 2.0, 1e-10);  // state a visited once per session
+  EXPECT_NEAR(rates[1], 2.0, 1e-10);  // b visited once per session
+}
+
+TEST(SessionWorkload, EmitsRequestsWithStateClasses) {
+  Simulator sim;
+  CollectingSink sink;
+  SessionWorkload w(sim, Rng(5), SessionProfile::storefront(0.5), sink);
+  w.start(0.0);
+  sim.run_until(2000.0);
+  w.stop();
+  ASSERT_GT(w.sessions_started(), 100u);
+  ASSERT_GT(sink.requests.size(), w.sessions_started());  // > 1 req/session
+  for (const auto& r : sink.requests) {
+    EXPECT_LT(r.cls, 2u);
+    EXPECT_GT(r.size, 0.0);
+  }
+}
+
+TEST(SessionWorkload, EmpiricalRatesMatchChainAnalysis) {
+  Simulator sim;
+  CollectingSink sink;
+  const auto profile = SessionProfile::storefront(0.5);
+  SessionWorkload w(sim, Rng(6), profile, sink);
+  w.start(0.0);
+  const double horizon = 20000.0;
+  sim.run_until(horizon);
+  w.stop();
+  sim.run_until(horizon + 100.0);  // drain in-flight sessions a little
+
+  const auto predicted = profile.class_request_rates(2);
+  std::vector<double> counts(2, 0.0);
+  for (const auto& r : sink.requests) counts[r.cls] += 1.0;
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(counts[c] / horizon / predicted[c], 1.0, 0.1) << "class " << c;
+  }
+}
+
+TEST(SessionWorkload, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    CollectingSink sink;
+    SessionWorkload w(sim, Rng(seed), SessionProfile::storefront(0.2), sink);
+    w.start(0.0);
+    sim.run_until(500.0);
+    return sink.requests.size();
+  };
+  EXPECT_EQ(run(11), run(11));
+}
+
+TEST(SessionWorkload, StopCutsOffMidSessionWalks) {
+  Simulator sim;
+  CollectingSink sink;
+  SessionWorkload w(sim, Rng(7), SessionProfile::storefront(1.0), sink);
+  w.start(0.0);
+  sim.run_until(100.0);
+  w.stop();
+  const auto n = sink.requests.size();
+  sim.run_until(10000.0);
+  EXPECT_EQ(sink.requests.size(), n);
+}
+
+TEST(SessionWorkload, RejectsMalformedProfiles) {
+  Simulator sim;
+  CollectingSink sink;
+  SessionProfile empty;
+  empty.states.clear();
+  EXPECT_THROW(SessionWorkload(sim, Rng(1), empty, sink),
+               std::invalid_argument);
+
+  SessionProfile over;
+  over.session_rate = 1.0;
+  over.states = {{"x", 0, DistSpec::deterministic(1.0), 1.0, {0.7, 0.7}}};
+  EXPECT_THROW(SessionWorkload(sim, Rng(1), over, sink),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psd

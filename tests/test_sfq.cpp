@@ -1,0 +1,142 @@
+// Start-time fair queueing backend: work conservation, weighted sharing,
+// FCFS within class.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/sfq.hpp"
+#include "sim/simulator.hpp"
+
+namespace psd {
+namespace {
+
+struct Harness {
+  Simulator sim;
+  std::vector<WaitingQueue> queues;
+  std::vector<Request> done;
+  SfqBackend backend;
+
+  explicit Harness(std::size_t classes) : queues(classes) {
+    backend.attach(sim, queues, 1.0, Rng(1),
+                   [this](Request&& r) { done.push_back(std::move(r)); });
+  }
+
+  void submit(ClassId cls, Time t, Work size, RequestId id = 0) {
+    Request r;
+    r.id = id;
+    r.cls = cls;
+    r.arrival = t;
+    r.size = size;
+    sim.at_fast(t, [this, r, cls] {
+      queues[cls].push(r, sim.now());
+      backend.notify_arrival(cls);
+    });
+  }
+
+  double work_done(ClassId cls, Time until) const {
+    double w = 0.0;
+    for (const auto& r : done) {
+      if (r.cls == cls && r.departure <= until) w += r.size;
+    }
+    return w;
+  }
+};
+
+TEST(Sfq, SingleClassRunsAtFullCapacity) {
+  // Work conservation: unlike the dedicated backend, one backlogged class
+  // gets the whole processor.
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  h.submit(0, 0.0, 1.0);
+  h.submit(0, 0.0, 1.0);
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 1.0);  // full rate, not 0.5
+  EXPECT_DOUBLE_EQ(h.done[1].departure, 2.0);
+}
+
+TEST(Sfq, EqualWeightsInterleaveBacklog) {
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  // Saturate both classes with unit jobs.
+  for (int i = 0; i < 20; ++i) {
+    h.submit(0, 0.0, 1.0, i);
+    h.submit(1, 0.0, 1.0, 100 + i);
+  }
+  h.sim.run_until(20.0);
+  // After 20 time units each class must have received ~10 units of work.
+  EXPECT_NEAR(h.work_done(0, 20.0), 10.0, 1.0);
+  EXPECT_NEAR(h.work_done(1, 20.0), 10.0, 1.0);
+}
+
+TEST(Sfq, WeightedSharingUnderBacklog) {
+  Harness h(2);
+  h.backend.set_rates({0.75, 0.25});
+  for (int i = 0; i < 100; ++i) {
+    h.submit(0, 0.0, 0.5, i);
+    h.submit(1, 0.0, 0.5, 1000 + i);
+  }
+  h.sim.run_until(40.0);
+  const double w0 = h.work_done(0, 40.0);
+  const double w1 = h.work_done(1, 40.0);
+  EXPECT_NEAR(w0 / (w0 + w1), 0.75, 0.05);
+}
+
+TEST(Sfq, FcfsWithinClass) {
+  Harness h(1);
+  h.backend.set_rates({1.0});
+  h.submit(0, 0.0, 1.0, 1);
+  h.submit(0, 0.1, 1.0, 2);
+  h.submit(0, 0.2, 1.0, 3);
+  h.sim.run_until(10.0);
+  ASSERT_EQ(h.done.size(), 3u);
+  EXPECT_EQ(h.done[0].id, 1u);
+  EXPECT_EQ(h.done[1].id, 2u);
+  EXPECT_EQ(h.done[2].id, 3u);
+}
+
+TEST(Sfq, NonPreemptiveServiceDuration) {
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  h.submit(0, 0.0, 4.0);
+  h.submit(1, 0.1, 1.0);
+  h.sim.run_until(100.0);
+  ASSERT_EQ(h.done.size(), 2u);
+  // Class 0's long job runs to completion at full rate first (it arrived to
+  // an idle server); class 1 waits behind it.
+  EXPECT_EQ(h.done[0].cls, 0u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 4.0);
+  EXPECT_DOUBLE_EQ(h.done[0].service_elapsed, 4.0);
+  EXPECT_DOUBLE_EQ(h.done[1].departure, 5.0);
+  EXPECT_DOUBLE_EQ(h.done[1].delay(), 4.0 - 0.1);
+}
+
+TEST(Sfq, IdleClassCapacityRedistributed) {
+  // Class 1 idle: class 0 with weight 0.25 still gets full capacity.
+  Harness h(2);
+  h.backend.set_rates({0.25, 0.75});
+  h.submit(0, 0.0, 2.0);
+  h.sim.run_until(10.0);
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.done[0].departure, 2.0);
+}
+
+TEST(Sfq, VirtualTimeMonotone) {
+  Harness h(2);
+  h.backend.set_rates({0.5, 0.5});
+  double last_v = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    h.submit(i % 2, 0.1 * i, 0.3);
+  }
+  h.sim.run_until(100.0);
+  EXPECT_GE(h.backend.virtual_time(), last_v);
+  EXPECT_EQ(h.done.size(), 50u);
+}
+
+TEST(Sfq, RateVectorSizeMismatchThrows) {
+  Harness h(2);
+  EXPECT_THROW(h.backend.set_rates({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psd

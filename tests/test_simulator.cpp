@@ -1,0 +1,152 @@
+// Simulator: clock semantics (the now()-before-event-body contract that the
+// whole server model depends on), horizons, periodic processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+
+namespace psd {
+namespace {
+
+TEST(Simulator, ClockAdvancesBeforeEventBodyRuns) {
+  // Regression test for the stale-clock bug: an event scheduled at t must
+  // observe now() == t inside its callback.
+  Simulator sim;
+  std::vector<double> observed;
+  sim.at_fast(1.0, [&] { observed.push_back(sim.now()); });
+  sim.at_fast(2.5, [&] { observed.push_back(sim.now()); });
+  sim.run_until(10.0);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_DOUBLE_EQ(observed[0], 1.0);
+  EXPECT_DOUBLE_EQ(observed[1], 2.5);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.at_fast(2.0, [&] {
+    sim.after_fast(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonInclusive) {
+  Simulator sim;
+  int runs = 0;
+  sim.at_fast(1.0, [&] { ++runs; });
+  sim.at_fast(5.0, [&] { ++runs; });  // exactly at horizon: executes
+  sim.at_fast(5.0001, [&] { ++runs; });
+  EXPECT_EQ(sim.run_until(5.0), 2u);
+  EXPECT_EQ(runs, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, ClockJumpsToHorizonWhenIdle) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, CannotScheduleIntoThePast) {
+  Simulator sim;
+  sim.at_fast(1.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.at_fast(2.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.after_fast(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunAllDrains) {
+  Simulator sim;
+  int runs = 0;
+  sim.at_fast(1.0, [&] { ++runs; });
+  sim.at_fast(2.0, [&] { ++runs; });
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int runs = 0;
+  sim.at_fast(1.0, [&] { ++runs; });
+  sim.at_fast(2.0, [&] { ++runs; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CancelledEventsDoNotAdvanceClock) {
+  Simulator sim;
+  auto h = sim.at(1.0, [] {});
+  sim.at_fast(3.0, [] {});
+  h.cancel();
+  sim.step();
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Periodic, FiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess p(sim, 10.0, [&](Time t) { ticks.push_back(t); });
+  p.start(10.0);
+  sim.run_until(55.0);
+  EXPECT_EQ(ticks, (std::vector<double>{10, 20, 30, 40, 50}));
+}
+
+TEST(Periodic, TickSeesAdvancedClock) {
+  Simulator sim;
+  std::vector<double> nows;
+  PeriodicProcess p(sim, 5.0, [&](Time) { nows.push_back(sim.now()); });
+  p.start(5.0);
+  sim.run_until(16.0);
+  EXPECT_EQ(nows, (std::vector<double>{5, 10, 15}));
+}
+
+TEST(Periodic, StopCancelsFutureTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicProcess p(sim, 10.0, [&](Time t) {
+    ++ticks;
+    if (t >= 30.0) p.stop();
+  });
+  p.start(10.0);
+  sim.run_until(1000.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(p.running());
+}
+
+TEST(Periodic, RestartRelocatesFirstTick) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess p(sim, 10.0, [&](Time t) { ticks.push_back(t); });
+  p.start(10.0);
+  p.start(25.0);  // restart supersedes the first schedule
+  sim.run_until(50.0);
+  EXPECT_EQ(ticks, (std::vector<double>{25, 35, 45}));
+}
+
+TEST(Periodic, RejectsBadConstruction) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0.0, [](Time) {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicProcess(sim, 1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Periodic, DestructorCancels) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicProcess p(sim, 1.0, [&](Time) { ++ticks; });
+    p.start(1.0);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 0);
+}
+
+}  // namespace
+}  // namespace psd

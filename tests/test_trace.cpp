@@ -1,0 +1,122 @@
+// Trace record / replay and CSV round-trip.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "dist/bounded_pareto.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace psd {
+namespace {
+
+class CollectingSink final : public RequestSink {
+ public:
+  void submit(Request req) override { requests.push_back(req); }
+  std::vector<Request> requests;
+};
+
+TEST(RecordingSink, CapturesAndForwards) {
+  CollectingSink down;
+  RecordingSink rec(&down);
+  Request r;
+  r.cls = 2;
+  r.arrival = 5.0;
+  r.size = 1.5;
+  rec.submit(r);
+  ASSERT_EQ(rec.trace().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.trace()[0].time, 5.0);
+  EXPECT_EQ(rec.trace()[0].cls, 2u);
+  EXPECT_DOUBLE_EQ(rec.trace()[0].size, 1.5);
+  EXPECT_EQ(down.requests.size(), 1u);
+}
+
+TEST(RecordingSink, WorksWithoutDownstream) {
+  RecordingSink rec;
+  Request r;
+  r.arrival = 1.0;
+  r.size = 1.0;
+  rec.submit(r);
+  EXPECT_EQ(rec.trace().size(), 1u);
+}
+
+TEST(TracePlayer, ReplaysAtShiftedTimes) {
+  Trace t = {{10.0, 0, 1.0}, {12.0, 1, 2.0}, {15.0, 0, 3.0}};
+  Simulator sim;
+  CollectingSink sink;
+  TracePlayer player(sim, t, sink);
+  player.start(100.0);
+  sim.run_until(1000.0);
+  ASSERT_EQ(sink.requests.size(), 3u);
+  EXPECT_DOUBLE_EQ(sink.requests[0].arrival, 100.0);
+  EXPECT_DOUBLE_EQ(sink.requests[1].arrival, 102.0);
+  EXPECT_DOUBLE_EQ(sink.requests[2].arrival, 105.0);
+  EXPECT_EQ(sink.requests[1].cls, 1u);
+  EXPECT_DOUBLE_EQ(sink.requests[2].size, 3.0);
+}
+
+TEST(TracePlayer, RejectsUnorderedTrace) {
+  Trace t = {{10.0, 0, 1.0}, {5.0, 0, 1.0}};
+  Simulator sim;
+  CollectingSink sink;
+  EXPECT_THROW(TracePlayer(sim, t, sink), std::invalid_argument);
+}
+
+TEST(TracePlayer, EmptyTraceIsNoop) {
+  Simulator sim;
+  CollectingSink sink;
+  TracePlayer player(sim, {}, sink);
+  player.start(0.0);
+  sim.run_until(10.0);
+  EXPECT_TRUE(sink.requests.empty());
+}
+
+TEST(TraceCsv, RoundTrip) {
+  Trace t = {{1.5, 0, 0.25}, {2.75, 3, 17.0}};
+  std::stringstream ss;
+  write_trace(ss, t);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].time, 1.5);
+  EXPECT_EQ(back[1].cls, 3u);
+  EXPECT_DOUBLE_EQ(back[1].size, 17.0);
+}
+
+TEST(TraceCsv, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n1.0,0,2.0\n# mid\n2.0,1,3.0\n");
+  const auto t = read_trace(ss);
+  ASSERT_EQ(t.size(), 2u);
+}
+
+TEST(TraceCsv, RejectsMalformedLine) {
+  std::stringstream ss("1.0;0;2.0\n");
+  EXPECT_THROW(read_trace(ss), std::invalid_argument);
+}
+
+TEST(TraceEndToEnd, RecordedWorkloadReplaysIdentically) {
+  // Record a Poisson/BoundedPareto stream, replay it, and compare.
+  Simulator sim1;
+  RecordingSink rec;
+  RequestGenerator gen(sim1, Rng(9), 1, std::make_unique<PoissonArrivals>(3.0),
+                       std::make_unique<BoundedPareto>(1.5, 0.1, 100.0), rec);
+  gen.start(0.0);
+  sim1.run_until(100.0);
+  const Trace trace = rec.trace();
+  ASSERT_GT(trace.size(), 100u);
+
+  Simulator sim2;
+  CollectingSink sink;
+  TracePlayer player(sim2, trace, sink);
+  player.start(trace.front().time);
+  sim2.run_until(1000.0);
+  ASSERT_EQ(sink.requests.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(sink.requests[i].arrival, trace[i].time, 1e-12);
+    EXPECT_DOUBLE_EQ(sink.requests[i].size, trace[i].size);
+    EXPECT_EQ(sink.requests[i].cls, trace[i].cls);
+  }
+}
+
+}  // namespace
+}  // namespace psd

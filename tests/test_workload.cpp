@@ -1,0 +1,155 @@
+// Request generators and load helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "dist/bounded_pareto.hpp"
+#include "dist/deterministic.hpp"
+#include "workload/class_spec.hpp"
+#include "workload/generator.hpp"
+#include "workload/sink.hpp"
+
+namespace psd {
+namespace {
+
+class CollectingSink final : public RequestSink {
+ public:
+  void submit(Request req) override { requests.push_back(req); }
+  std::vector<Request> requests;
+};
+
+TEST(RatesForLoad, EqualSplit) {
+  const auto r = rates_for_equal_load(0.6, 1.0, 0.3, 3);
+  ASSERT_EQ(r.size(), 3u);
+  for (double x : r) EXPECT_NEAR(x, 0.2 / 0.3, 1e-12);
+  // Total utilization check: sum(lambda) * E[X] == load.
+  EXPECT_NEAR((r[0] + r[1] + r[2]) * 0.3, 0.6, 1e-12);
+}
+
+TEST(RatesForLoad, CustomShares) {
+  const auto r = rates_for_load(0.5, 2.0, 0.25, {0.5, 0.3, 0.2});
+  EXPECT_NEAR(r[0] * 0.25, 0.5 * 0.5 * 2.0, 1e-12);
+  EXPECT_NEAR(r[1] * 0.25, 0.3 * 0.5 * 2.0, 1e-12);
+  EXPECT_NEAR(r[2] * 0.25, 0.2 * 0.5 * 2.0, 1e-12);
+}
+
+TEST(RatesForLoad, SharesMustSumToOne) {
+  EXPECT_THROW(rates_for_load(0.5, 1.0, 0.3, {0.5, 0.4}),
+               std::invalid_argument);
+  EXPECT_THROW(rates_for_load(0.5, 1.0, 0.3, {0.5, 0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(RatesForLoad, RejectsZeroShare) {
+  EXPECT_THROW(rates_for_load(0.5, 1.0, 0.3, {1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Generator, ProducesRequestsWithCorrectClassAndTimes) {
+  Simulator sim;
+  CollectingSink sink;
+  Rng rng(1);
+  RequestGenerator gen(sim, rng, 3,
+                       std::make_unique<DeterministicArrivals>(1.0),
+                       std::make_unique<Deterministic>(0.5), sink);
+  gen.start(0.0);
+  sim.run_until(10.0);
+  gen.stop();
+  ASSERT_EQ(sink.requests.size(), 10u);
+  for (std::size_t i = 0; i < sink.requests.size(); ++i) {
+    EXPECT_EQ(sink.requests[i].cls, 3u);
+    EXPECT_DOUBLE_EQ(sink.requests[i].arrival, static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(sink.requests[i].size, 0.5);
+  }
+  EXPECT_EQ(gen.generated(), 10u);
+}
+
+TEST(Generator, IdsUniqueAndClassTagged) {
+  Simulator sim;
+  CollectingSink sink;
+  RequestGenerator gen(sim, Rng(2), 5,
+                       std::make_unique<DeterministicArrivals>(10.0),
+                       std::make_unique<Deterministic>(1.0), sink);
+  gen.start(0.0);
+  sim.run_until(5.0);
+  ASSERT_GE(sink.requests.size(), 2u);
+  EXPECT_NE(sink.requests[0].id, sink.requests[1].id);
+  EXPECT_EQ(sink.requests[0].id >> 48, 5u);
+}
+
+TEST(Generator, PoissonRateRealized) {
+  Simulator sim;
+  CollectingSink sink;
+  RequestGenerator gen(sim, Rng(3), 0, std::make_unique<PoissonArrivals>(2.0),
+                       std::make_unique<Deterministic>(1.0), sink);
+  gen.start(0.0);
+  sim.run_until(50000.0);
+  EXPECT_NEAR(static_cast<double>(sink.requests.size()) / 50000.0, 2.0, 0.05);
+}
+
+TEST(Generator, StopHaltsProduction) {
+  Simulator sim;
+  CollectingSink sink;
+  RequestGenerator gen(sim, Rng(4), 0,
+                       std::make_unique<DeterministicArrivals>(1.0),
+                       std::make_unique<Deterministic>(1.0), sink);
+  gen.start(0.0);
+  sim.run_until(5.0);
+  gen.stop();
+  sim.run_until(100.0);
+  EXPECT_EQ(sink.requests.size(), 5u);
+}
+
+TEST(Generator, HeavyTailedSizesWithinSupport) {
+  Simulator sim;
+  CollectingSink sink;
+  RequestGenerator gen(sim, Rng(5), 0,
+                       std::make_unique<DeterministicArrivals>(100.0),
+                       std::make_unique<BoundedPareto>(1.5, 0.1, 100.0), sink);
+  gen.start(0.0);
+  sim.run_until(100.0);
+  ASSERT_GT(sink.requests.size(), 1000u);
+  for (const auto& r : sink.requests) {
+    EXPECT_GE(r.size, 0.1);
+    EXPECT_LE(r.size, 100.0);
+  }
+}
+
+TEST(Generator, SameSeedSameStream) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    CollectingSink sink;
+    RequestGenerator gen(sim, Rng(seed), 0,
+                         std::make_unique<PoissonArrivals>(5.0),
+                         std::make_unique<BoundedPareto>(1.5, 0.1, 100.0),
+                         sink);
+    gen.start(0.0);
+    sim.run_until(100.0);
+    return sink.requests;
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  const auto c = run(78);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(a[i].size, b[i].size);
+  }
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(RequestStruct, SlowdownDefinition) {
+  Request r;
+  r.arrival = 10.0;
+  r.service_start = 14.0;
+  r.departure = 16.0;
+  r.service_elapsed = 2.0;
+  EXPECT_DOUBLE_EQ(r.delay(), 4.0);
+  EXPECT_DOUBLE_EQ(r.slowdown(), 2.0);  // delay / service time (paper §1)
+  EXPECT_TRUE(r.completed());
+}
+
+}  // namespace
+}  // namespace psd
