@@ -1,0 +1,62 @@
+// Minimal self-contained microbench harness (no external dependency), after
+// the warmup + volatile-sink discipline of the wg21-p0493 bench runner:
+// run the op under test in a tight loop against a `volatile` data sink the
+// compiler cannot elide, after a warmup pass that faults in caches and
+// brings vectors to their steady-state capacity.
+//
+// Results append as one JSON object per line to a records file (JSONL —
+// trivially machine-readable, and append-mode means the event-queue and
+// simulator binaries can share BENCH_event_core.json without a merge step).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace psd::bench {
+
+inline const char* kDefaultRecordsPath = "BENCH_event_core.json";
+
+/// ns per op of `fn` over `iters` iterations after `warmup` untimed ones.
+/// `fn` must feed its observable result into a volatile sink itself or
+/// return a value, which the harness accumulates into one.
+template <typename F>
+double time_ns_per_op(std::uint64_t warmup, std::uint64_t iters, F&& fn) {
+  // Sink the compiler cannot optimize away.
+  volatile double sink = 0.0;
+  for (std::uint64_t i = 0; i < warmup; ++i) sink = sink + fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) sink = sink + fn();
+  const auto done = std::chrono::steady_clock::now();
+  (void)sink;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(done - start)
+          .count();
+  return static_cast<double>(ns) / static_cast<double>(iters);
+}
+
+/// One benchmark record; `extra` is pre-rendered JSON key/values, e.g.
+/// "\"impl\":\"pooled\",\"backlog\":4096".
+inline void emit_record(const std::string& path, const std::string& suite,
+                        const std::string& bench, const std::string& extra,
+                        double ns_per_op, std::uint64_t iters) {
+  std::ostringstream os;
+  os << "{\"suite\":\"" << suite << "\",\"bench\":\"" << bench << "\"";
+  if (!extra.empty()) os << ',' << extra;
+  os << ",\"ns_per_op\":" << ns_per_op
+     << ",\"ops_per_sec\":" << (1e9 / ns_per_op) << ",\"iters\":" << iters
+     << "}\n";
+  std::ofstream out(path, std::ios::app);
+  if (out) {
+    out << os.str();
+  }
+  if (!out) {
+    std::cerr << "warning: could not append record to " << path << '\n';
+  }
+  std::cout << os.str();
+}
+
+}  // namespace psd::bench

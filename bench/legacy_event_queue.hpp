@@ -1,0 +1,93 @@
+// Bench-only reference implementation: the pre-optimization event queue
+// (binary std::push_heap/pop_heap over fat entries, std::function payloads,
+// one shared_ptr<bool> cancellation token per cancellable event).  Kept so
+// micro_event_queue can report before/after numbers from a single binary;
+// NOT part of the library.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace psd::bench {
+
+using LegacyEventFn = std::function<void()>;
+
+class LegacyEventHandle {
+ public:
+  LegacyEventHandle() = default;
+  explicit LegacyEventHandle(std::shared_ptr<bool> s) : state_(std::move(s)) {}
+
+  bool pending() const { return state_ && !*state_; }
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  std::shared_ptr<bool> state_;  ///< true == cancelled-or-fired.
+};
+
+class LegacyEventQueue {
+ public:
+  LegacyEventHandle schedule(Time t, LegacyEventFn fn) {
+    auto state = std::make_shared<bool>(false);
+    heap_.push_back(Entry{t, seq_++, std::move(fn), state});
+    std::push_heap(heap_.begin(), heap_.end(), Greater{});
+    return LegacyEventHandle(std::move(state));
+  }
+
+  void schedule_fast(Time t, LegacyEventFn fn) {
+    heap_.push_back(Entry{t, seq_++, std::move(fn), nullptr});
+    std::push_heap(heap_.begin(), heap_.end(), Greater{});
+  }
+
+  bool empty() const {
+    skip_cancelled();
+    return heap_.empty();
+  }
+
+  Time pop_and_run() {
+    skip_cancelled();
+    PSD_CHECK(!heap_.empty(), "pop from empty event queue");
+    std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    if (e.cancelled) *e.cancelled = true;
+    e.fn();
+    return e.time;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    LegacyEventFn fn;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const { return a > b; }
+  };
+
+  void skip_cancelled() const {
+    while (!heap_.empty() && heap_.front().cancelled &&
+           *heap_.front().cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+      heap_.pop_back();
+    }
+  }
+
+  mutable std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace psd::bench

@@ -1,59 +1,220 @@
-// Microbenchmark M2: event-queue throughput — schedule/pop cycles at
-// different pending-set sizes, plus cancellation overhead.
-#include <benchmark/benchmark.h>
+// Microbenchmark M2: event-queue throughput, before vs after the pooled
+// rewrite, from one binary so the ratio is apples-to-apples.
+//
+//   * legacy — the seed design kept as a bench-only reference
+//     (legacy_event_queue.hpp): binary heap of fat entries, std::function
+//     payloads (heap-allocates for captures > its ~16-byte SSO buffer),
+//     one shared_ptr<bool> per cancellable event.
+//   * pooled — the current core: slab payload pool, 4-ary heap of 24-byte
+//     keys, generation-counted handles, zero steady-state allocations.
+//
+// Benches:
+//   schedule_pop_empty      captureless payloads — isolates the heap/layout
+//                           difference (legacy's SSO avoids allocation too).
+//   schedule_pop_completion 24-byte captures, the size of a real completion
+//                           callback ([this, cls, ran]) — legacy pays one
+//                           malloc/free per event here.
+//   cancellable             completion-sized capture + cancellation token.
+//   hot_path_mix            the per-request pattern of the real simulator at
+//                           a realistic pending-set size: one cancellable
+//                           arrival, one cancellable completion that gets
+//                           cancelled and rescheduled (the reallocation
+//                           pattern), one fast event, two pops.  This is the
+//                           headline number.
+//
+// Appends machine-readable records to BENCH_event_core.json (JSONL).
+#include <cstdio>
+#include <string>
 
 #include "common/rng.hpp"
+#include "json_bench.hpp"
+#include "legacy_event_queue.hpp"
 #include "sim/event_queue.hpp"
 
 namespace {
 
-void BM_SchedulePop(benchmark::State& state) {
-  const auto backlog = static_cast<std::size_t>(state.range(0));
-  psd::EventQueue q;
+using psd::bench::emit_record;
+using psd::bench::time_ns_per_op;
+
+constexpr std::uint64_t kIters = 2'000'000;
+
+// One op: schedule one captureless event, pop the earliest.
+template <typename Queue>
+double bench_schedule_pop_empty(const std::string& impl,
+                                const std::string& path,
+                                std::size_t backlog) {
+  Queue q;
   psd::Rng rng(1);
   double t = 0.0;
   for (std::size_t i = 0; i < backlog; ++i) {
     q.schedule_fast(t + rng.uniform01() * 100.0, [] {});
   }
-  for (auto _ : state) {
+  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
     q.schedule_fast(t + rng.uniform01() * 100.0, [] {});
     t = q.pop_and_run();
-  }
-  state.SetItemsProcessed(state.iterations());
+    return t;
+  });
+  emit_record(path, "event_queue", "schedule_pop_empty",
+              "\"impl\":\"" + impl +
+                  "\",\"backlog\":" + std::to_string(backlog),
+              ns, kIters);
+  return ns;
 }
-BENCHMARK(BM_SchedulePop)->RangeMultiplier(8)->Range(8, 32768);
 
-void BM_CancellableSchedulePop(benchmark::State& state) {
-  psd::EventQueue q;
+// One op: schedule an event whose payload captures 24 bytes (pointer + two
+// scalars — a completion callback), pop the earliest.
+template <typename Queue>
+double bench_schedule_pop_completion(const std::string& impl,
+                                     const std::string& path,
+                                     std::size_t backlog) {
+  Queue q;
   psd::Rng rng(2);
-  double t = 0.0;
-  for (int i = 0; i < 1024; ++i) {
-    q.schedule(t + rng.uniform01() * 100.0, [] {});
+  double t = 0.0, acc = 0.0;
+  double* sink = &acc;
+  for (std::size_t i = 0; i < backlog; ++i) {
+    const double sz = rng.uniform01();
+    q.schedule_fast(t + rng.uniform01() * 100.0,
+                    [sink, sz, t] { *sink += sz + t; });
   }
-  for (auto _ : state) {
-    auto h = q.schedule(t + rng.uniform01() * 100.0, [] {});
-    benchmark::DoNotOptimize(h.pending());
+  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+    const double sz = rng.uniform01();
+    q.schedule_fast(t + rng.uniform01() * 100.0,
+                    [sink, sz, t] { *sink += sz + t; });
     t = q.pop_and_run();
-  }
-  state.SetItemsProcessed(state.iterations());
+    return t;
+  });
+  emit_record(path, "event_queue", "schedule_pop_completion",
+              "\"impl\":\"" + impl +
+                  "\",\"backlog\":" + std::to_string(backlog),
+              ns, kIters);
+  return ns;
 }
-BENCHMARK(BM_CancellableSchedulePop);
 
-void BM_CancelHeavy(benchmark::State& state) {
-  // Half of all scheduled events get cancelled before they fire.
-  psd::EventQueue q;
+// One op: cancellable schedule (token allocation on the legacy path, slab
+// slot on the pooled path) with a completion-sized capture, then pop.
+template <typename Queue>
+double bench_cancellable(const std::string& impl, const std::string& path,
+                         std::size_t backlog) {
+  Queue q;
   psd::Rng rng(3);
-  double t = 0.0;
-  for (auto _ : state) {
-    auto h1 = q.schedule(t + rng.uniform01() * 10.0, [] {});
-    q.schedule_fast(t + rng.uniform01() * 10.0, [] {});
-    h1.cancel();
-    t = q.pop_and_run();
+  double t = 0.0, acc = 0.0;
+  double* sink = &acc;
+  for (std::size_t i = 0; i < backlog; ++i) {
+    const double sz = rng.uniform01();
+    q.schedule(t + rng.uniform01() * 100.0, [sink, sz, t] { *sink += sz; });
   }
-  state.SetItemsProcessed(state.iterations());
+  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+    const double sz = rng.uniform01();
+    auto h =
+        q.schedule(t + rng.uniform01() * 100.0, [sink, sz, t] { *sink += sz; });
+    const double alive = h.pending() ? 1.0 : 0.0;
+    t = q.pop_and_run();
+    return t + alive;
+  });
+  emit_record(path, "event_queue", "cancellable",
+              "\"impl\":\"" + impl +
+                  "\",\"backlog\":" + std::to_string(backlog),
+              ns, kIters);
+  return ns;
 }
-BENCHMARK(BM_CancelHeavy);
+
+// One op: schedule a cancellable + a fast event (completion-sized captures),
+// cancel the first, pop one.  Half of all scheduled events die before firing
+// — the dedicated-rate backend's reallocation churn.  On the legacy path
+// every op pays two std::function allocations plus one make_shared.
+template <typename Queue>
+double bench_cancel_heavy(const std::string& impl, const std::string& path) {
+  Queue q;
+  psd::Rng rng(5);
+  double t = 0.0, acc = 0.0;
+  double* sink = &acc;
+  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+    const double sz = rng.uniform01();
+    auto h =
+        q.schedule(t + rng.uniform01() * 10.0, [sink, sz, t] { *sink += sz; });
+    q.schedule_fast(t + rng.uniform01() * 10.0,
+                    [sink, sz, t] { *sink += sz + t; });
+    h.cancel();
+    t = q.pop_and_run();
+    return t;
+  });
+  emit_record(path, "event_queue", "cancel_heavy",
+              "\"impl\":\"" + impl + "\"", ns, kIters);
+  return ns;
+}
+
+// One op = one simulated "request" at a realistic pending-set size (a real
+// run keeps ~tens of events pending: per-class completions, next arrivals,
+// the reallocation timer):
+//   1. cancellable arrival event (generator pattern),
+//   2. cancellable completion event, immediately cancelled and rescheduled
+//      (the dedicated-rate backend's set_rates pattern),
+//   3. one fast event (timer tick),
+//   4. pop three events to keep the set in steady state.
+template <typename Queue>
+double bench_hot_path_mix(const std::string& impl, const std::string& path,
+                          std::size_t backlog) {
+  Queue q;
+  psd::Rng rng(4);
+  double t = 0.0, acc = 0.0;
+  double* sink = &acc;
+  for (std::size_t i = 0; i < backlog; ++i) {
+    q.schedule_fast(t + rng.uniform01() * 8.0, [] {});
+  }
+  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+    const double sz = rng.uniform01();
+    q.schedule(t + rng.uniform01() * 8.0, [sink, sz, t] { *sink += sz + t; });
+    auto completion =
+        q.schedule(t + rng.uniform01() * 8.0, [sink, sz, t] { *sink += sz; });
+    completion.cancel();
+    q.schedule(t + 0.5 + rng.uniform01() * 8.0,
+               [sink, sz, t] { *sink += 2.0 * sz; });
+    q.schedule_fast(t + rng.uniform01() * 8.0, [sink, t] { *sink += t; });
+    t = q.pop_and_run();
+    t = q.pop_and_run();
+    t = q.pop_and_run();
+    return t;
+  });
+  emit_record(path, "event_queue", "hot_path_mix",
+              "\"impl\":\"" + impl +
+                  "\",\"backlog\":" + std::to_string(backlog),
+              ns, kIters);
+  return ns;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : psd::bench::kDefaultRecordsPath;
+
+  for (std::size_t backlog : {std::size_t{64}, std::size_t{4096},
+                              std::size_t{32768}}) {
+    bench_schedule_pop_empty<psd::bench::LegacyEventQueue>("legacy", path,
+                                                           backlog);
+    bench_schedule_pop_empty<psd::EventQueue>("pooled", path, backlog);
+  }
+  for (std::size_t backlog : {std::size_t{32}, std::size_t{1024}}) {
+    bench_schedule_pop_completion<psd::bench::LegacyEventQueue>("legacy", path,
+                                                                backlog);
+    bench_schedule_pop_completion<psd::EventQueue>("pooled", path, backlog);
+  }
+  bench_cancellable<psd::bench::LegacyEventQueue>("legacy", path, 1024);
+  bench_cancellable<psd::EventQueue>("pooled", path, 1024);
+
+  const double legacy_churn =
+      bench_cancel_heavy<psd::bench::LegacyEventQueue>("legacy", path);
+  const double pooled_churn = bench_cancel_heavy<psd::EventQueue>("pooled", path);
+
+  const double legacy_mix =
+      bench_hot_path_mix<psd::bench::LegacyEventQueue>("legacy", path, 32);
+  const double pooled_mix =
+      bench_hot_path_mix<psd::EventQueue>("pooled", path, 32);
+
+  std::printf("cancel-churn speedup: %.2fx (legacy %.1f -> pooled %.1f ns/op)\n",
+              legacy_churn / pooled_churn, legacy_churn, pooled_churn);
+  std::printf("hot-path-mix speedup: %.2fx (legacy %.1f -> pooled %.1f "
+              "ns/request)\n",
+              legacy_mix / pooled_mix, legacy_mix, pooled_mix);
+  return 0;
+}

@@ -1,63 +1,71 @@
 // Microbenchmark M4: end-to-end simulation throughput — requests simulated
 // per second for the full Fig.-1 server (generator + queues + estimator +
-// eq.-17 allocator + dedicated backend), the rate that bounds every
-// figure-reproduction bench.
-#include <benchmark/benchmark.h>
+// eq.-17 allocator + backend), the rate that bounds every figure-
+// reproduction bench.  Appends records to BENCH_event_core.json (JSONL)
+// alongside micro_event_queue's, so the whole event-core perf trajectory
+// lives in one file.
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "experiment/runner.hpp"
+#include "json_bench.hpp"
 
 namespace {
 
-void BM_FullServerSimulation(benchmark::State& state) {
-  const double load = static_cast<double>(state.range(0)) / 100.0;
-  psd::ScenarioConfig cfg;
-  cfg.delta = {1.0, 2.0};
-  cfg.load = load;
-  cfg.warmup_tu = 500.0;
-  cfg.measure_tu = 5000.0;
+using psd::bench::emit_record;
+
+void bench_scenario(const std::string& path, const std::string& bench,
+                    psd::ScenarioConfig cfg, int repeats) {
+  // Warmup run: faults in code paths and sizes all the arena vectors.
   std::uint64_t requests = 0;
-  std::uint64_t run = 0;
-  for (auto _ : state) {
-    const auto r = psd::run_scenario(cfg, run++);
+  (void)psd::run_scenario(cfg, 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto r = psd::run_scenario(cfg, static_cast<std::uint64_t>(rep));
     requests += r.submitted;
-    benchmark::DoNotOptimize(r.system_slowdown);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(requests));
-  state.counters["requests/run"] =
-      static_cast<double>(requests) / static_cast<double>(run);
+  const auto done = std::chrono::steady_clock::now();
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(done - start)
+          .count());
+  const double ns_per_req = ns / static_cast<double>(requests);
+  emit_record(path, "simulator", bench,
+              "\"impl\":\"pooled\",\"requests\":" + std::to_string(requests),
+              ns_per_req, requests);
 }
-BENCHMARK(BM_FullServerSimulation)->Arg(30)->Arg(60)->Arg(90)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ThreeClassSimulation(benchmark::State& state) {
-  psd::ScenarioConfig cfg;
-  cfg.delta = {1.0, 2.0, 3.0};
-  cfg.load = 0.7;
-  cfg.warmup_tu = 500.0;
-  cfg.measure_tu = 5000.0;
-  std::uint64_t run = 0;
-  for (auto _ : state) {
-    const auto r = psd::run_scenario(cfg, run++);
-    benchmark::DoNotOptimize(r.system_slowdown);
-  }
-}
-BENCHMARK(BM_ThreeClassSimulation)->Unit(benchmark::kMillisecond);
-
-void BM_SfqSimulation(benchmark::State& state) {
-  psd::ScenarioConfig cfg;
-  cfg.delta = {1.0, 2.0};
-  cfg.load = 0.7;
-  cfg.backend = psd::BackendKind::kSfq;
-  cfg.warmup_tu = 500.0;
-  cfg.measure_tu = 5000.0;
-  std::uint64_t run = 0;
-  for (auto _ : state) {
-    const auto r = psd::run_scenario(cfg, run++);
-    benchmark::DoNotOptimize(r.system_slowdown);
-  }
-}
-BENCHMARK(BM_SfqSimulation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : psd::bench::kDefaultRecordsPath;
+
+  for (int load : {30, 60, 90}) {
+    psd::ScenarioConfig cfg;
+    cfg.delta = {1.0, 2.0};
+    cfg.load = static_cast<double>(load) / 100.0;
+    cfg.warmup_tu = 500.0;
+    cfg.measure_tu = 5000.0;
+    bench_scenario(path, "full_server_load" + std::to_string(load), cfg, 8);
+  }
+  {
+    psd::ScenarioConfig cfg;
+    cfg.delta = {1.0, 2.0, 3.0};
+    cfg.load = 0.7;
+    cfg.warmup_tu = 500.0;
+    cfg.measure_tu = 5000.0;
+    bench_scenario(path, "three_class", cfg, 8);
+  }
+  {
+    psd::ScenarioConfig cfg;
+    cfg.delta = {1.0, 2.0};
+    cfg.load = 0.7;
+    cfg.backend = psd::BackendKind::kSfq;
+    cfg.warmup_tu = 500.0;
+    cfg.measure_tu = 5000.0;
+    bench_scenario(path, "sfq", cfg, 8);
+  }
+  std::printf("done; records appended\n");
+  return 0;
+}

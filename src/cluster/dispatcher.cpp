@@ -93,7 +93,7 @@ std::size_t Cluster::route(const Request& req) {
       return static_cast<std::size_t>(it - cutoffs_.begin());
     }
   }
-  PSD_CHECK(false, "unknown assignment policy");
+  PSD_UNREACHABLE("unknown assignment policy");
 }
 
 void Cluster::submit(Request req) {

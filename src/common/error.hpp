@@ -2,7 +2,10 @@
 //
 // PSD_REQUIRE guards public-API preconditions (throws std::invalid_argument,
 // always on).  PSD_CHECK guards internal invariants (throws std::logic_error,
-// always on; these sit off hot paths so the cost is negligible).
+// always on).  Both sit on hot paths (the event core REQUIREs per event), so
+// the throw helpers take only const char* and are marked cold/noinline: the
+// call site is a single predicted branch + call, with no std::string
+// construction or stream code inlined into the fast path.
 #pragma once
 
 #include <sstream>
@@ -11,32 +14,50 @@
 
 namespace psd::detail {
 
-[[noreturn]] inline void throw_require(const char* expr, const char* file,
-                                       int line, const std::string& msg) {
+[[noreturn]] __attribute__((cold, noinline)) inline void throw_require(
+    const char* expr, const char* file, int line, const char* msg) {
   std::ostringstream os;
   os << "precondition failed: (" << expr << ") at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
+  if (msg != nullptr && msg[0] != '\0') os << " — " << msg;
   throw std::invalid_argument(os.str());
 }
 
-[[noreturn]] inline void throw_check(const char* expr, const char* file,
-                                     int line, const std::string& msg) {
+[[noreturn]] __attribute__((cold, noinline)) inline void throw_check(
+    const char* expr, const char* file, int line, const char* msg) {
   std::ostringstream os;
   os << "invariant violated: (" << expr << ") at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
+  if (msg != nullptr && msg[0] != '\0') os << " — " << msg;
   throw std::logic_error(os.str());
+}
+
+// std::string overloads for the rare cold sites that build dynamic messages.
+[[noreturn]] __attribute__((cold, noinline)) inline void throw_require(
+    const char* expr, const char* file, int line, const std::string& msg) {
+  throw_require(expr, file, line, msg.c_str());
+}
+
+[[noreturn]] __attribute__((cold, noinline)) inline void throw_check(
+    const char* expr, const char* file, int line, const std::string& msg) {
+  throw_check(expr, file, line, msg.c_str());
 }
 
 }  // namespace psd::detail
 
 #define PSD_REQUIRE(cond, msg)                                      \
   do {                                                              \
-    if (!(cond))                                                    \
+    if (__builtin_expect(!(cond), 0))                               \
       ::psd::detail::throw_require(#cond, __FILE__, __LINE__, msg); \
   } while (false)
 
 #define PSD_CHECK(cond, msg)                                      \
   do {                                                            \
-    if (!(cond))                                                  \
+    if (__builtin_expect(!(cond), 0))                             \
       ::psd::detail::throw_check(#cond, __FILE__, __LINE__, msg); \
   } while (false)
+
+// Terminal "can't happen" marker (exhaustive switch fall-throughs).  A plain
+// PSD_CHECK(false, ...) leaves the false-branch fall-through in the CFG, so
+// functions ending with it trip -Wreturn-type at -O0; the unconditional
+// [[noreturn]] call here terminates control flow for the front end too.
+#define PSD_UNREACHABLE(msg) \
+  ::psd::detail::throw_check("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,58 @@
+#include "dist/bounded_exponential.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace psd {
+
+BoundedExponential::BoundedExponential(double mean, double lo, double hi)
+    : m_(mean), lo_(lo), hi_(hi) {
+  PSD_REQUIRE(mean > 0.0, "mean must be positive");
+  PSD_REQUIRE(lo > 0.0, "lower bound must be positive");
+  PSD_REQUIRE(lo < hi, "need lo < hi");
+  const double elo = std::exp(-lo_ / m_);
+  const double ehi = std::exp(-hi_ / m_);
+  z_ = elo - ehi;
+  // Antiderivatives of x (1/m) e^{-x/m} and x^2 (1/m) e^{-x/m}:
+  //   -(x + m) e^{-x/m}   and   -(x^2 + 2 m x + 2 m^2) e^{-x/m}.
+  mean_trunc_ = ((lo_ + m_) * elo - (hi_ + m_) * ehi) / z_;
+  m2_ = ((lo_ * lo_ + 2.0 * m_ * lo_ + 2.0 * m_ * m_) * elo -
+         (hi_ * hi_ + 2.0 * m_ * hi_ + 2.0 * m_ * m_) * ehi) /
+        z_;
+  mean_inv_ = integrate([this](double x) { return pdf(x) / x; }, lo_, hi_,
+                        1e-12);
+}
+
+double BoundedExponential::pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return std::exp(-x / m_) / (m_ * z_);
+}
+
+double BoundedExponential::sample(Rng& rng) const {
+  // Inverse CDF: F(x) = (e^{-lo/m} - e^{-x/m}) / Z.
+  const double u = rng.uniform01();
+  return -m_ * std::log(std::exp(-lo_ / m_) - u * z_);
+}
+
+std::unique_ptr<SizeDistribution> BoundedExponential::scaled_by_rate(
+    double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  // X/r is the exponential of mean m/r truncated to [lo/r, hi/r].
+  return std::make_unique<BoundedExponential>(m_ / rate, lo_ / rate,
+                                              hi_ / rate);
+}
+
+std::unique_ptr<SizeDistribution> BoundedExponential::clone() const {
+  return std::make_unique<BoundedExponential>(m_, lo_, hi_);
+}
+
+std::string BoundedExponential::name() const {
+  std::ostringstream os;
+  os << "bexp(" << m_ << ',' << lo_ << ',' << hi_ << ')';
+  return os.str();
+}
+
+}  // namespace psd

@@ -1,0 +1,40 @@
+// Exponential of mean m truncated to [lo, hi], lo > 0.  The minimal fix that
+// makes E[1/X] finite for an exponential-shaped law: bounding the support
+// away from zero is exactly what the paper's slowdown analysis requires.
+//
+//   pdf(x) = (1/m) e^{-x/m} / Z on [lo, hi],  Z = e^{-lo/m} - e^{-hi/m}.
+//
+// E[X] and E[X^2] are elementary; E[1/X] is an exponential-integral and is
+// evaluated once by adaptive quadrature at construction.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class BoundedExponential final : public SizeDistribution {
+ public:
+  /// `mean` is the mean of the *untruncated* exponential.
+  BoundedExponential(double mean, double lo, double hi);
+
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_trunc_; }
+  double second_moment() const override { return m2_; }
+  double mean_inverse() const override { return mean_inv_; }
+  double min_value() const override { return lo_; }
+  double max_value() const override { return hi_; }
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
+  std::unique_ptr<SizeDistribution> clone() const override;
+  std::string name() const override;
+
+  double pdf(double x) const;
+
+ private:
+  double m_, lo_, hi_;
+  double z_;           ///< Normalizing mass e^{-lo/m} - e^{-hi/m}.
+  double mean_trunc_;  ///< E[X] of the truncated law.
+  double m2_;          ///< E[X^2].
+  double mean_inv_;    ///< E[1/X], by quadrature.
+};
+
+}  // namespace psd

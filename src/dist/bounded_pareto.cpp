@@ -1,0 +1,62 @@
+#include "dist/bounded_pareto.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+BoundedPareto::BoundedPareto(double alpha, double k, double p)
+    : alpha_(alpha), k_(k), p_(p) {
+  PSD_REQUIRE(alpha > 0.0, "alpha must be positive");
+  PSD_REQUIRE(k > 0.0, "lower bound k must be positive");
+  PSD_REQUIRE(k < p, "need k < p");
+  one_minus_kp_ = 1.0 - std::pow(k_ / p_, alpha_);
+  g_ = alpha_ * std::pow(k_, alpha_) / one_minus_kp_;
+}
+
+double BoundedPareto::moment(double n) const {
+  // E[X^n] = g \int_k^p x^{n-alpha-1} dx; the antiderivative switches to a
+  // logarithm when the exponent n-alpha-1 hits -1.
+  const double d = n - alpha_;
+  if (std::abs(d) < 1e-12) return g_ * std::log(p_ / k_);
+  return g_ * (std::pow(p_, d) - std::pow(k_, d)) / d;
+}
+
+double BoundedPareto::pdf(double x) const {
+  if (x < k_ || x > p_) return 0.0;
+  return g_ * std::pow(x, -alpha_ - 1.0);
+}
+
+double BoundedPareto::cdf(double x) const {
+  if (x <= k_) return 0.0;
+  if (x >= p_) return 1.0;
+  return (1.0 - std::pow(k_ / x, alpha_)) / one_minus_kp_;
+}
+
+double BoundedPareto::inv_cdf(double u) const {
+  PSD_REQUIRE(u >= 0.0 && u < 1.0, "quantile argument must be in [0, 1)");
+  // Invert u = (1 - (k/x)^a) / (1 - (k/p)^a).
+  return k_ * std::pow(1.0 - u * one_minus_kp_, -1.0 / alpha_);
+}
+
+double BoundedPareto::sample(Rng& rng) const { return inv_cdf(rng.uniform01()); }
+
+std::unique_ptr<SizeDistribution> BoundedPareto::scaled_by_rate(
+    double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return std::make_unique<BoundedPareto>(alpha_, k_ / rate, p_ / rate);
+}
+
+std::unique_ptr<SizeDistribution> BoundedPareto::clone() const {
+  return std::make_unique<BoundedPareto>(alpha_, k_, p_);
+}
+
+std::string BoundedPareto::name() const {
+  std::ostringstream os;
+  os << "bp(" << alpha_ << ',' << k_ << ',' << p_ << ')';
+  return os.str();
+}
+
+}  // namespace psd

@@ -1,0 +1,51 @@
+// Bounded Pareto BP(alpha, k, p) — the paper's service-time model (§4.1):
+// heavy-tailed like real web object sizes, yet with finite E[X^2] and E[1/X]
+// because the support is the bounded interval [k, p].
+//
+//   pdf(x) = g x^{-alpha-1} on [k, p],  g = alpha k^alpha / (1 - (k/p)^alpha)
+//   E[X^n] = g (p^{n-alpha} - k^{n-alpha}) / (n - alpha)   (n != alpha)
+//          = g ln(p/k)                                     (n == alpha)
+//
+// Closed under Lemma-2 rate scaling: X/r ~ BP(alpha, k/r, p/r).
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class BoundedPareto final : public SizeDistribution {
+ public:
+  /// alpha > 0, 0 < k < p.
+  BoundedPareto(double alpha, double k, double p);
+
+  double sample(Rng& rng) const override;
+  double mean() const override { return moment(1.0); }
+  double second_moment() const override { return moment(2.0); }
+  double mean_inverse() const override { return moment(-1.0); }
+  double min_value() const override { return k_; }
+  double max_value() const override { return p_; }
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
+  std::unique_ptr<SizeDistribution> clone() const override;
+  std::string name() const override;
+
+  /// E[X^n] for any real n (closed form; log form at n == alpha).
+  double moment(double n) const;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  /// Quantile function; u in [0, 1).
+  double inv_cdf(double u) const;
+
+  double alpha() const { return alpha_; }
+  double lower() const { return k_; }
+  double upper() const { return p_; }
+  /// The pdf prefactor g (pdf(x) = g x^{-alpha-1}).
+  double normalizer() const { return g_; }
+
+ private:
+  double alpha_, k_, p_;
+  double g_;            ///< pdf prefactor.
+  double one_minus_kp_; ///< 1 - (k/p)^alpha, cached for inv_cdf.
+};
+
+}  // namespace psd

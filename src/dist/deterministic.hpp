@@ -1,0 +1,47 @@
+// Point mass at v: the M/D/1 special case of the paper's eq. 15, and the
+// near-constant service demands of the session workload's "home entry" /
+// "register" states (§2.2).
+#pragma once
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class Deterministic final : public SizeDistribution {
+ public:
+  explicit Deterministic(double value) : v_(value) {
+    PSD_REQUIRE(value > 0.0, "deterministic size must be positive");
+  }
+
+  double sample(Rng&) const override { return v_; }
+  double mean() const override { return v_; }
+  double second_moment() const override { return v_ * v_; }
+  double mean_inverse() const override { return 1.0 / v_; }
+  double min_value() const override { return v_; }
+  double max_value() const override { return v_; }
+
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
+    PSD_REQUIRE(rate > 0.0, "rate must be positive");
+    return std::make_unique<Deterministic>(v_ / rate);
+  }
+
+  std::unique_ptr<SizeDistribution> clone() const override {
+    return std::make_unique<Deterministic>(v_);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "det(" << v_ << ')';
+    return os.str();
+  }
+
+  double value() const { return v_; }
+
+ private:
+  double v_;
+};
+
+}  // namespace psd

@@ -1,0 +1,59 @@
+// Service-time ("request size") distribution interface.
+//
+// The paper's analysis (Lemma 1, Theorem 1) needs exactly three scalars from
+// the service-time law: E[X], E[X^2], and E[1/X].  The last one is the
+// slowdown-specific moment — it exists for every bounded-below distribution
+// but diverges for, e.g., the unbounded exponential, which is precisely the
+// paper's argument for the Bounded Pareto model.  Implementations expose the
+// closed forms, report divergence by throwing std::domain_error, and support
+// Lemma-2 rate scaling: if X has law F, the same work served at rate r takes
+// time X/r, so scaled_by_rate(r) returns the law of X/r with
+//   E[X/r] = E[X]/r,  E[(X/r)^2] = E[X^2]/r^2,  E[r/X] = r E[1/X].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace psd {
+
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+
+  /// Draw one variate (always > 0).
+  virtual double sample(Rng& rng) const = 0;
+
+  /// E[X].  May be +inf (e.g. unbounded Pareto with alpha <= 1).
+  virtual double mean() const = 0;
+
+  /// E[X^2].  May be +inf.
+  virtual double second_moment() const = 0;
+
+  /// E[1/X].  Throws std::domain_error when the integral diverges.
+  virtual double mean_inverse() const = 0;
+
+  /// Infimum of the support (0 when unbounded below towards zero).
+  virtual double min_value() const = 0;
+
+  /// Supremum of the support (+inf when unbounded above).
+  virtual double max_value() const = 0;
+
+  /// Law of X/r: the same work processed at rate r (paper Lemma 2).
+  virtual std::unique_ptr<SizeDistribution> scaled_by_rate(double rate)
+      const = 0;
+
+  virtual std::unique_ptr<SizeDistribution> clone() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Squared coefficient of variation: Var[X] / E[X]^2.
+  double scv() const {
+    const double m = mean();
+    return (second_moment() - m * m) / (m * m);
+  }
+};
+
+}  // namespace psd

@@ -1,0 +1,68 @@
+// Empirical distribution: resamples uniformly from a fixed set of observed
+// values (e.g. a recorded trace's request sizes).  Moments are the sample
+// moments of the value set.
+#pragma once
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class Empirical final : public SizeDistribution {
+ public:
+  explicit Empirical(std::vector<double> values) : values_(std::move(values)) {
+    PSD_REQUIRE(!values_.empty(), "empirical distribution needs values");
+    double s = 0.0, s2 = 0.0, sinv = 0.0;
+    for (double v : values_) {
+      PSD_REQUIRE(v > 0.0, "empirical values must be positive");
+      s += v;
+      s2 += v * v;
+      sinv += 1.0 / v;
+    }
+    const double n = static_cast<double>(values_.size());
+    mean_ = s / n;
+    m2_ = s2 / n;
+    mean_inv_ = sinv / n;
+    min_ = *std::min_element(values_.begin(), values_.end());
+    max_ = *std::max_element(values_.begin(), values_.end());
+  }
+
+  double sample(Rng& rng) const override {
+    return values_[rng.below(values_.size())];
+  }
+  double mean() const override { return mean_; }
+  double second_moment() const override { return m2_; }
+  double mean_inverse() const override { return mean_inv_; }
+  double min_value() const override { return min_; }
+  double max_value() const override { return max_; }
+
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
+    PSD_REQUIRE(rate > 0.0, "rate must be positive");
+    std::vector<double> scaled;
+    scaled.reserve(values_.size());
+    for (double v : values_) scaled.push_back(v / rate);
+    return std::make_unique<Empirical>(std::move(scaled));
+  }
+
+  std::unique_ptr<SizeDistribution> clone() const override {
+    return std::make_unique<Empirical>(values_);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "empirical(n=" << values_.size() << ')';
+    return os.str();
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  double mean_, m2_, mean_inv_, min_, max_;
+};
+
+}  // namespace psd

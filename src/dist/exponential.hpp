@@ -1,0 +1,51 @@
+// Exponential service times (mean m).  Included as the classical M/M/1
+// reference point; note E[1/X] diverges (the integral of x^{-1} e^{-x/m}
+// blows up at the origin), which is the paper's related-work argument that
+// *slowdown* differentiation needs a distribution bounded away from zero.
+#pragma once
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class Exponential final : public SizeDistribution {
+ public:
+  explicit Exponential(double mean) : mean_(mean) {
+    PSD_REQUIRE(mean > 0.0, "mean must be positive");
+  }
+
+  double sample(Rng& rng) const override {
+    return rng.exponential(1.0 / mean_);
+  }
+  double mean() const override { return mean_; }
+  double second_moment() const override { return 2.0 * mean_ * mean_; }
+  double mean_inverse() const override {
+    throw std::domain_error(
+        "E[1/X] diverges for the (unbounded) exponential distribution");
+  }
+  double min_value() const override { return 0.0; }
+  double max_value() const override { return kInf; }
+
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
+    PSD_REQUIRE(rate > 0.0, "rate must be positive");
+    return std::make_unique<Exponential>(mean_ / rate);
+  }
+
+  std::unique_ptr<SizeDistribution> clone() const override {
+    return std::make_unique<Exponential>(mean_);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "exp(" << mean_ << ')';
+    return os.str();
+  }
+
+ private:
+  double mean_;
+};
+
+}  // namespace psd

@@ -1,0 +1,52 @@
+// Value-type distribution specification + factory.
+//
+// Configs (ScenarioConfig, SessionState, ClassSpec) need a copyable,
+// comparable description of a service-time law that can cross thread and
+// serialization boundaries; the polymorphic SizeDistribution is built from it
+// on demand with make_distribution().
+#pragma once
+
+#include <memory>
+
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+struct DistSpec {
+  enum class Kind {
+    kBoundedPareto,        ///< a = alpha, b = k, c = p.
+    kDeterministic,        ///< a = value.
+    kExponential,          ///< a = mean.
+    kBoundedExponential,   ///< a = mean, b = lo, c = hi.
+    kLognormal,            ///< a = mean, b = scv.
+    kUniform,              ///< a = lo, b = hi.
+  };
+
+  Kind kind = Kind::kBoundedPareto;
+  double a = 1.5, b = 0.1, c = 100.0;
+
+  static DistSpec bounded_pareto(double alpha, double k, double p) {
+    return {Kind::kBoundedPareto, alpha, k, p};
+  }
+  static DistSpec deterministic(double value) {
+    return {Kind::kDeterministic, value, 0.0, 0.0};
+  }
+  static DistSpec exponential(double mean) {
+    return {Kind::kExponential, mean, 0.0, 0.0};
+  }
+  static DistSpec bounded_exponential(double mean, double lo, double hi) {
+    return {Kind::kBoundedExponential, mean, lo, hi};
+  }
+  /// Parameterized by target mean and squared coefficient of variation.
+  static DistSpec lognormal(double mean, double scv) {
+    return {Kind::kLognormal, mean, scv, 0.0};
+  }
+  static DistSpec uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi, 0.0};
+  }
+};
+
+/// Instantiate the distribution a spec describes.
+std::unique_ptr<SizeDistribution> make_distribution(const DistSpec& spec);
+
+}  // namespace psd

@@ -1,0 +1,36 @@
+// Lognormal(mu, sigma): ln X ~ N(mu, sigma^2).  All the paper-relevant
+// moments are closed-form (E[X^n] = exp(n mu + n^2 sigma^2 / 2), so E[1/X]
+// is just n = -1), making it a convenient moderately-heavy-tailed alternative
+// to the Bounded Pareto for sensitivity studies.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class Lognormal final : public SizeDistribution {
+ public:
+  /// Natural parameters: mu = E[ln X], sigma = Std[ln X] (sigma > 0).
+  Lognormal(double mu, double sigma);
+
+  /// Fit to a target mean and squared coefficient of variation.
+  static Lognormal from_mean_scv(double mean, double scv);
+
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double mean_inverse() const override;
+  double min_value() const override { return 0.0; }
+  double max_value() const override { return kInf; }
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
+  std::unique_ptr<SizeDistribution> clone() const override;
+  std::string name() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+}  // namespace psd

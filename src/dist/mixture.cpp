@@ -1,0 +1,91 @@
+#include "dist/mixture.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+Mixture::Mixture(std::vector<Component> components)
+    : comps_(std::move(components)) {
+  PSD_REQUIRE(!comps_.empty(), "mixture needs at least one component");
+  double total = 0.0;
+  for (const auto& c : comps_) {
+    PSD_REQUIRE(c.weight > 0.0, "component weights must be positive");
+    PSD_REQUIRE(c.dist != nullptr, "component distribution must be set");
+    total += c.weight;
+  }
+  cum_.reserve(comps_.size());
+  double acc = 0.0;
+  for (auto& c : comps_) {
+    c.weight /= total;
+    acc += c.weight;
+    cum_.push_back(acc);
+  }
+  cum_.back() = 1.0;  // guard against rounding in the final bucket
+}
+
+double Mixture::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const std::size_t i = static_cast<std::size_t>(it - cum_.begin());
+  return comps_[std::min(i, comps_.size() - 1)].dist->sample(rng);
+}
+
+double Mixture::mean() const {
+  double s = 0.0;
+  for (const auto& c : comps_) s += c.weight * c.dist->mean();
+  return s;
+}
+
+double Mixture::second_moment() const {
+  double s = 0.0;
+  for (const auto& c : comps_) s += c.weight * c.dist->second_moment();
+  return s;
+}
+
+double Mixture::mean_inverse() const {
+  double s = 0.0;
+  for (const auto& c : comps_) s += c.weight * c.dist->mean_inverse();
+  return s;
+}
+
+double Mixture::min_value() const {
+  double m = comps_.front().dist->min_value();
+  for (const auto& c : comps_) m = std::min(m, c.dist->min_value());
+  return m;
+}
+
+double Mixture::max_value() const {
+  double m = comps_.front().dist->max_value();
+  for (const auto& c : comps_) m = std::max(m, c.dist->max_value());
+  return m;
+}
+
+std::unique_ptr<SizeDistribution> Mixture::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  std::vector<Component> scaled;
+  scaled.reserve(comps_.size());
+  for (const auto& c : comps_) {
+    scaled.push_back(Component{c.weight, c.dist->scaled_by_rate(rate)});
+  }
+  return std::make_unique<Mixture>(std::move(scaled));
+}
+
+std::unique_ptr<SizeDistribution> Mixture::clone() const {
+  std::vector<Component> copies;
+  copies.reserve(comps_.size());
+  for (const auto& c : comps_) {
+    copies.push_back(Component{c.weight, c.dist->clone()});
+  }
+  return std::make_unique<Mixture>(std::move(copies));
+}
+
+std::string Mixture::name() const {
+  std::ostringstream os;
+  os << "mixture(" << comps_.size() << " components)";
+  return os.str();
+}
+
+}  // namespace psd

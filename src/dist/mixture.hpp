@@ -1,0 +1,42 @@
+// Finite mixture of size distributions: component i is chosen with
+// probability w_i / sum w and then sampled.  Used to collapse the session
+// workload's per-state distributions into one per-class law (visit-weighted
+// mixture), which feeds the heterogeneous PSD allocator.
+//
+// Moments are the weighted averages of component moments — including E[1/X],
+// since expectation is linear over the mixture decomposition.
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class Mixture final : public SizeDistribution {
+ public:
+  struct Component {
+    double weight = 0.0;  ///< Relative weight (> 0); normalized internally.
+    std::unique_ptr<SizeDistribution> dist;
+  };
+
+  explicit Mixture(std::vector<Component> components);
+
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double mean_inverse() const override;
+  double min_value() const override;
+  double max_value() const override;
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
+  std::unique_ptr<SizeDistribution> clone() const override;
+  std::string name() const override;
+
+  std::size_t components() const { return comps_.size(); }
+
+ private:
+  std::vector<Component> comps_;   ///< Weights normalized to sum 1.
+  std::vector<double> cum_;        ///< Cumulative weights for sampling.
+};
+
+}  // namespace psd

@@ -1,0 +1,57 @@
+// Unbounded Pareto(alpha, k): pdf alpha k^alpha x^{-alpha-1} on [k, inf).
+// The limiting case p -> inf of the paper's Bounded Pareto; kept around so
+// tests can demonstrate which moments stop existing (E[X] for alpha <= 1,
+// E[X^2] for alpha <= 2) while E[1/X] = alpha / ((alpha+1) k) always exists.
+#pragma once
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class Pareto final : public SizeDistribution {
+ public:
+  Pareto(double alpha, double k) : alpha_(alpha), k_(k) {
+    PSD_REQUIRE(alpha > 0.0, "alpha must be positive");
+    PSD_REQUIRE(k > 0.0, "lower bound k must be positive");
+  }
+
+  double sample(Rng& rng) const override {
+    // Inverse CDF on u in (0, 1]: x = k u^{-1/alpha}.
+    return k_ * std::pow(rng.uniform01_open_low(), -1.0 / alpha_);
+  }
+  double mean() const override {
+    return alpha_ > 1.0 ? alpha_ * k_ / (alpha_ - 1.0) : kInf;
+  }
+  double second_moment() const override {
+    return alpha_ > 2.0 ? alpha_ * k_ * k_ / (alpha_ - 2.0) : kInf;
+  }
+  double mean_inverse() const override {
+    return alpha_ / ((alpha_ + 1.0) * k_);
+  }
+  double min_value() const override { return k_; }
+  double max_value() const override { return kInf; }
+
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
+    PSD_REQUIRE(rate > 0.0, "rate must be positive");
+    return std::make_unique<Pareto>(alpha_, k_ / rate);
+  }
+
+  std::unique_ptr<SizeDistribution> clone() const override {
+    return std::make_unique<Pareto>(alpha_, k_);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "pareto(" << alpha_ << ',' << k_ << ')';
+    return os.str();
+  }
+
+ private:
+  double alpha_, k_;
+};
+
+}  // namespace psd

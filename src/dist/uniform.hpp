@@ -1,0 +1,52 @@
+// Uniform on [lo, hi], lo > 0.  Light-tailed contrast case:
+//   E[X]   = (lo + hi) / 2
+//   E[X^2] = (lo^2 + lo hi + hi^2) / 3
+//   E[1/X] = ln(hi/lo) / (hi - lo)
+#pragma once
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+
+namespace psd {
+
+class UniformSize final : public SizeDistribution {
+ public:
+  UniformSize(double lo, double hi) : lo_(lo), hi_(hi) {
+    PSD_REQUIRE(lo > 0.0, "lower bound must be positive");
+    PSD_REQUIRE(lo < hi, "need lo < hi");
+  }
+
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double second_moment() const override {
+    return (lo_ * lo_ + lo_ * hi_ + hi_ * hi_) / 3.0;
+  }
+  double mean_inverse() const override {
+    return std::log(hi_ / lo_) / (hi_ - lo_);
+  }
+  double min_value() const override { return lo_; }
+  double max_value() const override { return hi_; }
+
+  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
+    PSD_REQUIRE(rate > 0.0, "rate must be positive");
+    return std::make_unique<UniformSize>(lo_ / rate, hi_ / rate);
+  }
+
+  std::unique_ptr<SizeDistribution> clone() const override {
+    return std::make_unique<UniformSize>(lo_, hi_);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "uniform(" << lo_ << ',' << hi_ << ')';
+    return os.str();
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+}  // namespace psd

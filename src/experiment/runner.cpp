@@ -42,7 +42,7 @@ std::unique_ptr<SchedulerBackend> make_backend(const ScenarioConfig& cfg,
     case BackendKind::kStrict:
       return make_strict_backend(cfg.num_classes());
   }
-  PSD_CHECK(false, "unknown backend kind");
+  PSD_UNREACHABLE("unknown backend kind");
 }
 
 std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
@@ -67,7 +67,7 @@ std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
     case AllocatorKind::kNone:
       return nullptr;
   }
-  PSD_CHECK(false, "unknown allocator kind");
+  PSD_UNREACHABLE("unknown allocator kind");
 }
 
 std::unique_ptr<ArrivalProcess> make_arrivals(const ScenarioConfig& cfg,
@@ -80,7 +80,7 @@ std::unique_ptr<ArrivalProcess> make_arrivals(const ScenarioConfig& cfg,
     case ArrivalKind::kBursty:
       return make_bursty_arrivals(rate, cfg.burstiness);
   }
-  PSD_CHECK(false, "unknown arrival kind");
+  PSD_UNREACHABLE("unknown arrival kind");
 }
 
 }  // namespace

@@ -13,7 +13,6 @@
 //     HPD delay-differentiation baselines, which ignore rates entirely).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,8 +24,10 @@
 namespace psd {
 
 /// Invoked exactly once per request at completion; the request has
-/// service_start, departure and service_elapsed filled in.
-using CompletionFn = std::function<void(Request&&)>;
+/// service_start, departure and service_elapsed filled in.  A non-allocating
+/// delegate (see sim/delegate.hpp): completion observers capture at most a
+/// few pointers.
+using CompletionFn = InlineFunction<void(Request&&)>;
 
 class SchedulerBackend {
  public:

@@ -7,6 +7,7 @@
 // "the processing rate was reallocated for every thousand time units".
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 

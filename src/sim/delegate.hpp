@@ -1,0 +1,84 @@
+// InlineFunction: a small-object-only, non-allocating delegate.
+//
+// The discrete-event hot path schedules millions of short-lived callbacks;
+// std::function would heap-allocate each one whose captures exceed its tiny
+// internal buffer (and libstdc++ allocates for anything beyond one pointer
+// with a non-trivial type).  InlineFunction instead stores the callable in a
+// fixed 48-byte inline buffer and has NO heap fallback: a callback that does
+// not fit, is over-aligned, or is not trivially copyable fails to compile via
+// static_assert.  That contract is what lets EventQueue treat event payloads
+// as raw trivially-copyable bytes (memcpy-movable slab slots, no destructor
+// bookkeeping).
+//
+// Simulation callbacks capture a `this` pointer plus a couple of scalars —
+// at most ~24 bytes today — so 48 bytes leaves generous headroom while
+// keeping a pool slot (delegate + bookkeeping) to one cache line.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace psd {
+
+template <typename Signature>
+class InlineFunction;  // primary template intentionally undefined
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
+ public:
+  /// Inline storage for the callable's captures.
+  static constexpr std::size_t kBufferSize = 48;
+  static constexpr std::size_t kBufferAlign = alignof(void*);
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Construct the callable directly in the inline buffer — lets owners
+  /// (e.g. the event queue's slab) build the payload in place instead of
+  /// copying a full InlineFunction through the call chain.
+  template <typename F>
+  void emplace(F&& f) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineFunction>) {
+      *this = std::forward<F>(f);
+    } else {
+      using Fn = std::decay_t<F>;
+      static_assert(sizeof(Fn) <= kBufferSize,
+                    "callback captures exceed the 48-byte inline buffer; "
+                    "InlineFunction has no heap fallback by design — capture "
+                    "a pointer to bulky state instead");
+      static_assert(alignof(Fn) <= kBufferAlign,
+                    "callback alignment exceeds pointer alignment");
+      static_assert(std::is_trivially_copyable_v<Fn>,
+                    "callbacks must be trivially copyable so event payloads "
+                    "can be relocated with memcpy (capture raw pointers or "
+                    "references, not owning containers)");
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* buf, Args&&... args) -> R {
+        return (*static_cast<Fn*>(buf))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  /// Invoke.  Precondition: non-empty (enforced by every scheduling site;
+  /// an empty delegate is only ever produced by default construction).
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  alignas(kBufferAlign) unsigned char buf_[kBufferSize];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+};
+
+}  // namespace psd

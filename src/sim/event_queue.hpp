@@ -1,83 +1,337 @@
-// Pending-event set for the discrete-event engine.
+// Pending-event set for the discrete-event engine — allocation-free in
+// steady state.
 //
-// A binary min-heap keyed on (time, sequence).  The sequence number makes
-// simultaneous events fire in schedule order, which keeps runs deterministic
-// — a property the replication harness relies on.
+// Three structures cooperate:
+//
+//   * heap_  — a 4-ary min-heap of 16-byte POD entries keyed on (time, seq).
+//     The sequence number makes simultaneous events fire in schedule order,
+//     which keeps runs deterministic — a property the replication harness
+//     relies on.  Keys are packed separately from payloads: sift operations
+//     compare and move only the small key entries, never the 64-byte payload
+//     slots, and four children span exactly one cache line.
+//   * slots_ — a slab pool of payload slots (callback + owner tag).  Every
+//     scheduled event owns exactly one slot for the lifetime of its heap
+//     entry; slots are recycled through a free stack when the entry
+//     surfaces at the top.
+//   * EventHandle — a trivially-copyable {queue, slot, owner} token.
+//     The owner tag is the event's globally-unique sequence number, so a
+//     handle whose tag no longer matches its slot is stale and every
+//     operation on it is a no-op (cancel-after-fire, double-cancel,
+//     reuse-after-recycle) — with no generation counter to ever wrap.
+//
 // Cancellation is lazy: a cancelled entry stays in the heap and is skipped
-// when it reaches the top, which is O(1) amortized and avoids heap surgery.
+// (and its slot freed) when it reaches the top — O(1) amortized, no heap
+// surgery.  An exact pending-event counter makes empty()/size() genuinely
+// const, non-pruning observers.
+//
+// Steady-state schedule/pop cycles perform zero heap allocations: callbacks
+// live inline in their slot (InlineFunction has no heap fallback), handles
+// carry no ownership, and heap_/slots_/free_ reuse their high-water
+// capacity.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
+#include "sim/delegate.hpp"
 
 namespace psd {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFunction<void()>;
 
-/// Shared token that lets a scheduler invalidate an event after the fact.
+class EventQueue;
+
+/// Cancellation token for a scheduled event.  Trivially copyable; copies
+/// alias the same event.  Must not outlive the EventQueue it came from.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True while the event is still pending (not fired, not cancelled).
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const;
 
   /// Cancel; no-op if already fired or cancelled.
-  void cancel() {
-    if (state_) *state_ = true;
-  }
+  void cancel();
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> s) : state_(std::move(s)) {}
-  std::shared_ptr<bool> state_;  ///< true == cancelled-or-fired.
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint64_t owner)
+      : queue_(q), slot_(slot), owner_(owner) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t owner_ = 0;
 };
 
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `t`; returns a cancellable handle.
-  EventHandle schedule(Time t, EventFn fn);
+  EventQueue() = default;
+  // Outstanding EventHandles point into this queue; copying or moving it
+  // would silently detach them.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Cheap schedule without a cancellation token (hot path: arrivals).
-  void schedule_fast(Time t, EventFn fn);
+  /// Schedule `fn` at absolute time `t` (>= 0); returns a cancellable
+  /// handle.  The callable is constructed directly in its slab slot (no
+  /// intermediate delegate copies); it must satisfy the InlineFunction
+  /// contract (<= 48-byte trivially-copyable captures).
+  template <typename F>
+  EventHandle schedule(Time t, F&& fn) {
+    check_schedulable(t);  // validate BEFORE alloc_slot so a throw leaks nothing
+    const std::uint32_t slot = alloc_slot();
+    slots_[slot].fn.emplace(std::forward<F>(fn));
+    const std::uint64_t owner = push_entry(t, slot);
+    return EventHandle(this, slot, owner);
+  }
 
-  /// True when no *pending* (non-cancelled) events remain.
-  bool empty() const;
+  /// Handle-free schedule (hot path: arrivals, completions).
+  template <typename F>
+  void schedule_fast(Time t, F&& fn) {
+    check_schedulable(t);  // validate BEFORE alloc_slot so a throw leaks nothing
+    const std::uint32_t slot = alloc_slot();
+    slots_[slot].fn.emplace(std::forward<F>(fn));
+    push_entry(t, slot);
+  }
 
-  /// Number of heap entries still pending (skips cancelled top entries;
-  /// interior cancelled entries are counted until they surface).
-  std::size_t size() const;
+  /// True when no pending (non-cancelled) events remain.  Exact and
+  /// non-mutating: cancelled entries are tracked by a counter, not pruned.
+  bool empty() const { return pending_ == 0; }
 
-  /// Earliest pending event time; +inf when empty.
-  Time next_time() const;
+  /// Exact number of pending (non-cancelled) events.
+  std::size_t size() const { return pending_; }
+
+  /// Earliest pending event time; +inf when empty.  Prunes stale (cancelled)
+  /// heap entries off the top, recycling their slots.
+  Time next_time() {
+    skip_cancelled();
+    return heap_.empty() ? kInf : heap_.front().time();
+  }
 
   /// Pop and run the earliest pending event; returns its time.
   /// Precondition: !empty().
-  Time pop_and_run();
+  Time pop_and_run() {
+    PSD_CHECK(pending_ > 0, "pop from empty event queue");
+    Time fired = 0.0;
+    // pending_ > 0 guarantees a live event exists, so this always runs one.
+    pop_and_run_before(kInf, [&fired](Time t) { fired = t; });
+    return fired;
+  }
 
+  /// Fused peek + pop for run loops: if a pending event exists with time
+  /// <= horizon, invoke pre(time) (the simulator advances its clock here,
+  /// BEFORE the event body runs), then run the event and return true.
+  /// Saves a second top-read + staleness check per event vs the
+  /// next_time()/pop_and_run() pair.
+  template <typename PreFire>
+  bool pop_and_run_before(Time horizon, PreFire&& pre) {
+    skip_cancelled();
+    if (heap_.empty()) return false;
+    const Entry top = heap_.front();
+    const Time t = top.time();
+    if (!(t <= horizon)) return false;
+    const std::uint32_t slot = top.slot();
+    Slot& s = slots_[slot];
+    pop_entry();
+    s.owner = kFired;
+    EventFn fn = std::move(s.fn);  // relocate before the slab can grow
+    free_.push_back(slot);
+    --pending_;
+    pre(t);
+    fn();
+    return true;
+  }
+
+  /// Total events ever scheduled (monotone sequence counter).
   std::uint64_t scheduled_total() const { return seq_; }
 
- private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;  ///< null for schedule_fast entries.
+  /// Key-heap capacity currently reserved, in events (diagnostics).  The
+  /// payload slab (slots_) can reserve more after cancellation bursts; its
+  /// footprint is slab_capacity() * 64 bytes.
+  std::size_t capacity() const { return heap_.capacity(); }
 
-    bool operator>(const Entry& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
+  /// Payload-slab capacity currently reserved, in slots (diagnostics).
+  std::size_t slab_capacity() const { return slots_.capacity(); }
+
+ private:
+  friend class EventHandle;
+
+  /// Heap key entry, 16 bytes: the event time's IEEE-754 bit pattern and a
+  /// packed (sequence << 24 | slot) word.  Non-negative doubles order
+  /// identically to their bit patterns taken as unsigned integers, so the
+  /// (time, seq) lexicographic order collapses into ONE branch-free 128-bit
+  /// integer comparison — FP compares would cost data-dependent (on random
+  /// keys ~50% mispredicted) branches per comparison inside the sift loops.
+  /// The slot index rides in the low bits; sequences are unique, so it can
+  /// never influence the order.
+  struct Entry {
+    std::uint64_t tbits;     ///< bit_cast of the (non-negative) event time.
+    std::uint64_t seq_slot;  ///< (seq << kSlotBits) | slot.
+
+    Time time() const { return std::bit_cast<Time>(tbits); }
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & kSlotMask);
+    }
+    unsigned __int128 key() const {
+      return (static_cast<unsigned __int128>(tbits) << 64) | seq_slot;
     }
   };
 
-  void skip_cancelled() const;
+  /// Payload slot: one cache line (48B callback + 8B invoke + owner tag).
+  /// `owner` is the seq_slot of the event currently occupying the slot, or
+  /// kFired / kCancelled when the slot is logically dead and awaiting its
+  /// heap entry to surface for recycling.
+  struct Slot {
+    EventFn fn;
+    std::uint64_t owner = 0;
+  };
 
-  // Mutable: peeking prunes cancelled entries, which is observably const.
-  mutable std::vector<Entry> heap_;
+  static constexpr unsigned kSlotBits = 24;  ///< up to 16M-1 concurrent events
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kSeqLimit = 1ull << (64 - kSlotBits);
+  // Dead-slot owner tags.  Their slot bits are all-ones, and alloc_slot caps
+  // real slot indices strictly below kSlotMask, so no live owner tag can
+  // ever equal a sentinel — for any sequence number.
+  static constexpr std::uint64_t kFired = ~std::uint64_t{0};
+  static constexpr std::uint64_t kCancelled =
+      ~std::uint64_t{0} - (1ull << kSlotBits);
+
+  static_assert(sizeof(Entry) == 16, "four children = one cache line");
+  static_assert(std::is_trivially_copyable_v<Entry>, "keys are POD");
+  static_assert(sizeof(Slot) == 64, "one payload slot per cache line");
+  static_assert(std::is_trivially_copyable_v<Slot>,
+                "slots must be memcpy-relocatable");
+
+  /// Strict weak order on (time, seq): one branch-free integer comparison.
+  static bool earlier(const Entry& a, const Entry& b) {
+    return a.key() < b.key();
+  }
+
+  /// Branchless min of two candidate indices under earlier().
+  std::size_t min_entry(std::size_t a, std::size_t b) const {
+    return earlier(heap_[b], heap_[a]) ? b : a;  // compiles to cmov
+  }
+
+  std::uint32_t alloc_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t i = free_.back();
+      free_.pop_back();
+      return i;
+    }
+    const std::uint32_t i = static_cast<std::uint32_t>(slots_.size());
+    PSD_CHECK(i < kSlotMask, "too many concurrently pending events");
+    slots_.emplace_back();
+    return i;
+  }
+
+  /// Scheduling preconditions, checked before any slot is allocated so a
+  /// throw cannot leak slab state.  The packed-key order (see Entry)
+  /// requires non-negative times; the simulation clock never goes negative.
+  /// Rejects NaN as a side effect.
+  void check_schedulable(Time t) const {
+    PSD_REQUIRE(t >= 0.0, "event time must be non-negative");
+    PSD_CHECK(seq_ < kSeqLimit, "sequence space exhausted");
+  }
+
+  /// Push a key entry for `slot`; returns the owner tag stamped on both.
+  /// Precondition: check_schedulable(t) passed.
+  std::uint64_t push_entry(Time t, std::uint32_t slot) {
+    t += 0.0;  // canonicalize -0.0 to +0.0 so its bit pattern orders first
+    const std::uint64_t owner = (seq_++ << kSlotBits) | slot;
+    slots_[slot].owner = owner;
+    const Entry e{std::bit_cast<std::uint64_t>(t), owner};
+    ++pending_;
+    // Sift up through 4-ary parents with a hole, placing e once.
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+    return owner;
+  }
+
+  __attribute__((always_inline)) void pop_entry() {
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    // Bottom-up deletion: sink the root hole to a leaf along min children
+    // (no compare against `last` on the way down — a displaced leaf almost
+    // always belongs near the bottom anyway), then sift `last` up from the
+    // hole.  Child-min selection is a cmov reduction: on random keys a
+    // branchy scan would mispredict about half its comparisons per level.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t c0 = 4 * i + 1;
+      if (c0 >= n) break;
+      std::size_t best;
+      if (c0 + 4 <= n) {  // common case: all four children exist
+        best = min_entry(min_entry(c0, c0 + 1), min_entry(c0 + 2, c0 + 3));
+      } else {
+        best = c0;
+        for (std::size_t c = c0 + 1; c < n; ++c) best = min_entry(best, c);
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    // Sift `last` up from the hole (usually stays put: 1 comparison).
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(last, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = last;
+  }
+
+  /// Drop stale (cancelled) entries off the top, recycling their slots.
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const Entry& top = heap_.front();
+      const std::uint32_t slot = top.slot();
+      if (slots_[slot].owner == top.seq_slot) return;  // live
+      pop_entry();
+      free_.push_back(slot);
+    }
+  }
+
+  // --- EventHandle support -------------------------------------------------
+  bool handle_pending(std::uint32_t slot, std::uint64_t owner) const {
+    return slots_[slot].owner == owner;
+  }
+
+  void handle_cancel(std::uint32_t slot, std::uint64_t owner) {
+    Slot& s = slots_[slot];
+    if (s.owner != owner) return;  // already fired or cancelled
+    s.owner = kCancelled;  // entry is now stale; slot freed when it surfaces
+    --pending_;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< Recycled slot indices (stack).
   std::uint64_t seq_ = 0;
+  std::size_t pending_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->handle_pending(slot_, owner_);
+}
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->handle_cancel(slot_, owner_);
+}
+
+static_assert(std::is_trivially_copyable_v<EventFn>,
+              "event payloads must be memcpy-relocatable");
+static_assert(std::is_trivially_copyable_v<EventHandle>,
+              "handles are value tokens");
 
 }  // namespace psd

@@ -3,15 +3,14 @@
 // ticks ("the processing rate was reallocated for every thousand time units").
 #pragma once
 
-#include <functional>
-
 #include "sim/simulator.hpp"
 
 namespace psd {
 
 class PeriodicProcess {
  public:
-  using TickFn = std::function<void(Time)>;
+  /// Non-allocating delegate; captures must fit EventFn's inline buffer.
+  using TickFn = InlineFunction<void(Time)>;
 
   /// Does not start automatically; call start().
   PeriodicProcess(Simulator& sim, Duration period, TickFn on_tick);

@@ -4,33 +4,10 @@
 
 namespace psd {
 
-EventHandle Simulator::at(Time t, EventFn fn) {
-  PSD_REQUIRE(t >= now_, "cannot schedule into the past");
-  return queue_.schedule(t, std::move(fn));
-}
-
-EventHandle Simulator::after(Duration d, EventFn fn) {
-  PSD_REQUIRE(d >= 0.0, "negative delay");
-  return queue_.schedule(now_ + d, std::move(fn));
-}
-
-void Simulator::at_fast(Time t, EventFn fn) {
-  PSD_REQUIRE(t >= now_, "cannot schedule into the past");
-  queue_.schedule_fast(t, std::move(fn));
-}
-
-void Simulator::after_fast(Duration d, EventFn fn) {
-  PSD_REQUIRE(d >= 0.0, "negative delay");
-  queue_.schedule_fast(now_ + d, std::move(fn));
-}
-
 std::uint64_t Simulator::run_until(Time horizon) {
   std::uint64_t n = 0;
-  for (;;) {
-    const Time t = queue_.next_time();  // +inf when drained
-    if (t > horizon) break;
-    now_ = t;  // advance the clock BEFORE the event body runs
-    queue_.pop_and_run();
+  // The fused primitive advances the clock BEFORE each event body runs.
+  while (queue_.pop_and_run_before(horizon, [this](Time t) { now_ = t; })) {
     ++n;
   }
   if (now_ < horizon) now_ = horizon;
@@ -40,9 +17,7 @@ std::uint64_t Simulator::run_until(Time horizon) {
 
 std::uint64_t Simulator::run_all() {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
+  while (queue_.pop_and_run_before(kInf, [this](Time t) { now_ = t; })) {
     ++n;
   }
   executed_ += n;
@@ -50,9 +25,9 @@ std::uint64_t Simulator::run_all() {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  now_ = queue_.next_time();
-  queue_.pop_and_run();
+  if (!queue_.pop_and_run_before(kInf, [this](Time t) { now_ = t; })) {
+    return false;
+  }
   ++executed_;
   return true;
 }

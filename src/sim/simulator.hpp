@@ -15,14 +15,32 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedule at absolute time t (>= now) with a cancellation handle.
-  EventHandle at(Time t, EventFn fn);
+  /// Callables are forwarded into the queue's slab (InlineFunction contract).
+  template <typename F>
+  EventHandle at(Time t, F&& fn) {
+    PSD_REQUIRE(t >= now_, "cannot schedule into the past");
+    return queue_.schedule(t, std::forward<F>(fn));
+  }
 
   /// Schedule after a non-negative delay with a cancellation handle.
-  EventHandle after(Duration d, EventFn fn);
+  template <typename F>
+  EventHandle after(Duration d, F&& fn) {
+    PSD_REQUIRE(d >= 0.0, "negative delay");
+    return queue_.schedule(now_ + d, std::forward<F>(fn));
+  }
 
   /// Handle-free variants for hot paths.
-  void at_fast(Time t, EventFn fn);
-  void after_fast(Duration d, EventFn fn);
+  template <typename F>
+  void at_fast(Time t, F&& fn) {
+    PSD_REQUIRE(t >= now_, "cannot schedule into the past");
+    queue_.schedule_fast(t, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  void after_fast(Duration d, F&& fn) {
+    PSD_REQUIRE(d >= 0.0, "negative delay");
+    queue_.schedule_fast(now_ + d, std::forward<F>(fn));
+  }
 
   /// Run until the event set drains or the clock would pass `horizon`.
   /// Events exactly at the horizon are executed.  Returns events executed.

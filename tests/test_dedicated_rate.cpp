@@ -1,5 +1,6 @@
 // Dedicated-rate backend (the paper's task-server model): FCFS service at
 // the allocated rate, correct work conservation across rate changes.
+#include <deque>
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,6 +16,7 @@ struct Harness {
   Simulator sim;
   std::vector<WaitingQueue> queues;
   std::vector<Request> done;
+  std::deque<Request> staged;  ///< Stable storage for not-yet-arrived requests.
   DedicatedRateBackend backend;
 
   explicit Harness(std::size_t classes,
@@ -30,8 +32,10 @@ struct Harness {
     r.cls = cls;
     r.arrival = t;
     r.size = size;
-    sim.at_fast(t, [this, r, cls] {
-      queues[cls].push(r, sim.now());
+    staged.push_back(r);
+    const std::size_t idx = staged.size() - 1;
+    sim.at_fast(t, [this, idx, cls] {
+      queues[cls].push(staged[idx], sim.now());
       backend.notify_arrival(cls);
     });
   }

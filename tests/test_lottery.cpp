@@ -1,5 +1,6 @@
 // Lottery backend: proportional share in expectation, preempt-resume
 // bookkeeping, completion integrity.
+#include <deque>
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -14,6 +15,7 @@ struct Harness {
   Simulator sim;
   std::vector<WaitingQueue> queues;
   std::vector<Request> done;
+  std::deque<Request> staged;  ///< Stable storage for not-yet-arrived requests.
   LotteryBackend backend;
 
   Harness(std::size_t classes, Duration quantum)
@@ -27,8 +29,10 @@ struct Harness {
     r.cls = cls;
     r.arrival = t;
     r.size = size;
-    sim.at_fast(t, [this, r, cls] {
-      queues[cls].push(r, sim.now());
+    staged.push_back(r);
+    const std::size_t idx = staged.size() - 1;
+    sim.at_fast(t, [this, idx, cls] {
+      queues[cls].push(staged[idx], sim.now());
       backend.notify_arrival(cls);
     });
   }

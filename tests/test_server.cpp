@@ -104,11 +104,14 @@ TEST(Server, EstimatorSeesArrivals) {
                 std::make_unique<EqualShareAllocator>(2, 1.0), Rng(1));
   server.start(0.0);
   for (int i = 0; i < 50; ++i) {
-    Request r;
-    r.cls = 1;
-    r.arrival = static_cast<double>(i);
-    r.size = 0.5;
-    sim.at_fast(r.arrival, [&server, r] { server.submit(r); });
+    const Time arrival = static_cast<double>(i);
+    sim.at_fast(arrival, [&server, arrival] {
+      Request r;
+      r.cls = 1;
+      r.arrival = arrival;
+      r.size = 0.5;
+      server.submit(r);
+    });
   }
   sim.run_until(100.0);  // first estimator window closes
   const auto lam = server.estimator().lambda_estimate();
