@@ -1,11 +1,15 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <cmath>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
+#include "experiment/figures.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
+#include "sweep/campaign.hpp"
 
 namespace psd::bench {
 
@@ -43,6 +47,35 @@ inline void effectiveness_sweep(ScenarioConfig cfg,
     t.add_row(row, 3);
   }
   t.print(std::cout);
+}
+
+/// The Figs. 5/9 campaign: two classes with delta2 in `deltas2`, crossed
+/// with the standard load sweep, executed as one grid on the shared pool.
+inline CampaignResult two_class_load_campaign(
+    const std::vector<double>& deltas2, std::size_t runs) {
+  GridSpec grid;
+  grid.base = two_class_scenario(2.0, 50.0);
+  for (double d2 : deltas2) grid.deltas.push_back({1.0, d2});
+  for (double load : standard_load_sweep()) {
+    grid.loads.push_back(load / 100.0);
+  }
+  CampaignOptions opt;
+  opt.runs = runs;
+  opt.master_seed = grid.base.seed;
+  return run_campaign(grid, opt);
+}
+
+/// Locate the campaign point with delta2 == `d2` at `load_percent`.
+inline const PointOutcome& point_for(const CampaignResult& result, double d2,
+                                     double load_percent) {
+  for (const auto& p : result.points) {
+    const auto& cfg = p.point.cfg;
+    if (cfg.num_classes() == 2 && cfg.delta[1] == d2 &&
+        std::abs(cfg.load - load_percent / 100.0) < 1e-12) {
+      return p;
+    }
+  }
+  throw std::logic_error("campaign point not found");
 }
 
 }  // namespace psd::bench

@@ -5,8 +5,14 @@
 // wide at low load (95th percentile ~12 and beyond at 10% load for ratio 4,
 // one callout of 27.07 for ratio 8) and tightens as load grows; for ratio 2
 // at 10% load the 5th percentile dips below 1 (short-timescale inversion).
+//
+// Runs as ONE campaign on the shared sweep pool: the 3 x 11 grid executes
+// scenarios x replications concurrently instead of point by point.  The
+// same grid is expressible declaratively as campaigns/fig05_fig09.spec
+// (whose JSONL carries both this figure's percentiles and Fig. 9's ratios).
 #include "bench_util.hpp"
 #include "experiment/figures.hpp"
+#include "sweep/campaign.hpp"
 
 int main() {
   using namespace psd;
@@ -16,12 +22,14 @@ int main() {
       "per 1000-tu window: ratio = mean slowdown(class2)/mean slowdown(class1)"
       "; pooled over windows x runs",
       runs);
+
+  const auto result = bench::two_class_load_campaign({2.0, 4.0, 8.0}, runs);
+
   for (double d2 : {2.0, 4.0, 8.0}) {
     std::cout << "--- delta2/delta1 = " << d2 << " ---\n";
     Table t({"load%", "p5", "p50", "p95", "mean", "windows"});
     for (double load : standard_load_sweep()) {
-      auto cfg = two_class_scenario(d2, load);
-      const auto r = run_replications(cfg, runs);
+      const auto& r = bench::point_for(result, d2, load).result;
       t.add_row({Table::fmt(load, 0), Table::fmt(r.ratio[0].p5, 2),
                  Table::fmt(r.ratio[0].p50, 2), Table::fmt(r.ratio[0].p95, 2),
                  Table::fmt(r.ratio[0].mean, 2),

@@ -5,8 +5,13 @@
 // shows visible deviation at various loads — the paper attributes this to
 // load-estimation error, whose influence on the achieved ratio grows with
 // the differentiation parameter (see eq. 17).
+//
+// Same campaign grid as Fig. 5 (campaigns/fig05_fig09.spec): the engine
+// runs the 3 x 11 points concurrently and this binary reads the achieved
+// long-run ratios out of the per-point results.
 #include "bench_util.hpp"
 #include "experiment/figures.hpp"
+#include "sweep/campaign.hpp"
 
 int main() {
   using namespace psd;
@@ -15,13 +20,15 @@ int main() {
                 "achieved long-run slowdown ratio S2/S1 vs load for target "
                 "ratios 2, 4, 8",
                 runs);
+
+  const auto result = bench::two_class_load_campaign({2.0, 4.0, 8.0}, runs);
+
   Table t({"load%", "achieved (target 2)", "achieved (target 4)",
            "achieved (target 8)"});
   for (double load : standard_load_sweep()) {
     std::vector<std::string> row = {Table::fmt(load, 0)};
     for (double d2 : {2.0, 4.0, 8.0}) {
-      auto cfg = two_class_scenario(d2, load);
-      const auto r = run_replications(cfg, runs);
+      const auto& r = bench::point_for(result, d2, load).result;
       row.push_back(Table::fmt(r.mean_ratio[1], 2));
     }
     t.add_row(row);

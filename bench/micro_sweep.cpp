@@ -1,0 +1,77 @@
+// Campaign-engine performance record: points/sec and pool efficiency for a
+// small grid executed as scenarios x replications on the shared
+// work-stealing pool, against the pre-sweep baseline of serializing
+// scenarios and parallelizing only replications (run_replications per
+// point).  Appends JSONL records to BENCH_sweep.json.
+//
+//   ./micro_sweep [records.json]
+#include <chrono>
+#include <cstdio>
+
+#include "json_bench.hpp"
+#include "sweep/campaign.hpp"
+
+namespace {
+
+using namespace psd;
+
+GridSpec small_grid() {
+  GridSpec grid;
+  grid.base.warmup_tu = 500.0;
+  grid.base.measure_tu = 4000.0;
+  grid.loads = {0.3, 0.6, 0.9};
+  grid.backends = {BackendKind::kDedicated, BackendKind::kSfq};
+  grid.deltas = {{1.0, 2.0}};
+  return grid;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "BENCH_sweep.json";
+  const GridSpec grid = small_grid();
+  const std::size_t kRuns = 8;
+
+  // Baseline: scenario-serial, replication-parallel (the pre-sweep shape).
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto points = expand_grid(grid);
+  for (const auto& p : points) {
+    ScenarioConfig cfg = p.cfg;
+    cfg.seed = derive_point_seed(42, p.cfg);
+    (void)run_replications(cfg, kRuns, /*parallel=*/true);
+  }
+  const double serial_sec = seconds_since(t0);
+
+  // Campaign: all points x replications share one work-stealing pool.
+  CampaignOptions opt;
+  opt.runs = kRuns;
+  opt.master_seed = 42;
+  const auto result = run_campaign(grid, opt);
+
+  std::printf(
+      "campaign: %zu points x %zu runs, %zu threads — %.2fs (%.2f points/s, "
+      "efficiency %.0f%%) vs %.2fs scenario-serial (%.2fx)\n",
+      result.points.size(), kRuns, result.threads, result.wall_seconds,
+      result.points_per_sec(), 100.0 * result.pool_efficiency(), serial_sec,
+      serial_sec / result.wall_seconds);
+
+  char extra[256];
+  std::snprintf(extra, sizeof(extra),
+                "\"impl\":\"campaign_pool\",\"points\":%zu,\"runs\":%zu,"
+                "\"threads\":%zu,\"points_per_sec\":%.4f,"
+                "\"pool_efficiency\":%.4f,\"scenario_serial_sec\":%.4f",
+                result.points.size(), kRuns, result.threads,
+                result.points_per_sec(), result.pool_efficiency(), serial_sec);
+  bench::emit_record(path, "sweep", "campaign_2x3_grid", extra,
+                     result.wall_seconds * 1e9 /
+                         static_cast<double>(result.points.size()),
+                     result.points.size());
+  return 0;
+}

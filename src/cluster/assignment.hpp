@@ -1,0 +1,16 @@
+// Task-assignment policies for multi-node dispatching (Harchol-Balter's
+// task assignment [13]; see cluster/dispatcher.hpp for the mechanisms).
+// Split out so light-weight configs (ScenarioConfig, GridSpec) can name a
+// policy without pulling in the full server composition.
+#pragma once
+
+namespace psd {
+
+enum class AssignmentPolicy {
+  kRandom,        ///< Uniform random node.
+  kRoundRobin,    ///< Cyclic.
+  kLeastWorkLeft, ///< Node with the least outstanding work (size-aware).
+  kSizeInterval,  ///< SITA-E: size bands with equal expected load per node.
+};
+
+}  // namespace psd

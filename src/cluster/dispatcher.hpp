@@ -20,17 +20,11 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/assignment.hpp"
 #include "dist/bounded_pareto.hpp"
 #include "server/server.hpp"
 
 namespace psd {
-
-enum class AssignmentPolicy {
-  kRandom,
-  kRoundRobin,
-  kLeastWorkLeft,
-  kSizeInterval,
-};
 
 /// SITA-E cutoffs: partition [k, p] into `nodes` intervals of equal expected
 /// work (equal contribution to E[X]).  Returns nodes-1 interior cutoffs.

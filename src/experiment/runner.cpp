@@ -11,6 +11,7 @@
 
 #include "baselines/pdd_policies.hpp"
 #include "baselines/static_allocators.hpp"
+#include "cluster/dispatcher.hpp"
 #include "common/error.hpp"
 #include "core/psd_allocation.hpp"
 #include "core/psd_rate_allocator.hpp"
@@ -83,10 +84,127 @@ std::unique_ptr<ArrivalProcess> make_arrivals(const ScenarioConfig& cfg,
   PSD_UNREACHABLE("unknown arrival kind");
 }
 
-}  // namespace
+ServerConfig node_server_config(const ScenarioConfig& cfg, double unit) {
+  ServerConfig sc;
+  sc.num_classes = cfg.num_classes();
+  sc.capacity = cfg.capacity;
+  sc.realloc_period =
+      cfg.allocator == AllocatorKind::kNone ? 0.0 : cfg.realloc_tu * unit;
+  sc.estimator_history = cfg.estimator_history;
+  sc.metrics.num_classes = cfg.num_classes();
+  sc.metrics.warmup_end = cfg.warmup_tu * unit;
+  sc.metrics.window = cfg.window_tu * unit;
+  sc.metrics.record_requests = cfg.record_requests;
+  sc.metrics.record_from = cfg.record_from_tu * unit;
+  sc.metrics.record_to = cfg.record_to_tu * unit;
+  return sc;
+}
 
-RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index) {
-  cfg.validate();
+/// Per-class statistics from one server's metrics into `out`, weighting
+/// means by completion counts so multi-node aggregation is exact.  Window
+/// series MERGE index-wise: every node rolls the same (warmup, window)
+/// grid — IntervalSeries keeps empty windows — so index w is the same time
+/// interval cluster-wide, and downstream ratio pairing (class j vs class 0
+/// at equal indices) stays time-aligned.  Concatenating node series instead
+/// would misalign the pairing as soon as two nodes emit different window
+/// counts.
+void accumulate_node(RunResult& out, const Server& server) {
+  const auto& m = server.metrics();
+  out.submitted += server.submitted();
+  out.reallocations += server.reallocations();
+  for (std::size_t i = 0; i < out.cls.size(); ++i) {
+    auto& c = out.cls[i];
+    const auto cls = static_cast<ClassId>(i);
+    const std::uint64_t done = m.completed(cls);
+    if (done > 0) {
+      const double total = static_cast<double>(c.completed + done);
+      const double w = static_cast<double>(done) / total;
+      c.mean_slowdown += (m.slowdown(cls).mean() - c.mean_slowdown) * w;
+      c.mean_delay += (m.delay(cls).mean() - c.mean_delay) * w;
+      c.completed += done;
+    }
+    const auto& win = m.windows(cls);
+    if (c.windows.size() < win.size()) c.windows.resize(win.size());
+    for (std::size_t w = 0; w < win.size(); ++w) {
+      if (win[w].count == 0) continue;
+      auto& dst = c.windows[w];
+      dst.start = win[w].start;
+      const auto total = dst.count + win[w].count;
+      dst.mean += (win[w].mean - dst.mean) *
+                  (static_cast<double>(win[w].count) /
+                   static_cast<double>(total));
+      dst.max = std::max(dst.max, win[w].max);
+      dst.count = total;
+    }
+  }
+  const auto& rec = m.records();
+  out.records.insert(out.records.end(), rec.begin(), rec.end());
+}
+
+RunResult run_cluster_scenario(const ScenarioConfig& cfg,
+                               std::uint64_t run_index) {
+  const auto dist = make_distribution(cfg.size_dist);
+  const double unit = dist->mean() / cfg.capacity;
+  const auto lambdas = cfg.true_lambdas();  // per node
+  const std::size_t n = cfg.num_classes();
+  const std::size_t nodes = cfg.cluster_nodes;
+
+  Simulator sim;
+  Rng master(cfg.seed);
+  Rng run_rng = master.fork(run_index);
+
+  std::vector<double> cutoffs;
+  if (cfg.cluster_policy == AssignmentPolicy::kSizeInterval) {
+    // validate() guarantees a bounded-pareto spec here.
+    BoundedPareto bp(cfg.size_dist.a, cfg.size_dist.b, cfg.size_dist.c);
+    cutoffs = sita_equal_load_cutoffs(bp, nodes);
+  }
+
+  Cluster cluster(
+      sim, nodes, node_server_config(cfg, unit),
+      [&] { return make_backend(cfg, unit); },
+      [&] { return make_allocator(cfg, dist->mean()); }, cfg.cluster_policy,
+      run_rng.fork(1000), std::move(cutoffs));
+  cluster.start(0.0);
+
+  // One generator per class; `load` is per-node utilization, so the cluster
+  // as a whole receives nodes x the single-node arrival rate.
+  std::vector<std::unique_ptr<RequestGenerator>> gens;
+  gens.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gens.push_back(std::make_unique<RequestGenerator>(
+        sim, run_rng.fork(i), static_cast<ClassId>(i),
+        make_arrivals(cfg, lambdas[i] * static_cast<double>(nodes)),
+        dist->clone(), cluster));
+    gens.back()->start(0.0);
+  }
+
+  const Time horizon = (cfg.warmup_tu + cfg.measure_tu) * unit;
+  sim.run_until(horizon);
+  for (auto& g : gens) g->stop();
+  cluster.finalize();
+
+  RunResult out;
+  out.time_unit = unit;
+  out.cls.resize(n);
+  double sys = 0.0;
+  std::uint64_t sys_n = 0;
+  for (std::size_t m = 0; m < nodes; ++m) {
+    const Server& node = cluster.node(m);
+    accumulate_node(out, node);
+    const std::uint64_t done = node.metrics().completed_total();
+    if (done > 0) {
+      sys += (node.metrics().system_slowdown() - sys) *
+             (static_cast<double>(done) / static_cast<double>(sys_n + done));
+      sys_n += done;
+    }
+  }
+  out.system_slowdown = sys_n > 0 ? sys : kNaN;
+  return out;
+}
+
+RunResult run_single_node_scenario(const ScenarioConfig& cfg,
+                                   std::uint64_t run_index) {
   const auto dist = make_distribution(cfg.size_dist);
   const double unit = dist->mean() / cfg.capacity;
   const auto lambdas = cfg.true_lambdas();
@@ -96,21 +214,7 @@ RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index) {
   Rng master(cfg.seed);
   Rng run_rng = master.fork(run_index);
 
-  // --- server ---
-  ServerConfig sc;
-  sc.num_classes = n;
-  sc.capacity = cfg.capacity;
-  sc.realloc_period =
-      cfg.allocator == AllocatorKind::kNone ? 0.0 : cfg.realloc_tu * unit;
-  sc.estimator_history = cfg.estimator_history;
-  sc.metrics.num_classes = n;
-  sc.metrics.warmup_end = cfg.warmup_tu * unit;
-  sc.metrics.window = cfg.window_tu * unit;
-  sc.metrics.record_requests = cfg.record_requests;
-  sc.metrics.record_from = cfg.record_from_tu * unit;
-  sc.metrics.record_to = cfg.record_to_tu * unit;
-
-  Server server(sim, sc, make_backend(cfg, unit),
+  Server server(sim, node_server_config(cfg, unit), make_backend(cfg, unit),
                 make_allocator(cfg, dist->mean()), run_rng.fork(1000));
   server.start(0.0);
 
@@ -148,34 +252,20 @@ RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index) {
   return out;
 }
 
-ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
-                                  bool parallel) {
-  PSD_REQUIRE(runs > 0, "need at least one run");
-  std::vector<RunResult> results(runs);
+}  // namespace
 
-  if (parallel && runs > 1) {
-    const std::size_t workers = std::min<std::size_t>(
-        runs, std::max(1u, std::thread::hardware_concurrency()));
-    std::vector<std::future<void>> futs;
-    futs.reserve(workers);
-    std::atomic<std::size_t> next{0};
-    for (std::size_t w = 0; w < workers; ++w) {
-      futs.push_back(std::async(std::launch::async, [&] {
-        for (;;) {
-          const std::size_t r = next.fetch_add(1);
-          if (r >= runs) return;
-          results[r] = run_scenario(cfg, r);
-        }
-      }));
-    }
-    for (auto& f : futs) f.get();
-  } else {
-    for (std::size_t r = 0; r < runs; ++r) results[r] = run_scenario(cfg, r);
-  }
+RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index) {
+  cfg.validate();
+  return cfg.cluster_nodes > 1 ? run_cluster_scenario(cfg, run_index)
+                               : run_single_node_scenario(cfg, run_index);
+}
 
+ReplicatedResult aggregate_replications(const ScenarioConfig& cfg,
+                                        const std::vector<RunResult>& results) {
+  PSD_REQUIRE(!results.empty(), "need at least one run");
   const std::size_t n = cfg.num_classes();
   ReplicatedResult agg;
-  agg.runs = runs;
+  agg.runs = results.size();
 
   // Across-run means of per-class mean slowdowns.
   agg.slowdown.resize(n);
@@ -248,6 +338,33 @@ ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
     }
   }
   return agg;
+}
+
+ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
+                                  bool parallel) {
+  PSD_REQUIRE(runs > 0, "need at least one run");
+  std::vector<RunResult> results(runs);
+
+  if (parallel && runs > 1) {
+    const std::size_t workers = std::min<std::size_t>(
+        runs, std::max(1u, std::thread::hardware_concurrency()));
+    std::vector<std::future<void>> futs;
+    futs.reserve(workers);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t w = 0; w < workers; ++w) {
+      futs.push_back(std::async(std::launch::async, [&] {
+        for (;;) {
+          const std::size_t r = next.fetch_add(1);
+          if (r >= runs) return;
+          results[r] = run_scenario(cfg, r);
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+  } else {
+    for (std::size_t r = 0; r < runs; ++r) results[r] = run_scenario(cfg, r);
+  }
+  return aggregate_replications(cfg, results);
 }
 
 std::size_t default_runs(std::size_t paper_default) {

@@ -28,7 +28,12 @@ struct RunResult {
 };
 
 /// Execute one replication; `run_index` derives an independent RNG stream
-/// from cfg.seed (same cfg + same index => identical result).
+/// from cfg.seed (same cfg + same index => identical result).  With
+/// cfg.cluster_nodes > 1 the replication runs the multi-node dispatcher
+/// (src/cluster): per-class statistics are completion-weighted across
+/// nodes, and window series are merged index-wise onto the shared time
+/// grid (every node rolls the same warmup/window protocol), so windowed
+/// ratio pairing stays time-aligned cluster-wide.
 RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index = 0);
 
 struct RatioPercentiles {
@@ -55,6 +60,13 @@ struct ReplicatedResult {
   std::vector<double> mean_ratio;
   std::uint64_t completed_total = 0;
 };
+
+/// Deterministically aggregate per-replication results (in vector order)
+/// into the cross-run statistics.  Exposed so external executors — the
+/// sweep campaign engine schedules individual replications on a shared
+/// thread pool — reuse the exact aggregation of run_replications.
+ReplicatedResult aggregate_replications(const ScenarioConfig& cfg,
+                                        const std::vector<RunResult>& results);
 
 /// Run `runs` replications (thread-parallel unless `parallel` is false) and
 /// aggregate.  Results are independent of thread scheduling.

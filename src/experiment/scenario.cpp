@@ -35,6 +35,12 @@ void ScenarioConfig::validate() const {
   PSD_REQUIRE(realloc_tu >= 0.0, "realloc period must be >= 0");
   PSD_REQUIRE(!load_share.empty() ? load_share.size() == delta.size() : true,
               "load_share size mismatch");
+  PSD_REQUIRE(cluster_nodes >= 1, "need at least one cluster node");
+  if (cluster_nodes > 1 && cluster_policy == AssignmentPolicy::kSizeInterval) {
+    PSD_REQUIRE(size_dist.kind == DistSpec::Kind::kBoundedPareto,
+                "size-interval (SITA-E) cutoffs require a bounded-pareto "
+                "service-time distribution");
+  }
   if (record_requests) {
     PSD_REQUIRE(record_to_tu > record_from_tu, "empty recording window");
   }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/assignment.hpp"
 #include "core/adaptive_psd.hpp"
 #include "dist/factory.hpp"
 #include "sched/dedicated_rate.hpp"
@@ -61,6 +62,14 @@ struct ScenarioConfig {
   RateChangePolicy rate_change = RateChangePolicy::kRescaleRemaining;
   double rho_max = 0.98;
   double min_residual_share = 1e-3;
+
+  // --- cluster composition (src/cluster) ---
+  /// 1 = the paper's single node.  > 1 builds `cluster_nodes` identical
+  /// servers (each of `capacity`, running its own Fig.-1 pipeline) behind a
+  /// task-assignment dispatcher; `load` stays the per-node target
+  /// utilization, so total arrival rate scales with the node count.
+  std::size_t cluster_nodes = 1;
+  AssignmentPolicy cluster_policy = AssignmentPolicy::kRoundRobin;
 
   // --- per-request recording (Figs. 7-8) ---
   bool record_requests = false;

@@ -63,3 +63,8 @@
 #include "experiment/figures.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
+
+#include "sweep/campaign.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/jsonl.hpp"
+#include "sweep/thread_pool.hpp"

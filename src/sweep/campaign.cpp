@@ -1,0 +1,242 @@
+#include "sweep/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "sweep/jsonl.hpp"
+
+namespace psd {
+
+std::string render_point_record(const CampaignPoint& point,
+                                const ReplicatedResult& result,
+                                std::uint64_t master_seed,
+                                std::uint64_t point_seed, std::size_t runs,
+                                double wall_ms, bool timing) {
+  const ScenarioConfig& cfg = point.cfg;
+  JsonObject o;
+  o.field("type", "point")
+      .field("schema", std::uint64_t{1})
+      .field("key", point.key)
+      .field("master_seed", master_seed)
+      .field("point_seed", point_seed)
+      .field("label", point.label)
+      .raw("delta", json_array(cfg.delta))
+      .field("load", cfg.load)
+      .field("backend", backend_name(cfg.backend))
+      .field("allocator", allocator_name(cfg.allocator))
+      .field("dist", dist_name(cfg.size_dist))
+      .field("rate_change", rate_change_name(cfg.rate_change))
+      .field("nodes", cfg.cluster_nodes)
+      .field("policy", assignment_policy_name(cfg.cluster_policy))
+      .field("runs", runs);
+
+  // Per-class slowdown CIs.
+  std::string slow = "[";
+  for (std::size_t i = 0; i < result.slowdown.size(); ++i) {
+    if (i > 0) slow += ',';
+    slow += JsonObject()
+                .field("mean", result.slowdown[i].mean)
+                .field("half_width", result.slowdown[i].half_width)
+                .field("n", result.slowdown[i].n)
+                .str();
+  }
+  slow += ']';
+  o.raw("slowdown", slow);
+
+  o.raw("expected", json_array(result.expected))
+      .field("system_slowdown", result.system_slowdown)
+      .field("expected_system", result.expected_system);
+
+  // Achieved vs target ratios (class j over class 0); target from deltas.
+  std::vector<double> target(cfg.delta.size(), kNaN);
+  std::vector<double> achieved_over_target(cfg.delta.size(), kNaN);
+  for (std::size_t i = 0; i < cfg.delta.size(); ++i) {
+    target[i] = cfg.delta[i] / cfg.delta[0];
+    if (i < result.mean_ratio.size() && target[i] > 0.0) {
+      achieved_over_target[i] = result.mean_ratio[i] / target[i];
+    }
+  }
+  o.raw("mean_ratio", json_array(result.mean_ratio))
+      .raw("target_ratio", json_array(target))
+      .raw("achieved_over_target", json_array(achieved_over_target));
+
+  // Windowed ratio percentiles (Figs. 5-6, 9-10 material).
+  std::string rw = "[";
+  for (std::size_t j = 0; j < result.ratio.size(); ++j) {
+    if (j > 0) rw += ',';
+    rw += JsonObject()
+              .field("p5", result.ratio[j].p5)
+              .field("p50", result.ratio[j].p50)
+              .field("p95", result.ratio[j].p95)
+              .field("mean", result.ratio[j].mean)
+              .field("windows", result.ratio[j].windows)
+              .str();
+  }
+  rw += ']';
+  o.raw("ratio_windows", rw);
+
+  o.field("completed", result.completed_total);
+  if (timing) o.field("wall_ms", wall_ms);
+  return o.str();
+}
+
+CampaignResult run_campaign(
+    const GridSpec& grid, const CampaignOptions& options,
+    WorkStealingPool* pool,
+    const std::function<void(const PointOutcome&)>& on_point) {
+  PSD_REQUIRE(options.runs > 0, "need at least one replication per point");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto points = expand_grid(grid);
+
+  std::unique_ptr<WorkStealingPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<WorkStealingPool>(options.threads);
+    pool = owned.get();
+  }
+  const auto stats0 = pool->stats();
+
+  std::unordered_set<std::string> done;
+  if (options.resume && !options.jsonl_path.empty()) {
+    done = load_completed_keys(options.jsonl_path, options.master_seed);
+  }
+
+  CampaignResult out;
+  out.threads = pool->worker_count();
+  out.points.resize(points.size());
+
+  std::ofstream jsonl;
+  if (!options.jsonl_path.empty()) {
+    // resume=false starts the artifact over: appending would leave two
+    // records per key for the same master seed and double-count points in
+    // any downstream grouping.
+    jsonl.open(options.jsonl_path,
+               options.resume ? std::ios::app : std::ios::trunc);
+    PSD_REQUIRE(static_cast<bool>(jsonl),
+                "cannot open campaign JSONL for writing: " +
+                    options.jsonl_path);
+  }
+
+  // Per-point replication slots; aggregation fires when the last one lands.
+  // Errors gate per point: a failed point emits no record, but every other
+  // point still aggregates and persists (so a rerun resumes all the work
+  // that did succeed).
+  struct PointState {
+    std::vector<RunResult> reps;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<std::uint64_t> rep_ns{0};
+    std::string error;  // guarded by emit_m
+  };
+  std::vector<PointState> state(points.size());
+
+  // In-order release: completed records buffer until every earlier point is
+  // out, which keeps the artifact bytes independent of execution order.
+  std::mutex emit_m;
+  std::map<std::size_t, const PointOutcome*> ready;
+  std::size_t next_emit = 0;
+  std::string first_error;
+
+  auto release_ready = [&]() {  // call with emit_m held
+    while (true) {
+      if (next_emit >= out.points.size()) break;
+      const auto it = ready.find(next_emit);
+      if (it == ready.end()) break;
+      const PointOutcome& po = *it->second;
+      if (jsonl.is_open() && !po.record.empty()) {
+        jsonl << po.record << '\n';
+        jsonl.flush();
+      }
+      if (on_point) on_point(po);
+      ready.erase(it);
+      ++next_emit;
+    }
+  };
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PointOutcome& po = out.points[i];
+    po.point = points[i];
+    po.point_seed = derive_point_seed(options.master_seed, points[i].cfg);
+    if (done.count(points[i].key) > 0) {
+      po.skipped = true;
+      ++out.skipped;
+      std::lock_guard<std::mutex> lk(emit_m);
+      ready.emplace(i, &po);
+      release_ready();
+      continue;
+    }
+    ++out.executed;
+    state[i].reps.resize(options.runs);
+    state[i].remaining.store(options.runs, std::memory_order_relaxed);
+
+    for (std::size_t r = 0; r < options.runs; ++r) {
+      pool->submit([&, i, r] {
+        PointState& st = state[i];
+        PointOutcome& outcome = out.points[i];
+        const auto rep0 = std::chrono::steady_clock::now();
+        try {
+          ScenarioConfig cfg = outcome.point.cfg;
+          cfg.seed = outcome.point_seed;
+          st.reps[r] = run_scenario(cfg, r);
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lk(emit_m);
+          if (st.error.empty()) {
+            st.error = outcome.point.label + ": " + e.what();
+          }
+        }
+        st.rep_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - rep0)
+                    .count()),
+            std::memory_order_relaxed);
+        if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Last replication of this point: aggregate + render + release.
+          outcome.wall_ms =
+              static_cast<double>(st.rep_ns.load(std::memory_order_relaxed)) *
+              1e-6;
+          std::lock_guard<std::mutex> lk(emit_m);
+          if (st.error.empty()) {
+            outcome.result =
+                aggregate_replications(outcome.point.cfg, st.reps);
+            outcome.record = render_point_record(
+                outcome.point, outcome.result, options.master_seed,
+                outcome.point_seed, options.runs, outcome.wall_ms,
+                options.timing);
+          } else if (first_error.empty()) {
+            first_error = st.error;
+          }
+          st.reps.clear();
+          st.reps.shrink_to_fit();
+          ready.emplace(i, &outcome);
+          release_ready();
+        }
+      });
+    }
+  }
+
+  pool->wait_idle();
+  {
+    // Flush any tail (all points should be released by now).
+    std::lock_guard<std::mutex> lk(emit_m);
+    release_ready();
+  }
+  if (!first_error.empty()) {
+    throw std::runtime_error("campaign point failed: " + first_error);
+  }
+
+  const auto stats1 = pool->stats();
+  out.pool_busy_seconds = stats1.busy_seconds - stats0.busy_seconds;
+  out.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace psd

@@ -1,0 +1,299 @@
+#include "sweep/grid.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sweep/jsonl.hpp"
+
+namespace psd {
+
+namespace {
+
+// %g (6 significant digits) for human-facing labels; the canonical/hashed
+// form uses the exact json_number rendering instead.
+std::string short_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string delta_label(const std::vector<double>& delta) {
+  std::string out;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    if (i > 0) out += ':';
+    out += short_num(delta[i]);
+  }
+  return out;
+}
+
+const char* dist_kind_name(DistSpec::Kind k) {
+  switch (k) {
+    case DistSpec::Kind::kBoundedPareto: return "bp";
+    case DistSpec::Kind::kDeterministic: return "det";
+    case DistSpec::Kind::kExponential: return "exp";
+    case DistSpec::Kind::kBoundedExponential: return "bexp";
+    case DistSpec::Kind::kLognormal: return "lognormal";
+    case DistSpec::Kind::kUniform: return "uniform";
+  }
+  PSD_UNREACHABLE("unknown distribution kind");
+}
+
+std::size_t dist_arity(DistSpec::Kind k) {
+  switch (k) {
+    case DistSpec::Kind::kDeterministic:
+    case DistSpec::Kind::kExponential:
+      return 1;
+    case DistSpec::Kind::kLognormal:
+    case DistSpec::Kind::kUniform:
+      return 2;
+    case DistSpec::Kind::kBoundedPareto:
+    case DistSpec::Kind::kBoundedExponential:
+      return 3;
+  }
+  PSD_UNREACHABLE("unknown distribution kind");
+}
+
+}  // namespace
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kDedicated: return "dedicated";
+    case BackendKind::kSfq: return "sfq";
+    case BackendKind::kLottery: return "lottery";
+    case BackendKind::kWtp: return "wtp";
+    case BackendKind::kPad: return "pad";
+    case BackendKind::kHpd: return "hpd";
+    case BackendKind::kStrict: return "strict";
+  }
+  PSD_UNREACHABLE("unknown backend kind");
+}
+
+const char* allocator_name(AllocatorKind k) {
+  switch (k) {
+    case AllocatorKind::kPsd: return "psd";
+    case AllocatorKind::kAdaptivePsd: return "adaptive";
+    case AllocatorKind::kEqualShare: return "equal";
+    case AllocatorKind::kLoadProportional: return "loadprop";
+    case AllocatorKind::kNone: return "none";
+  }
+  PSD_UNREACHABLE("unknown allocator kind");
+}
+
+const char* rate_change_name(RateChangePolicy p) {
+  switch (p) {
+    case RateChangePolicy::kRescaleRemaining: return "rescale";
+    case RateChangePolicy::kFinishAtOldRate: return "finish";
+  }
+  PSD_UNREACHABLE("unknown rate-change policy");
+}
+
+const char* assignment_policy_name(AssignmentPolicy p) {
+  switch (p) {
+    case AssignmentPolicy::kRandom: return "random";
+    case AssignmentPolicy::kRoundRobin: return "rr";
+    case AssignmentPolicy::kLeastWorkLeft: return "lwl";
+    case AssignmentPolicy::kSizeInterval: return "sita";
+  }
+  PSD_UNREACHABLE("unknown assignment policy");
+}
+
+std::string dist_name(const DistSpec& spec) {
+  std::string out = dist_kind_name(spec.kind);
+  const double params[] = {spec.a, spec.b, spec.c};
+  const std::size_t arity = dist_arity(spec.kind);
+  for (std::size_t i = 0; i < arity; ++i) {
+    out += i == 0 ? ':' : ',';
+    out += short_num(params[i]);
+  }
+  return out;
+}
+
+std::string config_canonical(const ScenarioConfig& in) {
+  // Normalize away fields the selected machinery never reads (see header).
+  ScenarioConfig cfg = in;
+  const ScenarioConfig defaults;
+  if (cfg.backend != BackendKind::kLottery) {
+    cfg.lottery_quantum_tu = defaults.lottery_quantum_tu;
+  }
+  if (cfg.backend != BackendKind::kDedicated) {
+    cfg.rate_change = defaults.rate_change;
+  }
+  if (cfg.allocator != AllocatorKind::kAdaptivePsd) {
+    cfg.adaptive = AdaptiveConfig{};
+  }
+  if (cfg.cluster_nodes == 1) cfg.cluster_policy = defaults.cluster_policy;
+  if (cfg.arrivals != ArrivalKind::kBursty) {
+    cfg.burstiness = defaults.burstiness;
+  }
+  if (!cfg.record_requests) {
+    cfg.record_from_tu = defaults.record_from_tu;
+    cfg.record_to_tu = defaults.record_to_tu;
+  }
+
+  std::string s;
+  s.reserve(512);
+  auto num = [&](const char* name, double v) {
+    s += name;
+    s += '=';
+    s += json_number(v);
+    s += ';';
+  };
+  auto vec = [&](const char* name, const std::vector<double>& v) {
+    s += name;
+    s += '=';
+    s += json_array(v);
+    s += ';';
+  };
+  auto uns = [&](const char* name, std::uint64_t v) {
+    s += name;
+    s += '=';
+    s += std::to_string(v);
+    s += ';';
+  };
+  vec("delta", cfg.delta);
+  num("load", cfg.load);
+  vec("load_share", cfg.load_share);
+  s += "dist=";
+  s += dist_kind_name(cfg.size_dist.kind);
+  s += '(' + json_number(cfg.size_dist.a) + ',' +
+       json_number(cfg.size_dist.b) + ',' + json_number(cfg.size_dist.c) +
+       ");";
+  uns("arrivals", static_cast<std::uint64_t>(cfg.arrivals));
+  num("burstiness", cfg.burstiness);
+  num("capacity", cfg.capacity);
+  num("warmup_tu", cfg.warmup_tu);
+  num("measure_tu", cfg.measure_tu);
+  num("window_tu", cfg.window_tu);
+  num("realloc_tu", cfg.realloc_tu);
+  uns("estimator_history", cfg.estimator_history);
+  s += "backend=";
+  s += backend_name(cfg.backend);
+  s += ';';
+  s += "allocator=";
+  s += allocator_name(cfg.allocator);
+  s += ';';
+  num("adaptive.gain", cfg.adaptive.gain);
+  num("adaptive.max_correction", cfg.adaptive.max_correction);
+  num("adaptive.smoothing", cfg.adaptive.smoothing);
+  num("lottery_quantum_tu", cfg.lottery_quantum_tu);
+  s += "rate_change=";
+  s += rate_change_name(cfg.rate_change);
+  s += ';';
+  num("rho_max", cfg.rho_max);
+  num("min_residual_share", cfg.min_residual_share);
+  uns("cluster_nodes", cfg.cluster_nodes);
+  s += "cluster_policy=";
+  s += assignment_policy_name(cfg.cluster_policy);
+  s += ';';
+  uns("record_requests", cfg.record_requests ? 1 : 0);
+  num("record_from_tu", cfg.record_from_tu);
+  num("record_to_tu", cfg.record_to_tu);
+  return s;
+}
+
+std::uint64_t config_hash(const ScenarioConfig& cfg) {
+  const std::string canon = config_canonical(cfg);
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : canon) {
+    h ^= c;
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string config_key(const ScenarioConfig& cfg) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(config_hash(cfg)));
+  return buf;
+}
+
+std::uint64_t derive_point_seed(std::uint64_t master_seed,
+                                const ScenarioConfig& cfg) {
+  // SplitMix64 over (master ^ content hash): any change to either yields an
+  // unrelated stream, and the result depends on nothing else.
+  SplitMix64 sm(master_seed ^ (config_hash(cfg) * 0x9E3779B97F4A7C15ULL));
+  return sm.next();
+}
+
+std::vector<CampaignPoint> expand_grid(const GridSpec& grid) {
+  // Defaulted axes: one value taken from the base config.
+  const auto deltas =
+      grid.deltas.empty() ? std::vector<std::vector<double>>{grid.base.delta}
+                          : grid.deltas;
+  const auto dists = grid.dists.empty() ? std::vector<DistSpec>{grid.base.size_dist}
+                                        : grid.dists;
+  const auto backends = grid.backends.empty()
+                            ? std::vector<BackendKind>{grid.base.backend}
+                            : grid.backends;
+  const auto allocators =
+      grid.allocators.empty() ? std::vector<AllocatorKind>{grid.base.allocator}
+                              : grid.allocators;
+  const auto rate_changes =
+      grid.rate_changes.empty()
+          ? std::vector<RateChangePolicy>{grid.base.rate_change}
+          : grid.rate_changes;
+  const auto nodes = grid.cluster_nodes.empty()
+                         ? std::vector<std::size_t>{grid.base.cluster_nodes}
+                         : grid.cluster_nodes;
+  const auto policies =
+      grid.cluster_policies.empty()
+          ? std::vector<AssignmentPolicy>{grid.base.cluster_policy}
+          : grid.cluster_policies;
+  const auto loads =
+      grid.loads.empty() ? std::vector<double>{grid.base.load} : grid.loads;
+
+  std::vector<CampaignPoint> points;
+  std::unordered_set<std::string> seen;
+  for (const auto& delta : deltas) {
+    for (const auto& dist : dists) {
+      for (const auto backend : backends) {
+        for (const auto allocator : allocators) {
+          for (const auto rate_change : rate_changes) {
+            for (const auto node_count : nodes) {
+              for (const auto policy : policies) {
+                for (const double load : loads) {
+                  ScenarioConfig cfg = grid.base;
+                  cfg.delta = delta;
+                  cfg.size_dist = dist;
+                  cfg.backend = backend;
+                  cfg.allocator = allocator;
+                  cfg.rate_change = rate_change;
+                  cfg.cluster_nodes = node_count;
+                  cfg.cluster_policy = policy;
+                  cfg.load = load;
+                  cfg.validate();
+                  // Dedup on the full canonical form, not the 64-bit key, so
+                  // a hash collision can never silently drop a point.
+                  if (!seen.insert(config_canonical(cfg)).second) continue;
+                  CampaignPoint p;
+                  p.key = config_key(cfg);
+                  p.label = "delta=" + delta_label(delta) +
+                            " load=" + short_num(load) +
+                            " backend=" + backend_name(backend) +
+                            " alloc=" + allocator_name(allocator) +
+                            " dist=" + dist_name(dist);
+                  if (rate_change != RateChangePolicy::kRescaleRemaining) {
+                    p.label += std::string(" rate_change=") +
+                               rate_change_name(rate_change);
+                  }
+                  if (node_count > 1) {
+                    p.label += " nodes=" + std::to_string(node_count) +
+                               " policy=" + assignment_policy_name(policy);
+                  }
+                  p.cfg = std::move(cfg);
+                  points.push_back(std::move(p));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace psd

@@ -1,0 +1,81 @@
+// Work-stealing thread pool shared by an entire campaign: every
+// (scenario point, replication) pair becomes one task, so a 200-point grid
+// saturates all cores instead of serializing scenarios and parallelizing
+// only within one (the run_replications bottleneck this subsystem replaces).
+//
+// Design: one deque per worker, LIFO pop from the owner's back, FIFO steal
+// from a victim's front (the classic Blumofe/Leiserson discipline).  Tasks
+// here are coarse — a full scenario replication runs for milliseconds to
+// seconds — so the deques are mutex-guarded rather than lock-free; the
+// steal path's cost is noise next to the work it moves.  Determinism is the
+// caller's job: campaign tasks write into preassigned slots and every
+// scenario derives its seed from config content, so results are identical
+// whatever the steal order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psd {
+
+class WorkStealingPool {
+ public:
+  /// `workers` == 0 picks std::thread::hardware_concurrency().
+  explicit WorkStealingPool(std::size_t workers = 0);
+
+  /// Drains remaining tasks (wait_idle) before joining the workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueue a task.  Safe from any thread; a task may submit more tasks
+  /// (they land on the submitting worker's own deque).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (including ones submitted by running
+  /// tasks) has finished.  Must not be called from inside a task.
+  void wait_idle();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  struct Stats {
+    std::uint64_t executed = 0;  ///< Tasks run to completion.
+    std::uint64_t stolen = 0;    ///< Tasks taken from another worker's deque.
+    double busy_seconds = 0.0;   ///< Summed task execution time, all workers.
+  };
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    mutable std::mutex m;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_acquire(std::size_t self, std::function<void()>& task,
+                   bool& stolen);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Guards the idle/wake protocol and the counters below.
+  mutable std::mutex state_m_;
+  std::condition_variable work_cv_;   ///< Workers sleep here.
+  std::condition_variable idle_cv_;   ///< wait_idle sleeps here.
+  std::size_t queued_ = 0;            ///< Submitted, not yet dequeued.
+  std::size_t in_flight_ = 0;         ///< Dequeued, still executing.
+  bool stop_ = false;
+
+  std::uint64_t executed_ = 0;
+  std::uint64_t stolen_ = 0;
+  std::uint64_t busy_ns_ = 0;
+  std::size_t submit_rr_ = 0;  ///< Round-robin target for external submits.
+};
+
+}  // namespace psd

@@ -56,6 +56,64 @@ TEST(SitaCutoffs, SingleNodeHasNoCutoffs) {
   EXPECT_TRUE(sita_equal_load_cutoffs(bp, 1).empty());
 }
 
+TEST(SitaCutoffs, ZeroNodesRejected) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  EXPECT_THROW(sita_equal_load_cutoffs(bp, 0), std::invalid_argument);
+}
+
+TEST(SitaCutoffs, ManyNodesStayMonotoneAndInterior) {
+  // More nodes than the support spans "distinct sizes" in any practical
+  // sense: 64 intervals over [0.1, 100].  Cutoffs must stay strictly
+  // increasing and strictly inside (k, p) — the bisection must not collapse
+  // adjacent cutoffs onto each other or the bounds.
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const std::size_t nodes = 64;
+  const auto cuts = sita_equal_load_cutoffs(bp, nodes);
+  ASSERT_EQ(cuts.size(), nodes - 1);
+  EXPECT_GT(cuts.front(), bp.lower());
+  EXPECT_LT(cuts.back(), bp.upper());
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_GT(cuts[i], cuts[i - 1]);
+  }
+}
+
+TEST(SitaCutoffs, NarrowSupportStaysOrdered) {
+  // Nodes >> the distribution's dynamic range: a nearly-degenerate support
+  // [1, 1.001] still yields non-decreasing interior cutoffs.
+  BoundedPareto bp(1.5, 1.0, 1.001);
+  const auto cuts = sita_equal_load_cutoffs(bp, 8);
+  ASSERT_EQ(cuts.size(), 7u);
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    EXPECT_GE(cuts[i], bp.lower());
+    EXPECT_LE(cuts[i], bp.upper());
+    if (i > 0) EXPECT_GE(cuts[i], cuts[i - 1]);
+  }
+}
+
+TEST(SitaCutoffs, AlphaOneUsesLogForm) {
+  // alpha == 1 hits the log branch of the partial-work integral; the
+  // equal-load property must hold there too.
+  BoundedPareto bp(1.0, 0.1, 100.0);
+  const auto cuts = sita_equal_load_cutoffs(bp, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  auto work = [&](double a, double b) {
+    return integrate([&](double x) { return x * bp.pdf(x); }, a, b, 1e-10);
+  };
+  EXPECT_NEAR(work(bp.lower(), cuts[0]) / work(bp.lower(), bp.upper()), 0.5,
+              1e-3);
+}
+
+TEST(SitaCutoffs, TwoNodesHalveTheWork) {
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  const auto cuts = sita_equal_load_cutoffs(bp, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  auto work = [&](double a, double b) {
+    return integrate([&](double x) { return x * bp.pdf(x); }, a, b, 1e-10);
+  };
+  EXPECT_NEAR(work(bp.lower(), cuts[0]) / work(bp.lower(), bp.upper()), 0.5,
+              1e-3);
+}
+
 TEST(Cluster, RoundRobinBalancesDispatchCounts) {
   Simulator sim;
   BoundedPareto bp(1.5, 0.1, 100.0);

@@ -39,19 +39,71 @@ TEST(Runner, DifferentRunIndicesDiffer) {
   EXPECT_NE(a.submitted, b.submitted);
 }
 
-TEST(Runner, ParallelAggregationEqualsSerial) {
-  const auto p = run_replications(tiny_cfg(), 6, /*parallel=*/true);
-  const auto s = run_replications(tiny_cfg(), 6, /*parallel=*/false);
+// EXPECT_DOUBLE_EQ on every field, with NaN == NaN (both paths must produce
+// NaN in the same places for bit-identity to hold).
+void expect_bit_identical(const ReplicatedResult& p,
+                          const ReplicatedResult& s) {
+  auto same = [](double a, double b) {
+    if (std::isnan(a) || std::isnan(b)) {
+      EXPECT_TRUE(std::isnan(a) && std::isnan(b));
+    } else {
+      EXPECT_DOUBLE_EQ(a, b);
+    }
+  };
+  EXPECT_EQ(p.runs, s.runs);
   ASSERT_EQ(p.slowdown.size(), s.slowdown.size());
   for (std::size_t i = 0; i < p.slowdown.size(); ++i) {
-    EXPECT_DOUBLE_EQ(p.slowdown[i].mean, s.slowdown[i].mean);
-    EXPECT_DOUBLE_EQ(p.slowdown[i].half_width, s.slowdown[i].half_width);
+    same(p.slowdown[i].mean, s.slowdown[i].mean);
+    same(p.slowdown[i].half_width, s.slowdown[i].half_width);
+    EXPECT_EQ(p.slowdown[i].n, s.slowdown[i].n);
+  }
+  ASSERT_EQ(p.expected.size(), s.expected.size());
+  for (std::size_t i = 0; i < p.expected.size(); ++i) {
+    same(p.expected[i], s.expected[i]);
+  }
+  same(p.system_slowdown, s.system_slowdown);
+  same(p.expected_system, s.expected_system);
+  ASSERT_EQ(p.mean_ratio.size(), s.mean_ratio.size());
+  for (std::size_t i = 0; i < p.mean_ratio.size(); ++i) {
+    same(p.mean_ratio[i], s.mean_ratio[i]);
   }
   ASSERT_EQ(p.ratio.size(), s.ratio.size());
   for (std::size_t i = 0; i < p.ratio.size(); ++i) {
-    EXPECT_DOUBLE_EQ(p.ratio[i].p50, s.ratio[i].p50);
+    same(p.ratio[i].p5, s.ratio[i].p5);
+    same(p.ratio[i].p50, s.ratio[i].p50);
+    same(p.ratio[i].p95, s.ratio[i].p95);
+    same(p.ratio[i].mean, s.ratio[i].mean);
     EXPECT_EQ(p.ratio[i].windows, s.ratio[i].windows);
   }
+  EXPECT_EQ(p.completed_total, s.completed_total);
+}
+
+// The sweep engine's ordering-independence rests on this: for a fixed seed,
+// thread-parallel and serial replication sets aggregate to bit-identical
+// ReplicatedResults, every field.
+TEST(Runner, ParallelAndSerialReplicationsBitIdentical) {
+  const auto p = run_replications(tiny_cfg(), 6, /*parallel=*/true);
+  const auto s = run_replications(tiny_cfg(), 6, /*parallel=*/false);
+  expect_bit_identical(p, s);
+
+  // Same guarantee on a config whose eq.-18 closed form does NOT apply
+  // (NaN expected values must agree too).
+  auto cfg = tiny_cfg();
+  cfg.allocator = AllocatorKind::kEqualShare;
+  expect_bit_identical(run_replications(cfg, 5, true),
+                       run_replications(cfg, 5, false));
+}
+
+TEST(Runner, AggregateReplicationsMatchesRunReplications) {
+  // The exposed aggregation hook (used by the sweep campaign engine) must
+  // reproduce run_replications exactly when fed the same per-run results.
+  const auto cfg = tiny_cfg();
+  std::vector<RunResult> results;
+  for (std::size_t r = 0; r < 4; ++r) results.push_back(run_scenario(cfg, r));
+  const auto a = aggregate_replications(cfg, results);
+  const auto b = run_replications(cfg, 4, /*parallel=*/false);
+  expect_bit_identical(a, b);
+  EXPECT_THROW(aggregate_replications(cfg, {}), std::invalid_argument);
 }
 
 TEST(Runner, ExpectedValuesMatchClosedForm) {

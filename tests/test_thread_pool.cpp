@@ -1,0 +1,121 @@
+// WorkStealingPool: execution counts, nested submits, stealing, wait_idle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sweep/thread_pool.hpp"
+
+namespace psd {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(pool.stats().executed, 1000u);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains) {
+  WorkStealingPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.stats().stolen, 0u);  // nobody to steal from
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      for (int j = 0; j < 4; ++j) {
+        pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8 + 8 * 4);
+}
+
+TEST(ThreadPool, WaitIdleCoversInFlightWork) {
+  WorkStealingPool pool(2);
+  std::atomic<bool> finished{false};
+  pool.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(finished.load());
+  EXPECT_GT(pool.stats().busy_seconds, 0.0);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ImbalancedLoadGetsStolen) {
+  // External submits round-robin over the two deques; the long task goes
+  // LAST so it sits at the BACK of deque 0 — owners pop LIFO, so whichever
+  // worker owns it blocks for 20 ms with ~50 short tasks still under it,
+  // and the other worker must steal (FIFO, from the front) to drain them.
+  // OS scheduling could still let one worker do everything, so retry; work
+  // completion is asserted every attempt.
+  bool stole = false;
+  for (int attempt = 0; attempt < 50 && !stole; ++attempt) {
+    WorkStealingPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    pool.wait_idle();
+    ASSERT_EQ(count.load(), 101);
+    stole = pool.stats().stolen > 0;
+  }
+  EXPECT_TRUE(stole);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsHardwareBound) {
+  WorkStealingPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  WorkStealingPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    WorkStealingPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,181 @@
+// Shared command-line parsing for the psd tools (psdsim, psdsweep).
+//
+// Every numeric conversion validates its input and throws CliError with a
+// one-line message plus a usage hint — a typo'd `--dist bp:x,y,z` or
+// `--classes a,b` must print one helpful line, not terminate() on an
+// unhandled std::invalid_argument from a bare std::stod.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "sweep/grid.hpp"
+
+namespace psd::cli {
+
+struct CliError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void fail(const std::string& what, const std::string& got,
+                              const std::string& hint) {
+  throw CliError(what + ", got '" + got + "' (hint: " + hint + ")");
+}
+
+/// Strict double: the whole token must parse (no trailing junk).
+inline double parse_double(const std::string& opt, const std::string& s,
+                           const std::string& hint) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    fail(opt + " expects a number", s, hint);
+  }
+}
+
+inline std::uint64_t parse_uint(const std::string& opt, const std::string& s,
+                                const std::string& hint) {
+  try {
+    std::size_t used = 0;
+    if (!s.empty() && s[0] == '-') throw std::invalid_argument("negative");
+    const unsigned long long v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument("trailing junk");
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    fail(opt + " expects a non-negative integer", s, hint);
+  }
+}
+
+/// Comma-separated doubles; rejects empty items ("1,,2") and junk.
+inline std::vector<double> parse_list(const std::string& opt,
+                                      const std::string& s,
+                                      const std::string& hint) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(parse_double(opt, item, hint));
+  }
+  if (out.empty()) fail(opt + " expects a comma-separated list", s, hint);
+  return out;
+}
+
+inline DistSpec parse_dist(const std::string& opt, const std::string& s) {
+  const std::string hint = "bp:1.5,0.1,100 | det:1 | exp:1 | bexp:1,0.1,10 | "
+                           "lognormal:1,4 | uniform:0.5,1.5";
+  const auto colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  const auto args = colon == std::string::npos
+                        ? std::vector<double>{}
+                        : parse_list(opt, s.substr(colon + 1), hint);
+  auto need = [&](std::size_t n) {
+    if (args.size() != n) {
+      fail(opt + ": distribution '" + kind + "' needs " +
+               std::to_string(n) + " parameters",
+           s, hint);
+    }
+  };
+  if (kind == "bp") {
+    need(3);
+    return DistSpec::bounded_pareto(args[0], args[1], args[2]);
+  }
+  if (kind == "det") {
+    need(1);
+    return DistSpec::deterministic(args[0]);
+  }
+  if (kind == "exp") {
+    need(1);
+    return DistSpec::exponential(args[0]);
+  }
+  if (kind == "bexp") {
+    need(3);
+    return DistSpec::bounded_exponential(args[0], args[1], args[2]);
+  }
+  if (kind == "lognormal") {
+    need(2);
+    return DistSpec::lognormal(args[0], args[1]);
+  }
+  if (kind == "uniform") {
+    need(2);
+    return DistSpec::uniform(args[0], args[1]);
+  }
+  fail(opt + ": unknown distribution", s, hint);
+}
+
+// Enum parsers invert the canonical *_name tables from sweep/grid.cpp, so a
+// value printable in JSONL/labels is by construction also parsable here.
+inline BackendKind parse_backend(const std::string& opt,
+                                 const std::string& s) {
+  for (auto k : {BackendKind::kDedicated, BackendKind::kSfq,
+                 BackendKind::kLottery, BackendKind::kWtp, BackendKind::kPad,
+                 BackendKind::kHpd, BackendKind::kStrict}) {
+    if (s == backend_name(k)) return k;
+  }
+  fail(opt + ": unknown backend", s,
+       "dedicated | sfq | lottery | wtp | pad | hpd | strict");
+}
+
+inline AllocatorKind parse_allocator(const std::string& opt,
+                                     const std::string& s) {
+  for (auto k : {AllocatorKind::kPsd, AllocatorKind::kAdaptivePsd,
+                 AllocatorKind::kEqualShare, AllocatorKind::kLoadProportional,
+                 AllocatorKind::kNone}) {
+    if (s == allocator_name(k)) return k;
+  }
+  fail(opt + ": unknown allocator", s,
+       "psd | adaptive | equal | loadprop | none");
+}
+
+inline RateChangePolicy parse_rate_change(const std::string& opt,
+                                          const std::string& s) {
+  for (auto p : {RateChangePolicy::kRescaleRemaining,
+                 RateChangePolicy::kFinishAtOldRate}) {
+    if (s == rate_change_name(p)) return p;
+  }
+  fail(opt + ": unknown rate-change policy", s, "rescale | finish");
+}
+
+inline AssignmentPolicy parse_assignment(const std::string& opt,
+                                         const std::string& s) {
+  for (auto p : {AssignmentPolicy::kRandom, AssignmentPolicy::kRoundRobin,
+                 AssignmentPolicy::kLeastWorkLeft,
+                 AssignmentPolicy::kSizeInterval}) {
+    if (s == assignment_policy_name(p)) return p;
+  }
+  fail(opt + ": unknown assignment policy", s, "random | rr | lwl | sita");
+}
+
+/// Loads may be given as fractions (0.6) or percents (60); anything > 1 is
+/// percent.  Exactly 1 is rejected rather than guessed at: as a fraction it
+/// is an unstable utilization, and silently reading it as 1% would run the
+/// campaign at the wrong operating point.
+inline double normalize_load(const std::string& opt, double v) {
+  if (v == 1.0) {
+    fail(opt + ": load 1 is ambiguous (1.0 = unstable, 1% = write 0.01)",
+         "1", "--loads 30,60,90 (percent) or --loads 0.3,0.6,0.9");
+  }
+  return v < 1.0 ? v : v / 100.0;
+}
+
+/// Split on `sep`, trimming ASCII whitespace around items; empty items are
+/// dropped ("a, b," -> {"a","b"}).
+inline std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    const auto b = item.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const auto e = item.find_last_not_of(" \t");
+    out.push_back(item.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+}  // namespace psd::cli

@@ -7,22 +7,20 @@
 //
 // Prints per-class simulated and eq.-18 expected slowdowns, achieved ratios,
 // and the windowed ratio percentiles — the numbers a capacity planner or a
-// reviewer wants first.
+// reviewer wants first.  For grids of scenarios, see psdsweep.
 #include <cstdlib>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "psd.hpp"
+#include "cli_util.hpp"
 
 namespace {
 
 using namespace psd;
 
-[[noreturn]] void usage(int code) {
-  std::cout <<
-      R"(psdsim — proportional slowdown differentiation simulator (IPDPS'04)
+const char* kUsage =
+    R"(psdsim — proportional slowdown differentiation simulator (IPDPS'04)
 
 options:
   --classes D1,D2[,...]   differentiation parameters, non-decreasing
@@ -32,11 +30,15 @@ options:
   --dist SPEC             service-time distribution             (default bp:1.5,0.1,100)
                             bp:alpha,k,p     bounded Pareto
                             det:c            deterministic
+                            exp:m            exponential
+                            bexp:m,lo,hi     bounded exponential
                             lognormal:m,scv  lognormal
                             uniform:a,b      uniform
   --backend NAME          dedicated | sfq | lottery | wtp | pad | hpd | strict
                           (default dedicated)
   --allocator NAME        psd | adaptive | equal | loadprop     (default psd)
+  --nodes N               cluster nodes (1 = single server)     (default 1)
+  --policy NAME           random | rr | lwl | sita  (with --nodes > 1)
   --runs N                replications                          (default 32)
   --measure TU            measurement length in time units      (default 60000)
   --warmup TU             warmup in time units                  (default 10000)
@@ -45,69 +47,10 @@ options:
   --csv                   CSV instead of aligned table
   --help                  this text
 )";
+
+[[noreturn]] void usage(int code) {
+  std::cout << kUsage;
   std::exit(code);
-}
-
-std::vector<double> parse_list(const std::string& s) {
-  std::vector<double> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
-  return out;
-}
-
-DistSpec parse_dist(const std::string& s) {
-  const auto colon = s.find(':');
-  const std::string kind = s.substr(0, colon);
-  const auto args =
-      colon == std::string::npos ? std::vector<double>{} :
-      parse_list(s.substr(colon + 1));
-  auto need = [&](std::size_t n) {
-    if (args.size() != n) {
-      std::cerr << "error: distribution '" << kind << "' needs " << n
-                << " parameters\n";
-      std::exit(2);
-    }
-  };
-  if (kind == "bp") {
-    need(3);
-    return DistSpec::bounded_pareto(args[0], args[1], args[2]);
-  }
-  if (kind == "det") {
-    need(1);
-    return DistSpec::deterministic(args[0]);
-  }
-  if (kind == "lognormal") {
-    need(2);
-    return DistSpec::lognormal(args[0], args[1]);
-  }
-  if (kind == "uniform") {
-    need(2);
-    return DistSpec::uniform(args[0], args[1]);
-  }
-  std::cerr << "error: unknown distribution '" << kind << "'\n";
-  std::exit(2);
-}
-
-BackendKind parse_backend(const std::string& s) {
-  if (s == "dedicated") return BackendKind::kDedicated;
-  if (s == "sfq") return BackendKind::kSfq;
-  if (s == "lottery") return BackendKind::kLottery;
-  if (s == "wtp") return BackendKind::kWtp;
-  if (s == "pad") return BackendKind::kPad;
-  if (s == "hpd") return BackendKind::kHpd;
-  if (s == "strict") return BackendKind::kStrict;
-  std::cerr << "error: unknown backend '" << s << "'\n";
-  std::exit(2);
-}
-
-AllocatorKind parse_allocator(const std::string& s) {
-  if (s == "psd") return AllocatorKind::kPsd;
-  if (s == "adaptive") return AllocatorKind::kAdaptivePsd;
-  if (s == "equal") return AllocatorKind::kEqualShare;
-  if (s == "loadprop") return AllocatorKind::kLoadProportional;
-  std::cerr << "error: unknown allocator '" << s << "'\n";
-  std::exit(2);
 }
 
 }  // namespace
@@ -118,32 +61,50 @@ int main(int argc, char** argv) {
   bool analytic_only = false;
   bool csv = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a value\n";
-        std::exit(2);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw cli::CliError(arg + " needs a value (see --help)");
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") usage(0);
+      else if (arg == "--classes")
+        cfg.delta = cli::parse_list(arg, value(), "--classes 1,2,4");
+      else if (arg == "--load")
+        cfg.load = cli::parse_double(arg, value(), "--load 0.7");
+      else if (arg == "--shares")
+        cfg.load_share = cli::parse_list(arg, value(), "--shares 0.7,0.3");
+      else if (arg == "--dist") cfg.size_dist = cli::parse_dist(arg, value());
+      else if (arg == "--backend") cfg.backend = cli::parse_backend(arg, value());
+      else if (arg == "--allocator")
+        cfg.allocator = cli::parse_allocator(arg, value());
+      else if (arg == "--nodes")
+        cfg.cluster_nodes = static_cast<std::size_t>(
+            cli::parse_uint(arg, value(), "--nodes 4"));
+      else if (arg == "--policy")
+        cfg.cluster_policy = cli::parse_assignment(arg, value());
+      else if (arg == "--runs")
+        runs = static_cast<std::size_t>(
+            cli::parse_uint(arg, value(), "--runs 32"));
+      else if (arg == "--measure")
+        cfg.measure_tu = cli::parse_double(arg, value(), "--measure 60000");
+      else if (arg == "--warmup")
+        cfg.warmup_tu = cli::parse_double(arg, value(), "--warmup 10000");
+      else if (arg == "--seed")
+        cfg.seed = cli::parse_uint(arg, value(), "--seed 42");
+      else if (arg == "--analytic") analytic_only = true;
+      else if (arg == "--csv") csv = true;
+      else {
+        std::cerr << "error: unknown option '" << arg << "'\n";
+        usage(2);
       }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") usage(0);
-    else if (arg == "--classes") cfg.delta = parse_list(value());
-    else if (arg == "--load") cfg.load = std::stod(value());
-    else if (arg == "--shares") cfg.load_share = parse_list(value());
-    else if (arg == "--dist") cfg.size_dist = parse_dist(value());
-    else if (arg == "--backend") cfg.backend = parse_backend(value());
-    else if (arg == "--allocator") cfg.allocator = parse_allocator(value());
-    else if (arg == "--runs") runs = std::stoul(value());
-    else if (arg == "--measure") cfg.measure_tu = std::stod(value());
-    else if (arg == "--warmup") cfg.warmup_tu = std::stod(value());
-    else if (arg == "--seed") cfg.seed = std::stoull(value());
-    else if (arg == "--analytic") analytic_only = true;
-    else if (arg == "--csv") csv = true;
-    else {
-      std::cerr << "error: unknown option '" << arg << "'\n";
-      usage(2);
     }
+  } catch (const cli::CliError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
 
   try {
@@ -178,7 +139,12 @@ int main(int argc, char** argv) {
 
     std::cout << "simulating " << runs << " replications ("
               << cfg.measure_tu << " tu each, warmup " << cfg.warmup_tu
-              << " tu)...\n\n";
+              << " tu";
+    if (cfg.cluster_nodes > 1) {
+      std::cout << ", " << cfg.cluster_nodes << " nodes, "
+                << assignment_policy_name(cfg.cluster_policy);
+    }
+    std::cout << ")...\n\n";
     const auto r = run_replications(cfg, runs);
 
     Table t({"class", "delta", "S simulated", "+-95%", "S expected",
