@@ -54,7 +54,8 @@ void heterogeneous_comparison() {
     if (row.use_psd) {
       backend = std::make_unique<DedicatedRateBackend>();
       alloc = std::make_unique<HeteroPsdAllocator>(
-          delta, std::vector<const SizeDistribution*>{&d0, &d1});
+          delta, std::vector<SamplerVariant>{DeterministicSampler(d0.value()),
+                                             BoundedParetoSampler(d1)});
     } else {
       backend = make_wtp_backend(delta);
     }
@@ -63,11 +64,12 @@ void heterogeneous_comparison() {
 
     std::vector<std::unique_ptr<RequestGenerator>> gens;
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(31), 0, std::make_unique<PoissonArrivals>(lam[0]),
-        d0.clone(), server));
+        sim, Rng(31), 0, PoissonArrivals(lam[0]),
+        DeterministicSampler(d0.value()),
+        server));
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(32), 1, std::make_unique<PoissonArrivals>(lam[1]),
-        d1.clone(), server));
+        sim, Rng(32), 1, PoissonArrivals(lam[1]), BoundedParetoSampler(d1),
+        server));
     for (auto& g : gens) g->start(0.0);
     sim.run_until(40000.0);
     server.finalize();

@@ -52,11 +52,9 @@ int main() {
   // Session classes mix different request types, so the allocator needs the
   // heterogeneous generalization of eq. 17 with per-class mixtures.
   const auto mixtures = profile.class_mixtures(2);
-  std::vector<const SizeDistribution*> dists = {mixtures[0].get(),
-                                                mixtures[1].get()};
   Server server(sim, sc, std::make_unique<DedicatedRateBackend>(),
                 std::make_unique<HeteroPsdAllocator>(
-                    std::vector<double>{1.0, 2.0}, dists),
+                    std::vector<double>{1.0, 2.0}, mixtures),
                 Rng(1));
   server.start(0.0);
   SessionWorkload sessions(sim, Rng(2), profile, server);

@@ -69,8 +69,8 @@ int main() {
     std::vector<std::unique_ptr<RequestGenerator>> gens;
     for (ClassId c = 0; c < 2; ++c) {
       gens.push_back(std::make_unique<RequestGenerator>(
-          sim, Rng(40 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
-          bp.clone(), cluster));
+          sim, Rng(40 + c), c, PoissonArrivals(lam[c]),
+          BoundedParetoSampler(bp), cluster));
       gens.back()->start(0.0);
     }
     sim.run_until(30000.0);

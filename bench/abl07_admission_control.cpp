@@ -49,7 +49,7 @@ Outcome run_with_gate(double offered_load, int gate_kind) {
         std::make_unique<UtilizationGate>(2, bp.mean(), 1.0, 0.9));
   } else if (gate_kind == 2) {
     server.set_admission(std::make_unique<SlowdownBudgetGate>(
-        std::vector<double>{1.0, 2.0}, bp.clone(), 1.0,
+        std::vector<double>{1.0, 2.0}, BoundedParetoSampler(bp), 1.0,
         /*max unit slowdown*/ 30.0));
   }
   server.start(0.0);
@@ -58,8 +58,8 @@ Outcome run_with_gate(double offered_load, int gate_kind) {
   std::vector<std::unique_ptr<RequestGenerator>> gens;
   for (ClassId c = 0; c < 2; ++c) {
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(60 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
-        bp.clone(), server));
+        sim, Rng(60 + c), c, PoissonArrivals(lam[c]),
+        BoundedParetoSampler(bp), server));
     gens.back()->start(0.0);
   }
   sim.run_until(25000.0);

@@ -1,4 +1,10 @@
 // Shared helpers for the figure-reproduction bench binaries.
+//
+// Timing discipline for anything that lands in a BENCH_*.json record: use
+// json_bench.hpp's warm-up + min-of-k harness (min_ns_per_op / the repeated
+// scenario loops in micro_simulator) so numbers are stable enough to compare
+// across PRs — single-shot timings drift with scheduler jitter and CPU
+// frequency scaling.
 #pragma once
 
 #include <cmath>
@@ -9,6 +15,7 @@
 #include "experiment/figures.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
+#include "json_bench.hpp"
 #include "sweep/campaign.hpp"
 
 namespace psd::bench {

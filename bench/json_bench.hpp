@@ -9,33 +9,44 @@
 // simulator binaries can share BENCH_event_core.json without a merge step).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 namespace psd::bench {
 
 inline const char* kDefaultRecordsPath = "BENCH_event_core.json";
+inline const char* kHotPathRecordsPath = "BENCH_hot_path.json";
 
-/// ns per op of `fn` over `iters` iterations after `warmup` untimed ones.
-/// `fn` must feed its observable result into a volatile sink itself or
-/// return a value, which the harness accumulates into one.
+/// Min-of-k repetition: one warmup pass, then `k` independently timed blocks
+/// of `iters` iterations; report the fastest block.  The minimum estimates
+/// the noise-free cost of the op — means drift with scheduler jitter and
+/// frequency scaling, which made single-shot BENCH_*.json numbers too shaky
+/// to compare across PRs.  `fn` must feed its observable result into a
+/// volatile sink itself or return a value, which the harness accumulates.
 template <typename F>
-double time_ns_per_op(std::uint64_t warmup, std::uint64_t iters, F&& fn) {
-  // Sink the compiler cannot optimize away.
+double min_ns_per_op(std::uint64_t warmup, std::uint64_t iters, int k,
+                     F&& fn) {
   volatile double sink = 0.0;
   for (std::uint64_t i = 0; i < warmup; ++i) sink = sink + fn();
-  const auto start = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < iters; ++i) sink = sink + fn();
-  const auto done = std::chrono::steady_clock::now();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < k; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) sink = sink + fn();
+    const auto done = std::chrono::steady_clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(done - start)
+            .count();
+    best = std::min(best,
+                    static_cast<double>(ns) / static_cast<double>(iters));
+  }
   (void)sink;
-  const auto ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(done - start)
-          .count();
-  return static_cast<double>(ns) / static_cast<double>(iters);
+  return best;
 }
 
 /// One benchmark record; `extra` is pre-rendered JSON key/values, e.g.

@@ -1,58 +1,166 @@
-// Microbenchmark M3: sampling throughput of the distribution layer (the
-// request generators call these on every arrival).
-#include <benchmark/benchmark.h>
+// Microbenchmark M3, grown into the hot-path before/after suite: sampling
+// throughput of the distribution layer, legacy virtual dispatch vs the
+// sealed SamplerVariant, plus the batch API and a campaign-engine
+// points/sec record.  The request generators draw one arrival gap and one
+// size per request, so ns/sample here bounds every simulation bench.
+//
+// Three implementations per distribution:
+//   * legacy  — make_distribution(): virtual SizeDistribution::sample
+//               through a unique_ptr (the pre-variant hot path),
+//   * variant — SamplerVariant::sample(): one std::visit, fast-path math
+//               (ziggurat exponentials, alias tables, cached BP exponents),
+//   * batched — SamplerVariant::sample_n(): one visit per 256 draws, the
+//               refill path the generators actually run.
+//
+// Appends JSONL to BENCH_hot_path.json (shared with micro_simulator's
+// end-to-end ns/request records; CI gates on the combined file).
+//
+//   ./micro_distributions [records.json]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
-#include "dist/bounded_exponential.hpp"
 #include "dist/bounded_pareto.hpp"
 #include "dist/deterministic.hpp"
-#include "dist/exponential.hpp"
-#include "dist/lognormal.hpp"
+#include "dist/empirical.hpp"
+#include "dist/factory.hpp"
+#include "dist/mixture.hpp"
+#include "dist/sampler.hpp"
+#include "dist/ziggurat.hpp"
+#include "json_bench.hpp"
+#include "sweep/campaign.hpp"
 
 namespace {
 
-template <typename Dist, typename... Args>
-void sample_loop(benchmark::State& state, Args... args) {
-  Dist d(args...);
-  psd::Rng rng(42);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(d.sample(rng));
-  }
-  state.SetItemsProcessed(state.iterations());
+using namespace psd;
+using bench::emit_record;
+using bench::min_ns_per_op;
+
+constexpr std::uint64_t kIters = 2'000'000;
+constexpr int kRepeats = 5;
+constexpr std::size_t kBlock = 256;
+
+void bench_dist(const std::string& path, const std::string& bench,
+                const SizeDistribution& legacy, const SamplerVariant& fast) {
+  Rng rng(42);
+  const double legacy_ns = min_ns_per_op(
+      kIters / 5, kIters, kRepeats, [&] { return legacy.sample(rng); });
+  emit_record(path, "distributions", bench, "\"impl\":\"legacy\"", legacy_ns,
+              kIters);
+
+  const double variant_ns = min_ns_per_op(
+      kIters / 5, kIters, kRepeats, [&] { return fast.sample(rng); });
+  emit_record(path, "distributions", bench, "\"impl\":\"variant\"", variant_ns,
+              kIters);
+
+  double block[kBlock];
+  const double batched_ns =
+      min_ns_per_op(kIters / (5 * kBlock), kIters / kBlock, kRepeats, [&] {
+        fast.sample_n(rng, block, kBlock);
+        return block[0];
+      }) /
+      static_cast<double>(kBlock);
+  emit_record(path, "distributions", bench,
+              "\"impl\":\"batched\",\"block\":" + std::to_string(kBlock),
+              batched_ns, kIters);
+
+  std::printf("%-18s legacy %6.2f  variant %6.2f (%.2fx)  batched %6.2f "
+              "(%.2fx) ns/sample\n",
+              bench.c_str(), legacy_ns, variant_ns, legacy_ns / variant_ns,
+              batched_ns, legacy_ns / batched_ns);
 }
 
-void BM_BoundedPareto(benchmark::State& state) {
-  sample_loop<psd::BoundedPareto>(state, 1.5, 0.1, 100.0);
+void bench_spec(const std::string& path, const std::string& bench,
+                const DistSpec& spec) {
+  bench_dist(path, bench, *make_distribution(spec), make_sampler(spec));
 }
-BENCHMARK(BM_BoundedPareto);
 
-void BM_Exponential(benchmark::State& state) {
-  sample_loop<psd::Exponential>(state, 1.0);
+void bench_rng_primitives(const std::string& path) {
+  Rng rng(7);
+  const double inv_ns = min_ns_per_op(kIters / 5, kIters, kRepeats,
+                                      [&] { return rng.exponential(1.0); });
+  emit_record(path, "rng", "exponential", "\"impl\":\"inverse_log\"", inv_ns,
+              kIters);
+  const double zig_ns = min_ns_per_op(
+      kIters / 5, kIters, kRepeats, [&] { return ziggurat_exponential(rng); });
+  emit_record(path, "rng", "exponential", "\"impl\":\"ziggurat\"", zig_ns,
+              kIters);
+  const double uni_ns = min_ns_per_op(kIters / 5, kIters, kRepeats,
+                                      [&] { return rng.uniform01(); });
+  emit_record(path, "rng", "uniform01", "\"impl\":\"xoshiro\"", uni_ns, kIters);
+  std::printf("%-18s inverse %5.2f  ziggurat %5.2f (%.2fx) ns/draw\n",
+              "exp(1) draw", inv_ns, zig_ns, inv_ns / zig_ns);
 }
-BENCHMARK(BM_Exponential);
 
-void BM_BoundedExponential(benchmark::State& state) {
-  sample_loop<psd::BoundedExponential>(state, 1.0, 0.1, 10.0);
+// Campaign throughput with the devirtualized hot path: the sweep engine's
+// points/sec is the number every figure reproduction ultimately waits on.
+void bench_campaign(const std::string& path) {
+  GridSpec grid;
+  grid.base.warmup_tu = 500.0;
+  grid.base.measure_tu = 4000.0;
+  grid.loads = {0.3, 0.6, 0.9};
+  grid.backends = {BackendKind::kDedicated, BackendKind::kSfq};
+  grid.deltas = {{1.0, 2.0}};
+  CampaignOptions opt;
+  opt.runs = 8;
+  opt.master_seed = 42;
+  const auto result = run_campaign(grid, opt);
+  char extra[192];
+  std::snprintf(extra, sizeof(extra),
+                "\"impl\":\"variant\",\"points\":%zu,\"runs\":%zu,"
+                "\"threads\":%zu,\"points_per_sec\":%.4f",
+                result.points.size(), opt.runs, result.threads,
+                result.points_per_sec());
+  emit_record(path, "campaign", "points_per_sec", extra,
+              result.wall_seconds * 1e9 /
+                  static_cast<double>(result.points.size()),
+              result.points.size());
+  std::printf("%-18s %.2f points/s (%zu points x %zu runs, %zu threads)\n",
+              "campaign", result.points_per_sec(), result.points.size(),
+              opt.runs, result.threads);
 }
-BENCHMARK(BM_BoundedExponential);
-
-void BM_Lognormal(benchmark::State& state) {
-  sample_loop<psd::Lognormal>(state, 0.0, 1.0);
-}
-BENCHMARK(BM_Lognormal);
-
-void BM_Deterministic(benchmark::State& state) {
-  sample_loop<psd::Deterministic>(state, 1.0);
-}
-BENCHMARK(BM_Deterministic);
-
-void BM_RngUniform01(benchmark::State& state) {
-  psd::Rng rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform01());
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_RngUniform01);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : psd::bench::kHotPathRecordsPath;
+
+  bench_spec(path, "bounded_pareto15", DistSpec::bounded_pareto(1.5, 0.1, 100.0));
+  bench_spec(path, "bounded_pareto27", DistSpec::bounded_pareto(2.7, 0.1, 100.0));
+  bench_spec(path, "exponential", DistSpec::exponential(1.0));
+  bench_spec(path, "bounded_exp", DistSpec::bounded_exponential(1.0, 0.1, 10.0));
+  bench_spec(path, "lognormal", DistSpec::lognormal(1.0, 4.0));
+  bench_spec(path, "uniform", DistSpec::uniform(0.5, 2.0));
+  bench_spec(path, "deterministic", DistSpec::deterministic(1.0));
+
+  {
+    // Empirical: 1024-point value set, uniform weights (trace resampling).
+    std::vector<double> values;
+    values.reserve(1024);
+    Rng seed_rng(9);
+    for (int i = 0; i < 1024; ++i) values.push_back(0.1 + seed_rng.uniform01());
+    const Empirical legacy(values);
+    bench_dist(path, "empirical1024", legacy, EmpiricalSampler(values));
+  }
+  {
+    // Mixture: the storefront-style det + heavy-tail blend.
+    std::vector<Mixture::Component> legacy_comps;
+    legacy_comps.push_back({0.6, std::make_unique<Deterministic>(0.3)});
+    legacy_comps.push_back(
+        {0.4, std::make_unique<BoundedPareto>(1.5, 0.1, 50.0)});
+    const Mixture legacy(std::move(legacy_comps));
+    const SamplerVariant fast =
+        MixtureSampler({{0.6, DeterministicSampler(0.3)},
+                        {0.4, BoundedParetoSampler(1.5, 0.1, 50.0)}});
+    bench_dist(path, "mixture_det_bp", legacy, fast);
+  }
+
+  bench_rng_primitives(path);
+  bench_campaign(path);
+
+  std::printf("done; records appended to %s\n", path.c_str());
+  return 0;
+}

@@ -34,9 +34,12 @@
 namespace {
 
 using psd::bench::emit_record;
-using psd::bench::time_ns_per_op;
+using psd::bench::min_ns_per_op;
 
-constexpr std::uint64_t kIters = 2'000'000;
+// Per timed block; each bench reports the min over kRepeats blocks after a
+// warmup pass, so records stay comparable across PRs.
+constexpr std::uint64_t kIters = 500'000;
+constexpr int kRepeats = 5;
 
 // One op: schedule one captureless event, pop the earliest.
 template <typename Queue>
@@ -49,7 +52,7 @@ double bench_schedule_pop_empty(const std::string& impl,
   for (std::size_t i = 0; i < backlog; ++i) {
     q.schedule_fast(t + rng.uniform01() * 100.0, [] {});
   }
-  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+  const double ns = min_ns_per_op(kIters / 5, kIters, kRepeats, [&] {
     q.schedule_fast(t + rng.uniform01() * 100.0, [] {});
     t = q.pop_and_run();
     return t;
@@ -76,7 +79,7 @@ double bench_schedule_pop_completion(const std::string& impl,
     q.schedule_fast(t + rng.uniform01() * 100.0,
                     [sink, sz, t] { *sink += sz + t; });
   }
-  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+  const double ns = min_ns_per_op(kIters / 5, kIters, kRepeats, [&] {
     const double sz = rng.uniform01();
     q.schedule_fast(t + rng.uniform01() * 100.0,
                     [sink, sz, t] { *sink += sz + t; });
@@ -103,7 +106,7 @@ double bench_cancellable(const std::string& impl, const std::string& path,
     const double sz = rng.uniform01();
     q.schedule(t + rng.uniform01() * 100.0, [sink, sz, t] { *sink += sz; });
   }
-  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+  const double ns = min_ns_per_op(kIters / 5, kIters, kRepeats, [&] {
     const double sz = rng.uniform01();
     auto h =
         q.schedule(t + rng.uniform01() * 100.0, [sink, sz, t] { *sink += sz; });
@@ -128,7 +131,7 @@ double bench_cancel_heavy(const std::string& impl, const std::string& path) {
   psd::Rng rng(5);
   double t = 0.0, acc = 0.0;
   double* sink = &acc;
-  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+  const double ns = min_ns_per_op(kIters / 5, kIters, kRepeats, [&] {
     const double sz = rng.uniform01();
     auto h =
         q.schedule(t + rng.uniform01() * 10.0, [sink, sz, t] { *sink += sz; });
@@ -161,7 +164,7 @@ double bench_hot_path_mix(const std::string& impl, const std::string& path,
   for (std::size_t i = 0; i < backlog; ++i) {
     q.schedule_fast(t + rng.uniform01() * 8.0, [] {});
   }
-  const double ns = time_ns_per_op(kIters / 10, kIters, [&] {
+  const double ns = min_ns_per_op(kIters / 5, kIters, kRepeats, [&] {
     const double sz = rng.uniform01();
     q.schedule(t + rng.uniform01() * 8.0, [sink, sz, t] { *sink += sz + t; });
     auto completion =

@@ -35,9 +35,9 @@ int main() {
   std::cout << "class service-time moments (visit-weighted mixtures):\n";
   for (int c = 0; c < 2; ++c) {
     std::cout << "  class " << c + 1 << ": E[X]="
-              << Table::fmt(mixtures[c]->mean(), 3)
-              << " E[X^2]=" << Table::fmt(mixtures[c]->second_moment(), 3)
-              << " E[1/X]=" << Table::fmt(mixtures[c]->mean_inverse(), 3)
+              << Table::fmt(mixtures[c].mean(), 3)
+              << " E[X^2]=" << Table::fmt(mixtures[c].second_moment(), 3)
+              << " E[1/X]=" << Table::fmt(mixtures[c].mean_inverse(), 3)
               << "\n";
   }
   std::cout << "\n";
@@ -57,11 +57,9 @@ int main() {
     sc.metrics.warmup_end = 5000.0;
     sc.metrics.window = 500.0;
 
-    std::vector<const SizeDistribution*> dists = {mixtures[0].get(),
-                                                  mixtures[1].get()};
     Server server(sim, sc, std::make_unique<DedicatedRateBackend>(),
                   std::make_unique<HeteroPsdAllocator>(
-                      std::vector<double>{1.0, 2.0}, dists),
+                      std::vector<double>{1.0, 2.0}, mixtures),
                   Rng(11));
     server.start(0.0);
     SessionWorkload sessions(sim, Rng(12), p, server);

@@ -34,15 +34,13 @@ bool UtilizationGate::admit(ClassId cls) const {
 }
 
 SlowdownBudgetGate::SlowdownBudgetGate(std::vector<double> delta,
-                                       std::unique_ptr<SizeDistribution> dist,
-                                       double capacity,
+                                       SamplerVariant dist, double capacity,
                                        double max_unit_slowdown)
     : delta_(std::move(delta)),
       dist_(std::move(dist)),
       capacity_(capacity),
       budget_(max_unit_slowdown) {
   PSD_REQUIRE(!delta_.empty(), "need at least one class");
-  PSD_REQUIRE(dist_ != nullptr, "distribution required");
   PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
   PSD_REQUIRE(max_unit_slowdown > 0.0, "budget must be positive");
   admit_.assign(delta_.size(), true);
@@ -54,7 +52,7 @@ double SlowdownBudgetGate::predicted_unit_slowdown(
   // eq. 18 restricted to admitted classes: unit slowdown (E[S_i]/delta_i) is
   // the class-independent factor sum(lambda_j/delta_j) E[X^2]E[1/X] /
   // (2 (C - demand)).
-  const double ex = dist_->mean();
+  const double ex = dist_.mean();
   double demand = 0.0, denom = 0.0;
   for (std::size_t j = 0; j < lambda_hat.size(); ++j) {
     if (!mask[j]) continue;
@@ -63,7 +61,7 @@ double SlowdownBudgetGate::predicted_unit_slowdown(
   }
   if (demand >= capacity_) return kInf;
   if (denom <= 0.0) return 0.0;
-  return denom * dist_->second_moment() * dist_->mean_inverse() /
+  return denom * dist_.second_moment() * dist_.mean_inverse() /
          (2.0 * (capacity_ - demand));
 }
 

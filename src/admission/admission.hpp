@@ -16,12 +16,11 @@
 // reallocations, mirroring the rate allocator's cadence).
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
-#include "dist/distribution.hpp"
+#include "dist/sampler.hpp"
 
 namespace psd {
 
@@ -71,9 +70,8 @@ class SlowdownBudgetGate final : public AdmissionController {
  public:
   /// `max_unit_slowdown`: budget for a hypothetical delta == 1 class; class
   /// i's budget is delta_i * max_unit_slowdown (proportionality preserved).
-  SlowdownBudgetGate(std::vector<double> delta,
-                     std::unique_ptr<SizeDistribution> dist, double capacity,
-                     double max_unit_slowdown);
+  SlowdownBudgetGate(std::vector<double> delta, SamplerVariant dist,
+                     double capacity, double max_unit_slowdown);
 
   void update(const std::vector<double>& lambda_hat) override;
   bool admit(ClassId cls) const override;
@@ -88,7 +86,7 @@ class SlowdownBudgetGate final : public AdmissionController {
                                  const std::vector<bool>& mask) const;
 
   std::vector<double> delta_;
-  std::unique_ptr<SizeDistribution> dist_;
+  SamplerVariant dist_;
   double capacity_, budget_;
   std::vector<bool> admit_;
 };

@@ -96,11 +96,11 @@ std::size_t Cluster::route(const Request& req) {
   PSD_UNREACHABLE("unknown assignment policy");
 }
 
-void Cluster::submit(Request req) {
+void Cluster::submit(const Request& req) {
   const std::size_t n = route(req);
   outstanding_[n] += req.size;
   ++dispatched_[n];
-  nodes_[n]->submit(std::move(req));
+  nodes_[n]->submit(req);
 }
 
 void Cluster::finalize() {

@@ -44,7 +44,7 @@ class Cluster final : public RequestSink {
           Rng rng, std::vector<double> cutoffs = {});
 
   void start(Time origin);
-  void submit(Request req) override;
+  void submit(const Request& req) override;
   void finalize();
 
   std::size_t nodes() const { return nodes_.size(); }

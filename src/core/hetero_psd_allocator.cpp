@@ -4,10 +4,10 @@
 
 namespace psd {
 
-HeteroPsdAllocator::HeteroPsdAllocator(
-    std::vector<double> delta,
-    const std::vector<const SizeDistribution*>& dists, double capacity,
-    double rho_max, double min_residual_share)
+HeteroPsdAllocator::HeteroPsdAllocator(std::vector<double> delta,
+                                       std::vector<SamplerVariant> dists,
+                                       double capacity, double rho_max,
+                                       double min_residual_share)
     : delta_(std::move(delta)),
       capacity_(capacity),
       rho_max_(rho_max),
@@ -16,10 +16,7 @@ HeteroPsdAllocator::HeteroPsdAllocator(
   PSD_REQUIRE(delta_.size() == dists.size(), "delta/dists size mismatch");
   PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
   dists_.reserve(dists.size());
-  for (const auto* d : dists) {
-    PSD_REQUIRE(d != nullptr, "distribution required per class");
-    dists_.push_back(d->clone());
-  }
+  for (auto& d : dists) dists_.emplace_back(std::move(d));
 }
 
 std::vector<double> HeteroPsdAllocator::allocate(
@@ -29,7 +26,7 @@ std::vector<double> HeteroPsdAllocator::allocate(
   in.lambda = lambda_hat;
   in.delta = delta_;
   in.dist.reserve(dists_.size());
-  for (const auto& d : dists_) in.dist.push_back(d.get());
+  for (const auto& d : dists_) in.dist.push_back(&d);
   in.capacity = capacity_;
   in.overload = OverloadPolicy::kClamp;
   in.rho_max = rho_max_;

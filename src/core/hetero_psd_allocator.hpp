@@ -1,30 +1,36 @@
 // Runtime adapter for the heterogeneous PSD allocation: per-class
 // service-time distributions (e.g. session workloads whose classes mix
 // different request types).
+//
+// Samplers are held by value — construction copies a SamplerVariant per
+// class (cheap: parametric samplers are a few doubles; mixtures share their
+// component tables), replacing the per-distribution clone() into unique_ptr
+// the virtual hierarchy used to require.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "core/psd_allocation.hpp"
+#include "dist/adapter.hpp"
 #include "server/allocator.hpp"
 
 namespace psd {
 
 class HeteroPsdAllocator final : public RateAllocator {
  public:
-  /// `dists[i]` is class i's service-time distribution (cloned, owned).
+  /// `dists[i]` is class i's service-time sampler.
   HeteroPsdAllocator(std::vector<double> delta,
-                     const std::vector<const SizeDistribution*>& dists,
-                     double capacity = 1.0, double rho_max = 0.98,
-                     double min_residual_share = 1e-3);
+                     std::vector<SamplerVariant> dists, double capacity = 1.0,
+                     double rho_max = 0.98, double min_residual_share = 1e-3);
 
   std::vector<double> allocate(const std::vector<double>& lambda_hat) override;
   std::string name() const override { return "psd-hetero"; }
 
  private:
   std::vector<double> delta_;
-  std::vector<std::unique_ptr<SizeDistribution>> dists_;
+  /// ABC views over the samplers for the eq.-17 closed form (value-held; the
+  /// moment API still speaks SizeDistribution*).
+  std::vector<VariantDistribution> dists_;
   double capacity_;
   double rho_max_;
   double min_residual_share_;

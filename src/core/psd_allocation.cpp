@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "dist/adapter.hpp"
 #include "queueing/mg1.hpp"
 
 namespace psd {
@@ -229,6 +230,33 @@ double expected_system_slowdown(const std::vector<double>& lambda,
   }
   PSD_REQUIRE(den > 0.0, "at least one class must have load");
   return num / den;
+}
+
+std::vector<double> expected_psd_slowdowns(const std::vector<double>& lambda,
+                                           const std::vector<double>& delta,
+                                           const SamplerVariant& dist,
+                                           double capacity) {
+  return expected_psd_slowdowns(lambda, delta, VariantDistribution(dist),
+                                capacity);
+}
+
+double expected_system_slowdown(const std::vector<double>& lambda,
+                                const std::vector<double>& delta,
+                                const SamplerVariant& dist, double capacity) {
+  return expected_system_slowdown(lambda, delta, VariantDistribution(dist),
+                                  capacity);
+}
+
+std::vector<double> expected_psd_slowdowns_hetero(
+    const std::vector<double>& lambda, const std::vector<double>& delta,
+    const std::vector<SamplerVariant>& dist, double capacity) {
+  std::vector<VariantDistribution> views;
+  views.reserve(dist.size());
+  for (const auto& d : dist) views.emplace_back(d);
+  std::vector<const SizeDistribution*> ptrs;
+  ptrs.reserve(views.size());
+  for (const auto& v : views) ptrs.push_back(&v);
+  return expected_psd_slowdowns_hetero(lambda, delta, ptrs, capacity);
 }
 
 }  // namespace psd

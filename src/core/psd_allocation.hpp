@@ -27,6 +27,8 @@
 
 namespace psd {
 
+class SamplerVariant;
+
 /// What to do when the offered load is infeasible (rho >= 1).
 enum class OverloadPolicy {
   kThrow,  ///< Raise std::domain_error (analysis-time default).
@@ -110,5 +112,21 @@ PsdAllocation allocate_psd_rates_hetero(const HeteroPsdInput& in);
 std::vector<double> expected_psd_slowdowns_hetero(
     const std::vector<double>& lambda, const std::vector<double>& delta,
     const std::vector<const SizeDistribution*>& dist, double capacity = 1.0);
+
+// Sealed-sampler conveniences: the same closed forms fed from SamplerVariant
+// values (the hot-path representation) via dist/adapter.hpp bridges.
+std::vector<double> expected_psd_slowdowns(const std::vector<double>& lambda,
+                                           const std::vector<double>& delta,
+                                           const SamplerVariant& dist,
+                                           double capacity = 1.0);
+
+double expected_system_slowdown(const std::vector<double>& lambda,
+                                const std::vector<double>& delta,
+                                const SamplerVariant& dist,
+                                double capacity = 1.0);
+
+std::vector<double> expected_psd_slowdowns_hetero(
+    const std::vector<double>& lambda, const std::vector<double>& delta,
+    const std::vector<SamplerVariant>& dist, double capacity = 1.0);
 
 }  // namespace psd

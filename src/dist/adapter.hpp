@@ -1,0 +1,33 @@
+// Bridge from the sealed SamplerVariant back to the legacy SizeDistribution
+// interface.  The moment-analysis APIs (M/G/1 formulas, eq. 17/18 in
+// core/psd_allocation) still speak the ABC; wrapping a variant in a
+// VariantDistribution — a plain value, no heap — lets hot-path code that holds
+// samplers by value feed those APIs without keeping a parallel unique_ptr
+// hierarchy alive.
+#pragma once
+
+#include "dist/distribution.hpp"
+#include "dist/sampler.hpp"
+
+namespace psd {
+
+class VariantDistribution final : public SizeDistribution {
+ public:
+  explicit VariantDistribution(SamplerVariant sampler)
+      : sampler_(std::move(sampler)) {}
+
+  double sample(Rng& rng) const override { return sampler_.sample(rng); }
+  double mean() const override { return sampler_.mean(); }
+  double second_moment() const override { return sampler_.second_moment(); }
+  double mean_inverse() const override { return sampler_.mean_inverse(); }
+  double min_value() const override { return sampler_.min_value(); }
+  double max_value() const override { return sampler_.max_value(); }
+  std::string name() const override { return sampler_.name(); }
+
+  const SamplerVariant& sampler() const { return sampler_; }
+
+ private:
+  SamplerVariant sampler_;
+};
+
+}  // namespace psd

@@ -37,18 +37,6 @@ double BoundedExponential::sample(Rng& rng) const {
   return -m_ * std::log(std::exp(-lo_ / m_) - u * z_);
 }
 
-std::unique_ptr<SizeDistribution> BoundedExponential::scaled_by_rate(
-    double rate) const {
-  PSD_REQUIRE(rate > 0.0, "rate must be positive");
-  // X/r is the exponential of mean m/r truncated to [lo/r, hi/r].
-  return std::make_unique<BoundedExponential>(m_ / rate, lo_ / rate,
-                                              hi_ / rate);
-}
-
-std::unique_ptr<SizeDistribution> BoundedExponential::clone() const {
-  return std::make_unique<BoundedExponential>(m_, lo_, hi_);
-}
-
 std::string BoundedExponential::name() const {
   std::ostringstream os;
   os << "bexp(" << m_ << ',' << lo_ << ',' << hi_ << ')';

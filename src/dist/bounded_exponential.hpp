@@ -23,8 +23,6 @@ class BoundedExponential final : public SizeDistribution {
   double mean_inverse() const override { return mean_inv_; }
   double min_value() const override { return lo_; }
   double max_value() const override { return hi_; }
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
-  std::unique_ptr<SizeDistribution> clone() const override;
   std::string name() const override;
 
   double pdf(double x) const;

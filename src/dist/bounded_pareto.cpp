@@ -43,14 +43,9 @@ double BoundedPareto::inv_cdf(double u) const {
 
 double BoundedPareto::sample(Rng& rng) const { return inv_cdf(rng.uniform01()); }
 
-std::unique_ptr<SizeDistribution> BoundedPareto::scaled_by_rate(
-    double rate) const {
+BoundedPareto BoundedPareto::scaled_by_rate(double rate) const {
   PSD_REQUIRE(rate > 0.0, "rate must be positive");
-  return std::make_unique<BoundedPareto>(alpha_, k_ / rate, p_ / rate);
-}
-
-std::unique_ptr<SizeDistribution> BoundedPareto::clone() const {
-  return std::make_unique<BoundedPareto>(alpha_, k_, p_);
+  return BoundedPareto(alpha_, k_ / rate, p_ / rate);
 }
 
 std::string BoundedPareto::name() const {

@@ -24,9 +24,10 @@ class BoundedPareto final : public SizeDistribution {
   double mean_inverse() const override { return moment(-1.0); }
   double min_value() const override { return k_; }
   double max_value() const override { return p_; }
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
-  std::unique_ptr<SizeDistribution> clone() const override;
   std::string name() const override;
+
+  /// Law of X/r ~ BP(alpha, k/r, p/r) (paper Lemma 2).
+  BoundedPareto scaled_by_rate(double rate) const;
 
   /// E[X^n] for any real n (closed form; log form at n == alpha).
   double moment(double n) const;

@@ -23,15 +23,6 @@ class Deterministic final : public SizeDistribution {
   double min_value() const override { return v_; }
   double max_value() const override { return v_; }
 
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
-    PSD_REQUIRE(rate > 0.0, "rate must be positive");
-    return std::make_unique<Deterministic>(v_ / rate);
-  }
-
-  std::unique_ptr<SizeDistribution> clone() const override {
-    return std::make_unique<Deterministic>(v_);
-  }
-
   std::string name() const override {
     std::ostringstream os;
     os << "det(" << v_ << ')';

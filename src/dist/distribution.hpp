@@ -1,17 +1,20 @@
-// Service-time ("request size") distribution interface.
+// Service-time ("request size") distribution interface — the moment-analysis
+// view of a law.
 //
 // The paper's analysis (Lemma 1, Theorem 1) needs exactly three scalars from
 // the service-time law: E[X], E[X^2], and E[1/X].  The last one is the
 // slowdown-specific moment — it exists for every bounded-below distribution
 // but diverges for, e.g., the unbounded exponential, which is precisely the
 // paper's argument for the Bounded Pareto model.  Implementations expose the
-// closed forms, report divergence by throwing std::domain_error, and support
-// Lemma-2 rate scaling: if X has law F, the same work served at rate r takes
-// time X/r, so scaled_by_rate(r) returns the law of X/r with
-//   E[X/r] = E[X]/r,  E[(X/r)^2] = E[X^2]/r^2,  E[r/X] = r E[1/X].
+// closed forms and report divergence by throwing std::domain_error.
+//
+// The simulation hot path no longer dispatches through this hierarchy: the
+// sealed value-semantic SamplerVariant (dist/sampler.hpp) owns per-draw
+// sampling, batch generation, and Lemma-2 rate scaling as a value transform.
+// This ABC remains the open, analysis-time interface (M/G/1 formulas,
+// eq. 17/18); dist/adapter.hpp bridges a variant into it.
 #pragma once
 
-#include <memory>
 #include <string>
 
 #include "common/rng.hpp"
@@ -40,12 +43,6 @@ class SizeDistribution {
 
   /// Supremum of the support (+inf when unbounded above).
   virtual double max_value() const = 0;
-
-  /// Law of X/r: the same work processed at rate r (paper Lemma 2).
-  virtual std::unique_ptr<SizeDistribution> scaled_by_rate(double rate)
-      const = 0;
-
-  virtual std::unique_ptr<SizeDistribution> clone() const = 0;
 
   virtual std::string name() const = 0;
 

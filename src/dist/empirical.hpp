@@ -40,18 +40,6 @@ class Empirical final : public SizeDistribution {
   double min_value() const override { return min_; }
   double max_value() const override { return max_; }
 
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
-    PSD_REQUIRE(rate > 0.0, "rate must be positive");
-    std::vector<double> scaled;
-    scaled.reserve(values_.size());
-    for (double v : values_) scaled.push_back(v / rate);
-    return std::make_unique<Empirical>(std::move(scaled));
-  }
-
-  std::unique_ptr<SizeDistribution> clone() const override {
-    return std::make_unique<Empirical>(values_);
-  }
-
   std::string name() const override {
     std::ostringstream os;
     os << "empirical(n=" << values_.size() << ')';

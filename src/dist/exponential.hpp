@@ -29,15 +29,6 @@ class Exponential final : public SizeDistribution {
   double min_value() const override { return 0.0; }
   double max_value() const override { return kInf; }
 
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
-    PSD_REQUIRE(rate > 0.0, "rate must be positive");
-    return std::make_unique<Exponential>(mean_ / rate);
-  }
-
-  std::unique_ptr<SizeDistribution> clone() const override {
-    return std::make_unique<Exponential>(mean_);
-  }
-
   std::string name() const override {
     std::ostringstream os;
     os << "exp(" << mean_ << ')';

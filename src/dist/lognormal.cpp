@@ -41,15 +41,6 @@ double Lognormal::mean_inverse() const {
   return std::exp(-mu_ + 0.5 * sigma_ * sigma_);
 }
 
-std::unique_ptr<SizeDistribution> Lognormal::scaled_by_rate(double rate) const {
-  PSD_REQUIRE(rate > 0.0, "rate must be positive");
-  return std::make_unique<Lognormal>(mu_ - std::log(rate), sigma_);
-}
-
-std::unique_ptr<SizeDistribution> Lognormal::clone() const {
-  return std::make_unique<Lognormal>(mu_, sigma_);
-}
-
 std::string Lognormal::name() const {
   std::ostringstream os;
   os << "lognormal(mu=" << mu_ << ",sigma=" << sigma_ << ')';

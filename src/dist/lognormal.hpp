@@ -22,8 +22,6 @@ class Lognormal final : public SizeDistribution {
   double mean_inverse() const override;
   double min_value() const override { return 0.0; }
   double max_value() const override { return kInf; }
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
-  std::unique_ptr<SizeDistribution> clone() const override;
   std::string name() const override;
 
   double mu() const { return mu_; }

@@ -63,25 +63,6 @@ double Mixture::max_value() const {
   return m;
 }
 
-std::unique_ptr<SizeDistribution> Mixture::scaled_by_rate(double rate) const {
-  PSD_REQUIRE(rate > 0.0, "rate must be positive");
-  std::vector<Component> scaled;
-  scaled.reserve(comps_.size());
-  for (const auto& c : comps_) {
-    scaled.push_back(Component{c.weight, c.dist->scaled_by_rate(rate)});
-  }
-  return std::make_unique<Mixture>(std::move(scaled));
-}
-
-std::unique_ptr<SizeDistribution> Mixture::clone() const {
-  std::vector<Component> copies;
-  copies.reserve(comps_.size());
-  for (const auto& c : comps_) {
-    copies.push_back(Component{c.weight, c.dist->clone()});
-  }
-  return std::make_unique<Mixture>(std::move(copies));
-}
-
 std::string Mixture::name() const {
   std::ostringstream os;
   os << "mixture(" << comps_.size() << " components)";

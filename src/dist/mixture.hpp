@@ -7,6 +7,7 @@
 // since expectation is linear over the mixture decomposition.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "dist/distribution.hpp"
@@ -28,8 +29,6 @@ class Mixture final : public SizeDistribution {
   double mean_inverse() const override;
   double min_value() const override;
   double max_value() const override;
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override;
-  std::unique_ptr<SizeDistribution> clone() const override;
   std::string name() const override;
 
   std::size_t components() const { return comps_.size(); }

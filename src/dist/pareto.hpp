@@ -35,15 +35,6 @@ class Pareto final : public SizeDistribution {
   double min_value() const override { return k_; }
   double max_value() const override { return kInf; }
 
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
-    PSD_REQUIRE(rate > 0.0, "rate must be positive");
-    return std::make_unique<Pareto>(alpha_, k_ / rate);
-  }
-
-  std::unique_ptr<SizeDistribution> clone() const override {
-    return std::make_unique<Pareto>(alpha_, k_);
-  }
-
   std::string name() const override {
     std::ostringstream os;
     os << "pareto(" << alpha_ << ',' << k_ << ')';

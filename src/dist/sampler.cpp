@@ -1,0 +1,296 @@
+#include "dist/sampler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dist/bounded_exponential.hpp"
+#include "dist/bounded_pareto.hpp"
+
+namespace psd {
+
+namespace {
+
+std::string render(const char* head, std::initializer_list<double> params) {
+  std::ostringstream os;
+  os << head << '(';
+  bool first = true;
+  for (double p : params) {
+    if (!first) os << ',';
+    os << p;
+    first = false;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+// ---- DeterministicSampler --------------------------------------------------
+
+DeterministicSampler DeterministicSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return DeterministicSampler(v_ / rate);
+}
+
+std::string DeterministicSampler::name() const { return render("det", {v_}); }
+
+// ---- ExponentialSampler ----------------------------------------------------
+
+ExponentialSampler ExponentialSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return ExponentialSampler(mean_ / rate);
+}
+
+std::string ExponentialSampler::name() const { return render("exp", {mean_}); }
+
+// ---- UniformSampler --------------------------------------------------------
+
+UniformSampler UniformSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return UniformSampler(lo_ / rate, hi_ / rate);
+}
+
+std::string UniformSampler::name() const {
+  return render("uniform", {lo_, hi_});
+}
+
+// ---- BoundedParetoSampler --------------------------------------------------
+
+BoundedParetoSampler::BoundedParetoSampler(double alpha, double k, double p)
+    : alpha_(alpha), k_(k), p_(p) {
+  // Validation and moments come from the legacy class; only the cached
+  // sampling parameters are new.
+  const BoundedPareto bp(alpha, k, p);
+  one_minus_kp_ = 1.0 - std::pow(k_ / p_, alpha_);
+  neg_inv_alpha_ = -1.0 / alpha_;
+  mean_ = bp.mean();
+  m2_ = bp.second_moment();
+  mean_inv_ = bp.mean_inverse();
+  pow_ = alpha == 1.0   ? Pow::kInv
+         : alpha == 2.0 ? Pow::kInvSqrt
+         : alpha == 1.5 ? Pow::kInvCbrtSq
+                        : Pow::kGeneral;
+}
+
+BoundedParetoSampler::BoundedParetoSampler(const BoundedPareto& bp)
+    : BoundedParetoSampler(bp.alpha(), bp.lower(), bp.upper()) {}
+
+BoundedParetoSampler BoundedParetoSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  // X/r ~ BP(alpha, k/r, p/r).
+  return BoundedParetoSampler(alpha_, k_ / rate, p_ / rate);
+}
+
+std::string BoundedParetoSampler::name() const {
+  return render("bp", {alpha_, k_, p_});
+}
+
+// ---- BoundedExponentialSampler ---------------------------------------------
+
+BoundedExponentialSampler::BoundedExponentialSampler(double mean, double lo,
+                                                     double hi)
+    : m_(mean), lo_(lo), hi_(hi) {
+  const BoundedExponential be(mean, lo, hi);  // validates + quadrature
+  elo_ = std::exp(-lo_ / m_);
+  z_ = elo_ - std::exp(-hi_ / m_);
+  neg_m_ = -m_;
+  mean_ = be.mean();
+  m2_ = be.second_moment();
+  mean_inv_ = be.mean_inverse();
+}
+
+BoundedExponentialSampler BoundedExponentialSampler::scaled_by_rate(
+    double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return BoundedExponentialSampler(m_ / rate, lo_ / rate, hi_ / rate);
+}
+
+std::string BoundedExponentialSampler::name() const {
+  return render("bexp", {m_, lo_, hi_});
+}
+
+// ---- ParetoSampler ---------------------------------------------------------
+
+ParetoSampler::ParetoSampler(double alpha, double k) : alpha_(alpha), k_(k) {
+  PSD_REQUIRE(alpha > 0.0, "alpha must be positive");
+  PSD_REQUIRE(k > 0.0, "lower bound k must be positive");
+  neg_inv_alpha_ = -1.0 / alpha_;
+  pow_ = alpha == 1.0   ? Pow::kInv
+         : alpha == 2.0 ? Pow::kInvSqrt
+         : alpha == 1.5 ? Pow::kInvCbrtSq
+                        : Pow::kGeneral;
+}
+
+ParetoSampler ParetoSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return ParetoSampler(alpha_, k_ / rate);
+}
+
+std::string ParetoSampler::name() const { return render("pareto", {alpha_, k_}); }
+
+// ---- LognormalSampler ------------------------------------------------------
+
+LognormalSampler LognormalSampler::from_mean_scv(double mean, double scv) {
+  PSD_REQUIRE(mean > 0.0, "mean must be positive");
+  PSD_REQUIRE(scv > 0.0, "scv must be positive");
+  const double s2 = std::log(1.0 + scv);
+  return LognormalSampler(std::log(mean) - 0.5 * s2, std::sqrt(s2));
+}
+
+LognormalSampler LognormalSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  return LognormalSampler(mu_ - std::log(rate), sigma_);
+}
+
+std::string LognormalSampler::name() const {
+  std::ostringstream os;
+  os << "lognormal(mu=" << mu_ << ",sigma=" << sigma_ << ')';
+  return os.str();
+}
+
+// ---- EmpiricalSampler ------------------------------------------------------
+
+EmpiricalSampler::Data::Data(std::vector<double> v, std::vector<double> w)
+    : values(std::move(v)),
+      weights(std::move(w)),
+      alias(weights.empty() ? std::vector<double>(values.size(), 1.0)
+                            : weights) {
+  double total = 0.0;
+  if (!weights.empty()) {
+    for (double x : weights) total += x;
+  } else {
+    total = static_cast<double>(values.size());
+  }
+  double s = 0.0, s2 = 0.0, sinv = 0.0;
+  min = kInf;
+  max = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = values[i];
+    PSD_REQUIRE(x > 0.0, "empirical values must be positive");
+    const double wi = weights.empty() ? 1.0 : weights[i];
+    s += wi * x;
+    s2 += wi * x * x;
+    sinv += wi / x;
+    if (wi > 0.0) {
+      min = std::min(min, x);
+      max = std::max(max, x);
+    }
+  }
+  mean = s / total;
+  m2 = s2 / total;
+  mean_inv = sinv / total;
+}
+
+EmpiricalSampler::EmpiricalSampler(std::vector<double> values,
+                                   std::vector<double> weights) {
+  // Validate before Data's member-init list runs, so bad input fails with
+  // an empirical-specific message rather than the alias table's.
+  PSD_REQUIRE(!values.empty(), "empirical distribution needs values");
+  PSD_REQUIRE(weights.empty() || weights.size() == values.size(),
+              "weights/values size mismatch");
+  data_ = std::make_shared<const Data>(std::move(values), std::move(weights));
+}
+
+EmpiricalSampler EmpiricalSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  std::vector<double> scaled;
+  scaled.reserve(data_->values.size());
+  for (double v : data_->values) scaled.push_back(v / rate);
+  return EmpiricalSampler(
+      std::make_shared<const Data>(std::move(scaled), data_->weights));
+}
+
+std::string EmpiricalSampler::name() const {
+  std::ostringstream os;
+  os << "empirical(n=" << data_->values.size() << ')';
+  return os.str();
+}
+
+// ---- MixtureSampler --------------------------------------------------------
+
+MixtureSampler::MixtureSampler(std::vector<MixtureComponent> components) {
+  PSD_REQUIRE(!components.empty(), "mixture needs at least one component");
+  double total = 0.0;
+  for (const auto& c : components) {
+    PSD_REQUIRE(c.weight > 0.0, "component weights must be positive");
+    total += c.weight;
+  }
+  std::vector<double> weights;
+  weights.reserve(components.size());
+  for (auto& c : components) {
+    c.weight /= total;
+    weights.push_back(c.weight);
+  }
+  data_ = std::make_shared<const Data>(std::move(components),
+                                       std::move(weights));
+}
+
+double MixtureSampler::mean() const {
+  double s = 0.0;
+  for (const auto& c : data_->comps) s += c.weight * c.dist.mean();
+  return s;
+}
+
+double MixtureSampler::second_moment() const {
+  double s = 0.0;
+  for (const auto& c : data_->comps) s += c.weight * c.dist.second_moment();
+  return s;
+}
+
+double MixtureSampler::mean_inverse() const {
+  double s = 0.0;
+  for (const auto& c : data_->comps) s += c.weight * c.dist.mean_inverse();
+  return s;
+}
+
+double MixtureSampler::min_value() const {
+  double m = data_->comps.front().dist.min_value();
+  for (const auto& c : data_->comps) m = std::min(m, c.dist.min_value());
+  return m;
+}
+
+double MixtureSampler::max_value() const {
+  double m = data_->comps.front().dist.max_value();
+  for (const auto& c : data_->comps) m = std::max(m, c.dist.max_value());
+  return m;
+}
+
+MixtureSampler MixtureSampler::scaled_by_rate(double rate) const {
+  PSD_REQUIRE(rate > 0.0, "rate must be positive");
+  std::vector<MixtureComponent> scaled;
+  scaled.reserve(data_->comps.size());
+  for (const auto& c : data_->comps) {
+    scaled.push_back(MixtureComponent{c.weight, c.dist.scaled_by_rate(rate)});
+  }
+  return MixtureSampler(std::move(scaled));
+}
+
+std::string MixtureSampler::name() const {
+  std::ostringstream os;
+  os << "mixture(" << data_->comps.size() << " components)";
+  return os.str();
+}
+
+std::size_t MixtureSampler::components() const { return data_->comps.size(); }
+
+// ---- factory ---------------------------------------------------------------
+
+SamplerVariant make_sampler(const DistSpec& spec) {
+  switch (spec.kind) {
+    case DistSpec::Kind::kBoundedPareto:
+      return BoundedParetoSampler(spec.a, spec.b, spec.c);
+    case DistSpec::Kind::kDeterministic:
+      return DeterministicSampler(spec.a);
+    case DistSpec::Kind::kExponential:
+      return ExponentialSampler(spec.a);
+    case DistSpec::Kind::kBoundedExponential:
+      return BoundedExponentialSampler(spec.a, spec.b, spec.c);
+    case DistSpec::Kind::kLognormal:
+      return LognormalSampler::from_mean_scv(spec.a, spec.b);
+    case DistSpec::Kind::kUniform:
+      return UniformSampler(spec.a, spec.b);
+  }
+  PSD_UNREACHABLE("unknown distribution kind");
+}
+
+}  // namespace psd

@@ -30,15 +30,6 @@ class UniformSize final : public SizeDistribution {
   double min_value() const override { return lo_; }
   double max_value() const override { return hi_; }
 
-  std::unique_ptr<SizeDistribution> scaled_by_rate(double rate) const override {
-    PSD_REQUIRE(rate > 0.0, "rate must be positive");
-    return std::make_unique<UniformSize>(lo_ / rate, hi_ / rate);
-  }
-
-  std::unique_ptr<SizeDistribution> clone() const override {
-    return std::make_unique<UniformSize>(lo_, hi_);
-  }
-
   std::string name() const override {
     std::ostringstream os;
     os << "uniform(" << lo_ << ',' << hi_ << ')';

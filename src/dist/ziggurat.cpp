@@ -1,0 +1,26 @@
+#include "dist/ziggurat.hpp"
+
+namespace psd::detail {
+
+// Marsaglia-Tsang constants for the 256-layer exponential ziggurat: R is the
+// rightmost rectangle edge, V the common layer area (256 V = total mass 1,
+// counting the tail into the base layer).
+ZigguratExpTables::ZigguratExpTables() {
+  constexpr double kR = 7.69711747013104972;
+  constexpr double kV = 3.9496598225815571993e-3;
+  x[0] = kV * std::exp(kR);  // base pseudo-width: rectangle + tail area over f(R)
+  x[1] = kR;
+  y[0] = 0.0;
+  y[1] = std::exp(-kR);
+  for (int i = 2; i <= 255; ++i) {
+    // Equal areas: x[i-1] * (y[i] - y[i-1]) = V, then x on the curve.
+    y[i] = y[i - 1] + kV / x[i - 1];
+    x[i] = -std::log(y[i]);
+  }
+  x[256] = 0.0;
+  y[256] = 1.0;
+}
+
+const ZigguratExpTables kZigExp;
+
+}  // namespace psd::detail

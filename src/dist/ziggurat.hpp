@@ -1,0 +1,58 @@
+// Ziggurat sampling for the unit exponential (Marsaglia & Tsang 2000, with
+// Doornik's double-precision acceptance tests instead of 32-bit integer
+// compares).  One 64-bit draw resolves ~98.9% of samples: the low 8 bits pick
+// one of 256 equal-area layers, the top 53 bits form the uniform that is
+// scaled by the layer width.  Wedge and tail corrections preserve exactness,
+// so the output law is Exp(1) to full double precision — only the *stream*
+// differs from the inverse-transform -log(u).
+//
+// Every sampler that draws exponentials (Exponential sizes, Poisson
+// interarrivals, MMPP sojourns, session think times) funnels through
+// ziggurat_exponential(); see src/dist/README.md for the re-baseline note.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace psd {
+
+namespace detail {
+
+struct ZigguratExpTables {
+  // Layer widths x[0..256] (decreasing; x[0] is the base pseudo-width
+  // V*e^R >= R) and pdf heights y[i] = exp(-x[i]) (y[0] unused).
+  double x[257];
+  double y[257];
+  ZigguratExpTables();
+};
+
+extern const ZigguratExpTables kZigExp;
+
+}  // namespace detail
+
+/// One Exp(1) variate.  Consumes one 64-bit draw on the ~98.9% fast path.
+inline double ziggurat_exponential(Rng& rng) {
+  const auto& t = detail::kZigExp;
+  for (;;) {
+    const std::uint64_t b = rng.bits();
+    const std::size_t i = static_cast<std::size_t>(b & 255u);
+    const double u = static_cast<double>(b >> 11) * 0x1.0p-53;
+    const double x = u * t.x[i];
+    if (x < t.x[i + 1]) return x;  // strictly inside the next-narrower layer
+    if (i == 0) {
+      // Tail beyond R: memorylessness gives R + Exp(1).
+      return t.x[1] - std::log(rng.uniform01_open_low());
+    }
+    // Wedge: uniform height within the layer vs the true density.
+    const double y = t.y[i] + rng.uniform01() * (t.y[i + 1] - t.y[i]);
+    if (y < std::exp(-x)) return x;
+  }
+}
+
+/// Exponential variate with the given rate (mean 1/rate) via the ziggurat.
+inline double ziggurat_exponential(Rng& rng, double rate) {
+  return ziggurat_exponential(rng) / rate;
+}
+
+}  // namespace psd

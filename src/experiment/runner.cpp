@@ -71,19 +71,6 @@ std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
   PSD_UNREACHABLE("unknown allocator kind");
 }
 
-std::unique_ptr<ArrivalProcess> make_arrivals(const ScenarioConfig& cfg,
-                                              double rate) {
-  switch (cfg.arrivals) {
-    case ArrivalKind::kPoisson:
-      return std::make_unique<PoissonArrivals>(rate);
-    case ArrivalKind::kDeterministic:
-      return std::make_unique<DeterministicArrivals>(rate);
-    case ArrivalKind::kBursty:
-      return make_bursty_arrivals(rate, cfg.burstiness);
-  }
-  PSD_UNREACHABLE("unknown arrival kind");
-}
-
 ServerConfig node_server_config(const ScenarioConfig& cfg, double unit) {
   ServerConfig sc;
   sc.num_classes = cfg.num_classes();
@@ -143,8 +130,8 @@ void accumulate_node(RunResult& out, const Server& server) {
 
 RunResult run_cluster_scenario(const ScenarioConfig& cfg,
                                std::uint64_t run_index) {
-  const auto dist = make_distribution(cfg.size_dist);
-  const double unit = dist->mean() / cfg.capacity;
+  const SamplerVariant dist = make_sampler(cfg.size_dist);
+  const double unit = dist.mean() / cfg.capacity;
   const auto lambdas = cfg.true_lambdas();  // per node
   const std::size_t n = cfg.num_classes();
   const std::size_t nodes = cfg.cluster_nodes;
@@ -163,7 +150,7 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
   Cluster cluster(
       sim, nodes, node_server_config(cfg, unit),
       [&] { return make_backend(cfg, unit); },
-      [&] { return make_allocator(cfg, dist->mean()); }, cfg.cluster_policy,
+      [&] { return make_allocator(cfg, dist.mean()); }, cfg.cluster_policy,
       run_rng.fork(1000), std::move(cutoffs));
   cluster.start(0.0);
 
@@ -174,8 +161,9 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
   for (std::size_t i = 0; i < n; ++i) {
     gens.push_back(std::make_unique<RequestGenerator>(
         sim, run_rng.fork(i), static_cast<ClassId>(i),
-        make_arrivals(cfg, lambdas[i] * static_cast<double>(nodes)),
-        dist->clone(), cluster));
+        make_arrivals(cfg.arrivals, lambdas[i] * static_cast<double>(nodes),
+                      cfg.burstiness),
+        dist, cluster));
     gens.back()->start(0.0);
   }
 
@@ -205,8 +193,8 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
 
 RunResult run_single_node_scenario(const ScenarioConfig& cfg,
                                    std::uint64_t run_index) {
-  const auto dist = make_distribution(cfg.size_dist);
-  const double unit = dist->mean() / cfg.capacity;
+  const SamplerVariant dist = make_sampler(cfg.size_dist);
+  const double unit = dist.mean() / cfg.capacity;
   const auto lambdas = cfg.true_lambdas();
   const std::size_t n = cfg.num_classes();
 
@@ -215,7 +203,7 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
   Rng run_rng = master.fork(run_index);
 
   Server server(sim, node_server_config(cfg, unit), make_backend(cfg, unit),
-                make_allocator(cfg, dist->mean()), run_rng.fork(1000));
+                make_allocator(cfg, dist.mean()), run_rng.fork(1000));
   server.start(0.0);
 
   // --- generators (one per class, independent streams) ---
@@ -224,7 +212,8 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
   for (std::size_t i = 0; i < n; ++i) {
     gens.push_back(std::make_unique<RequestGenerator>(
         sim, run_rng.fork(i), static_cast<ClassId>(i),
-        make_arrivals(cfg, lambdas[i]), dist->clone(), server));
+        make_arrivals(cfg.arrivals, lambdas[i], cfg.burstiness), dist,
+        server));
     gens.back()->start(0.0);
   }
 
@@ -328,11 +317,11 @@ ReplicatedResult aggregate_replications(const ScenarioConfig& cfg,
   if (cfg.allocator == AllocatorKind::kPsd ||
       cfg.allocator == AllocatorKind::kAdaptivePsd) {
     try {
-      const auto dist = make_distribution(cfg.size_dist);
+      const SamplerVariant dist = make_sampler(cfg.size_dist);
       agg.expected = expected_psd_slowdowns(cfg.true_lambdas(), cfg.delta,
-                                            *dist, cfg.capacity);
+                                            dist, cfg.capacity);
       agg.expected_system = expected_system_slowdown(
-          cfg.true_lambdas(), cfg.delta, *dist, cfg.capacity);
+          cfg.true_lambdas(), cfg.delta, dist, cfg.capacity);
     } catch (const std::exception&) {
       // leave NaNs (e.g. E[1/X] undefined)
     }

@@ -1,20 +1,20 @@
 #include "experiment/scenario.hpp"
 
 #include "common/error.hpp"
+#include "dist/sampler.hpp"
 
 namespace psd {
 
 double ScenarioConfig::time_unit() const {
-  const auto dist = make_distribution(size_dist);
-  return dist->mean() / capacity;
+  return make_sampler(size_dist).mean() / capacity;
 }
 
 std::vector<double> ScenarioConfig::true_lambdas() const {
-  const auto dist = make_distribution(size_dist);
+  const double mean = make_sampler(size_dist).mean();
   if (load_share.empty()) {
-    return rates_for_equal_load(load, capacity, dist->mean(), delta.size());
+    return rates_for_equal_load(load, capacity, mean, delta.size());
   }
-  return rates_for_load(load, capacity, dist->mean(), load_share);
+  return rates_for_load(load, capacity, mean, load_share);
 }
 
 void ScenarioConfig::validate() const {

@@ -18,6 +18,8 @@
 #include "stats/percentile.hpp"
 #include "stats/reservoir.hpp"
 
+#include "dist/adapter.hpp"
+#include "dist/alias_table.hpp"
 #include "dist/bounded_exponential.hpp"
 #include "dist/bounded_pareto.hpp"
 #include "dist/deterministic.hpp"
@@ -27,7 +29,9 @@
 #include "dist/lognormal.hpp"
 #include "dist/mixture.hpp"
 #include "dist/pareto.hpp"
+#include "dist/sampler.hpp"
 #include "dist/uniform.hpp"
+#include "dist/ziggurat.hpp"
 
 #include "queueing/md1.hpp"
 #include "queueing/mg1.hpp"

@@ -25,6 +25,13 @@ void DedicatedRateBackend::attach(Simulator& sim,
   slots_.resize(n);
   // Until the allocator runs, split capacity evenly.
   rates_.assign(n, capacity / static_cast<double>(n));
+  // One completion stream per class, idle until service starts.  Rank 1:
+  // at equal times, generator arrival streams (rank 0) fire first, matching
+  // the legacy schedule order of arrival-before-completion.
+  for (ClassId cls = 0; cls < n; ++cls) {
+    slots_[cls].stream = sim.add_stream(
+        kInf, [this, cls](Time) { return complete(cls); }, /*tie_rank=*/1);
+  }
 }
 
 std::size_t DedicatedRateBackend::in_service() const {
@@ -46,7 +53,8 @@ void DedicatedRateBackend::schedule_completion(ClassId cls) {
   Slot& s = slots_[cls];
   const double rate = std::max(rates_[cls], kMinRate);
   const Duration left = s.remaining / rate;
-  s.completion = sim_->after(left, [this, cls] { complete(cls); });
+  s.completion_at = sim_->now() + left;
+  sim_->set_stream_time(s.stream, s.completion_at);
 }
 
 void DedicatedRateBackend::set_rates(const std::vector<double>& rates) {
@@ -63,10 +71,7 @@ void DedicatedRateBackend::set_rates(const std::vector<double>& rates) {
   for (ClassId cls = 0; cls < rates.size(); ++cls) {
     settle(cls);
     rates_[cls] = rates[cls];
-    if (slots_[cls].busy) {
-      slots_[cls].completion.cancel();
-      schedule_completion(cls);
-    }
+    if (slots_[cls].busy) schedule_completion(cls);  // moves the stream, O(1)
   }
 }
 
@@ -88,7 +93,7 @@ void DedicatedRateBackend::start_service(ClassId cls) {
   schedule_completion(cls);
 }
 
-void DedicatedRateBackend::complete(ClassId cls) {
+Time DedicatedRateBackend::complete(ClassId cls) {
   Slot& s = slots_[cls];
   PSD_CHECK(s.busy, "completion for idle task server");
   const Time now = sim_->now();
@@ -97,11 +102,13 @@ void DedicatedRateBackend::complete(ClassId cls) {
   done.service_elapsed = now - done.service_start;
   s.busy = false;
   s.remaining = 0.0;
+  s.completion_at = kInf;
   if (policy_ == RateChangePolicy::kFinishAtOldRate && !pending_rates_.empty()) {
     rates_[cls] = pending_rates_[cls];
   }
   on_complete_(std::move(done));
-  start_service(cls);
+  start_service(cls);  // refreshes completion_at when the queue is non-empty
+  return s.completion_at;
 }
 
 }  // namespace psd

@@ -36,13 +36,20 @@ class DedicatedRateBackend final : public SchedulerBackend {
     Request current;
     Work remaining = 0.0;     ///< Work left at full capacity units.
     Time last_settle = 0.0;   ///< Last time `remaining` was updated.
-    EventHandle completion;
+    Time completion_at = kInf;  ///< Scheduled completion time of `current`.
+    /// Per-class completion timeline.  A class has at most one pending
+    /// completion, so it rides a simulator stream: rate changes move the
+    /// stream's fire time in O(1) instead of cancelling and rescheduling
+    /// through the event heap.
+    Simulator::StreamId stream = Simulator::kNoStream;
   };
 
   void start_service(ClassId cls);
   void settle(ClassId cls);
   void schedule_completion(ClassId cls);
-  void complete(ClassId cls);
+  /// Stream callback: completes the in-service request and returns the next
+  /// completion time for the class (kInf when it goes idle).
+  Time complete(ClassId cls);
 
   RateChangePolicy policy_;
   Simulator* sim_ = nullptr;

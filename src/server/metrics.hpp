@@ -27,6 +27,21 @@ struct MetricsConfig {
   Time record_to = 0.0;
 };
 
+/// Count + sum accumulator: the only statistic the run pipeline reads from
+/// whole-run metrics is the mean, so the per-completion cost is one add
+/// instead of a full Welford update (which pays a divide per sample).
+struct MeanStat {
+  std::uint64_t n = 0;
+  double sum = 0.0;
+
+  void add(double x) {
+    ++n;
+    sum += x;
+  }
+  std::uint64_t count() const { return n; }
+  double mean() const { return n ? sum / static_cast<double>(n) : kNaN; }
+};
+
 class MetricsCollector {
  public:
   explicit MetricsCollector(const MetricsConfig& cfg);
@@ -37,9 +52,9 @@ class MetricsCollector {
   void finalize();
 
   // --- whole-run statistics (post-warmup) ---
-  const OnlineMoments& slowdown(ClassId cls) const { return slowdown_[cls]; }
-  const OnlineMoments& delay(ClassId cls) const { return delay_[cls]; }
-  const OnlineMoments& service(ClassId cls) const { return service_[cls]; }
+  const MeanStat& slowdown(ClassId cls) const { return slowdown_[cls]; }
+  const MeanStat& delay(ClassId cls) const { return delay_[cls]; }
+  const MeanStat& service(ClassId cls) const { return service_[cls]; }
   std::uint64_t completed(ClassId cls) const { return slowdown_[cls].count(); }
   std::uint64_t completed_total() const;
 
@@ -62,9 +77,9 @@ class MetricsCollector {
 
  private:
   MetricsConfig cfg_;
-  std::vector<OnlineMoments> slowdown_;
-  std::vector<OnlineMoments> delay_;
-  std::vector<OnlineMoments> service_;
+  std::vector<MeanStat> slowdown_;
+  std::vector<MeanStat> delay_;
+  std::vector<MeanStat> service_;
   std::vector<IntervalSeries> series_;
   std::vector<Request> records_;
 };

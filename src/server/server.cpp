@@ -74,28 +74,31 @@ std::uint64_t Server::rejected_total() const {
   return n;
 }
 
-void Server::submit(Request req) {
+void Server::submit(const Request& req) {
   PSD_REQUIRE(req.cls < cfg_.num_classes, "class id out of range");
   PSD_REQUIRE(req.size > 0.0, "request size must be positive");
   ++submitted_;
-  // Offered-load estimator sees everything (so the admission gate keeps an
-  // accurate view of demand while shedding); the allocator's estimator only
-  // sees what was actually admitted into the queues.
-  offered_.on_arrival(req.cls, req.size);
-  if (admission_ != nullptr && !admission_->admit(req.cls)) {
-    ++rejected_[req.cls];
-    return;
+  // The offered-load estimator sees everything (so the admission gate keeps
+  // an accurate view of demand while shedding); the allocator's estimator
+  // only sees what was actually admitted into the queues.  Without a gate
+  // the two views coincide, so only the allocator's estimator runs.
+  if (admission_ != nullptr) {
+    offered_.on_arrival(req.cls, req.size);
+    if (!admission_->admit(req.cls)) {
+      ++rejected_[req.cls];
+      return;
+    }
   }
   estimator_.on_arrival(req.cls, req.size);
   const ClassId cls = req.cls;
-  queues_[cls].push(std::move(req), sim_.now());
+  queues_[cls].push(req, sim_.now());
   backend_->notify_arrival(cls);
 }
 
 void Server::realloc_tick(Time now) {
   estimator_.roll(now);
-  offered_.roll(now);
   if (admission_ != nullptr) {
+    offered_.roll(now);
     admission_->update(offered_.lambda_estimate());
   }
   allocator_->observe_slowdowns(metrics_.last_window_slowdowns());

@@ -52,7 +52,7 @@ class Server final : public RequestSink {
   void start(Time origin);
 
   // RequestSink: entry point for generators / trace players.
-  void submit(Request req) override;
+  void submit(const Request& req) override;
 
   /// Flush window series at end of run.
   void finalize();
@@ -63,7 +63,9 @@ class Server final : public RequestSink {
   /// Estimator over ADMITTED load (feeds the rate allocator).
   const LoadEstimator& estimator() const { return estimator_; }
   /// Estimator over OFFERED load including rejected requests (feeds the
-  /// admission gate, so shedding decisions see true demand).
+  /// admission gate, so shedding decisions see true demand).  Only populated
+  /// while an admission controller is installed; without one it would just
+  /// duplicate estimator(), so the per-arrival update is skipped.
   const LoadEstimator& offered_estimator() const { return offered_; }
   const SchedulerBackend& backend() const { return *backend_; }
   std::uint64_t submitted() const { return submitted_; }

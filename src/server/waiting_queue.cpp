@@ -8,33 +8,47 @@ namespace psd {
 
 void WaitingQueue::advance(Time now) {
   if (now > last_change_) {
-    area_ += static_cast<double>(q_.size()) * (now - last_change_);
+    area_ += static_cast<double>(size()) * (now - last_change_);
     last_change_ = now;
   }
 }
 
-void WaitingQueue::push(Request req, Time now) {
+void WaitingQueue::grow() {
+  const std::size_t n = size();
+  std::vector<Request> next(buf_.empty() ? 16 : buf_.size() * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = buf_[(head_ + i) & mask_];
+  }
+  buf_ = std::move(next);
+  mask_ = buf_.size() - 1;
+  head_ = 0;
+  tail_ = n;
+}
+
+void WaitingQueue::push(const Request& req, Time now) {
   advance(now);
-  q_.push_back(std::move(req));
+  if (tail_ - head_ == buf_.size()) grow();
+  buf_[tail_ & mask_] = req;
+  ++tail_;
   ++arrivals_;
-  max_depth_ = std::max(max_depth_, q_.size());
+  max_depth_ = std::max(max_depth_, size());
 }
 
 Request WaitingQueue::pop(Time now) {
-  PSD_CHECK(!q_.empty(), "pop from empty waiting queue");
+  PSD_CHECK(!empty(), "pop from empty waiting queue");
   advance(now);
-  Request r = std::move(q_.front());
-  q_.pop_front();
+  const Request& r = buf_[head_ & mask_];
+  ++head_;
   return r;
 }
 
 const Request& WaitingQueue::front() const {
-  PSD_CHECK(!q_.empty(), "front of empty waiting queue");
-  return q_.front();
+  PSD_CHECK(!empty(), "front of empty waiting queue");
+  return buf_[head_ & mask_];
 }
 
 double WaitingQueue::length_time_integral(Time now) const {
-  return area_ + static_cast<double>(q_.size()) * (now - last_change_);
+  return area_ + static_cast<double>(size()) * (now - last_change_);
 }
 
 }  // namespace psd

@@ -1,11 +1,15 @@
 // Per-class FCFS waiting queue with occupancy statistics.
 //
+// Backed by a power-of-two ring buffer (monotone head/tail counters, masked
+// indexing): push and pop are one masked store/load each, with no deque
+// chunk-map indirection on the per-request hot path.
+//
 // Tracks a time-weighted queue-length integral so tests can cross-check
 // Little's law (L = lambda W) against the analytic models.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "workload/request.hpp"
 
@@ -13,7 +17,7 @@ namespace psd {
 
 class WaitingQueue {
  public:
-  void push(Request req, Time now);
+  void push(const Request& req, Time now);
 
   /// Pop the head-of-line request.  Precondition: !empty().
   Request pop(Time now);
@@ -21,8 +25,8 @@ class WaitingQueue {
   /// Head-of-line request without removing it.  Precondition: !empty().
   const Request& front() const;
 
-  bool empty() const { return q_.empty(); }
-  std::size_t size() const { return q_.size(); }
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
 
   std::uint64_t total_arrivals() const { return arrivals_; }
   std::size_t max_depth() const { return max_depth_; }
@@ -32,8 +36,12 @@ class WaitingQueue {
 
  private:
   void advance(Time now);
+  void grow();
 
-  std::deque<Request> q_;
+  std::vector<Request> buf_;  ///< Power-of-two capacity ring storage.
+  std::uint64_t head_ = 0;    ///< Monotone pop counter; index = head_ & mask_.
+  std::uint64_t tail_ = 0;    ///< Monotone push counter.
+  std::uint64_t mask_ = 0;    ///< buf_.size() - 1 (0 while unallocated).
   std::uint64_t arrivals_ = 0;
   std::size_t max_depth_ = 0;
   Time last_change_ = 0.0;

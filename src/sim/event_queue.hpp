@@ -148,6 +148,11 @@ class EventQueue {
   /// Total events ever scheduled (monotone sequence counter).
   std::uint64_t scheduled_total() const { return seq_; }
 
+  /// Monotone counter bumped by every operation that can change the top of
+  /// the heap from the outside (schedule or cancel).  Lets run loops cache
+  /// next_time() across foreign work and revalidate with one load.
+  std::uint64_t mutation_count() const { return mutations_; }
+
   /// Key-heap capacity currently reserved, in events (diagnostics).  The
   /// payload slab (slots_) can reserve more after cancellation bursts; its
   /// footprint is slab_capacity() * 64 bytes.
@@ -240,6 +245,7 @@ class EventQueue {
   /// Precondition: check_schedulable(t) passed.
   std::uint64_t push_entry(Time t, std::uint32_t slot) {
     t += 0.0;  // canonicalize -0.0 to +0.0 so its bit pattern orders first
+    ++mutations_;
     const std::uint64_t owner = (seq_++ << kSlotBits) | slot;
     slots_[slot].owner = owner;
     const Entry e{std::bit_cast<std::uint64_t>(t), owner};
@@ -312,12 +318,14 @@ class EventQueue {
     if (s.owner != owner) return;  // already fired or cancelled
     s.owner = kCancelled;  // entry is now stale; slot freed when it surfaces
     --pending_;
+    ++mutations_;
   }
 
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  ///< Recycled slot indices (stack).
   std::uint64_t seq_ = 0;
+  std::uint64_t mutations_ = 0;
   std::size_t pending_ = 0;
 };
 

@@ -6,9 +6,28 @@ namespace psd {
 
 std::uint64_t Simulator::run_until(Time horizon) {
   std::uint64_t n = 0;
-  // The fused primitive advances the clock BEFORE each event body runs.
-  while (queue_.pop_and_run_before(horizon, [this](Time t) { now_ = t; })) {
-    ++n;
+  for (;;) {
+    // One queue probe per queue event: while only streams fire, the top of
+    // the heap cannot change unless a stream callback schedules something,
+    // which the scheduled_total() counter detects without touching the heap.
+    Time tq = queue_.next_time();
+    for (;;) {
+      const StreamId si = earliest_stream();
+      if (si == kNoStream) break;
+      const Time ts = times_[si];
+      if (ts >= tq || ts > horizon) break;  // queue wins ties
+      const std::uint64_t mutations = queue_.mutation_count();
+      fire_stream(si, ts);
+      ++n;
+      if (queue_.mutation_count() != mutations) tq = queue_.next_time();
+    }
+    // Streams are drained up to min(tq, horizon), so the queue's top (at tq)
+    // is the next timeline point; run it if it is within the horizon.
+    if (queue_.pop_and_run_before(horizon, [this](Time t) { now_ = t; })) {
+      ++n;
+      continue;
+    }
+    break;
   }
   if (now_ < horizon) now_ = horizon;
   executed_ += n;
@@ -17,7 +36,15 @@ std::uint64_t Simulator::run_until(Time horizon) {
 
 std::uint64_t Simulator::run_all() {
   std::uint64_t n = 0;
-  while (queue_.pop_and_run_before(kInf, [this](Time t) { now_ = t; })) {
+  for (;;) {
+    const StreamId si = earliest_stream();
+    const Time ts = si != kNoStream ? times_[si] : kInf;
+    if (queue_.pop_and_run_before(ts, [this](Time t) { now_ = t; })) {
+      ++n;
+      continue;
+    }
+    if (si == kNoStream) break;
+    fire_stream(si, ts);
     ++n;
   }
   executed_ += n;
@@ -25,9 +52,14 @@ std::uint64_t Simulator::run_all() {
 }
 
 bool Simulator::step() {
-  if (!queue_.pop_and_run_before(kInf, [this](Time t) { now_ = t; })) {
-    return false;
+  const StreamId si = earliest_stream();
+  const Time ts = si != kNoStream ? times_[si] : kInf;
+  if (queue_.pop_and_run_before(ts, [this](Time t) { now_ = t; })) {
+    ++executed_;
+    return true;
   }
+  if (si == kNoStream) return false;
+  fire_stream(si, ts);
   ++executed_;
   return true;
 }

@@ -1,7 +1,26 @@
-// Discrete-event simulator: a clock plus the pending-event set.
+// Discrete-event simulator: a clock, the pending-event set, and pull-based
+// time streams.
 //
 // Single-threaded by design; parallelism lives one level up (independent
 // replications run on separate Simulator instances, one per thread).
+//
+// Two timeline sources merge in the run loop:
+//
+//   * the event queue — arbitrary one-shot closures, heap-ordered; and
+//   * time streams — recurring sources (request generators, task-server
+//     completions) that always know their own next fire time.  A stream
+//     fires, returns the next time, and never touches the heap: advancing a
+//     stream costs one callback plus a scan over the (tiny) stream set,
+//     versus a full schedule+sift+pop cycle per event.  This is what lets
+//     the per-request hot path consume pre-generated arrival blocks instead
+//     of paying the event core once per arrival.
+//
+// Ordering semantics: events and streams interleave by fire time.  At equal
+// times, queue events fire before streams; equal-time streams fire in
+// (tie_rank, registration order) — generators register rank 0 and
+// completions rank 1, so a simultaneous arrival still precedes a completion,
+// matching the legacy all-events schedule order.  All rules are fixed, so
+// fixed-seed runs stay bitwise deterministic.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +31,19 @@ namespace psd {
 
 class Simulator {
  public:
+  /// Identifies a registered stream for rescheduling.  Streams live for the
+  /// simulator's lifetime; pausing one is set_stream_time(id, kInf).
+  using StreamId = std::uint32_t;
+  static constexpr StreamId kNoStream = ~StreamId{0};
+
+  /// Stream callback: fires at its scheduled time (the clock already reads
+  /// that time) and returns the next fire time, or kInf to go idle.  If the
+  /// callback chain calls set_stream_time on the firing stream itself (a
+  /// sink stopping its generator mid-arrival), that explicit time wins over
+  /// the return value.  The InlineFunction contract applies (<= 48-byte
+  /// trivially-copyable capture).
+  using StreamFn = InlineFunction<Time(Time)>;
+
   Time now() const { return now_; }
 
   /// Schedule at absolute time t (>= now) with a cancellation handle.
@@ -42,22 +74,104 @@ class Simulator {
     queue_.schedule_fast(now_ + d, std::forward<F>(fn));
   }
 
-  /// Run until the event set drains or the clock would pass `horizon`.
-  /// Events exactly at the horizon are executed.  Returns events executed.
+  /// Register a recurring timeline source that first fires at `first`
+  /// (kInf = start idle).  Lower `tie_rank` fires earlier among equal-time
+  /// streams; ties within a rank break by registration order.
+  template <typename F>
+  StreamId add_stream(Time first, F&& fn, std::uint32_t tie_rank = 0) {
+    PSD_REQUIRE(first >= now_, "cannot schedule a stream into the past");
+    // A stream callback runs out of streams_ in place; growing the vector
+    // under it would relocate the executing closure.
+    PSD_CHECK(!in_stream_fire_, "add_stream from inside a stream callback");
+    const StreamId id = static_cast<StreamId>(streams_.size());
+    streams_.emplace_back();
+    streams_.back().rank = tie_rank;
+    streams_.back().fn.emplace(std::forward<F>(fn));
+    times_.push_back(first);
+    return id;
+  }
+
+  /// Move a stream's next fire time (kInf pauses it).  O(1), no heap work —
+  /// this replaces the cancel + reschedule pattern for completion events.
+  void set_stream_time(StreamId id, Time t) {
+    PSD_CHECK(id < times_.size(), "bad stream id");
+    PSD_REQUIRE(t >= now_, "cannot schedule a stream into the past");
+    times_[id] = t;
+  }
+
+  Time stream_time(StreamId id) const {
+    PSD_CHECK(id < times_.size(), "bad stream id");
+    return times_[id];
+  }
+
+  /// Run until the pending timelines drain or the clock would pass
+  /// `horizon`.  Events/streams exactly at the horizon are executed.
+  /// Returns events executed (stream fires count as events).
   std::uint64_t run_until(Time horizon);
 
-  /// Run until the event set drains completely.
+  /// Run until the event set drains completely and every stream is idle.
   std::uint64_t run_all();
 
   /// Execute exactly one event if any is pending; returns whether one ran.
   bool step();
 
   std::uint64_t events_executed() const { return executed_; }
-  bool idle() const { return queue_.empty(); }
+  bool idle() const {
+    return queue_.empty() && earliest_stream() == kNoStream;
+  }
   const EventQueue& queue() const { return queue_; }
 
  private:
+  struct Stream {
+    std::uint32_t rank = 0;
+    StreamFn fn;
+  };
+
+  /// Earliest live stream under the (time, rank, index) order, or kNoStream
+  /// when all streams are idle.  Fire times live in a dense times_ array
+  /// (structure-of-arrays) so this scan touches a handful of contiguous
+  /// doubles; ranks are only consulted on exact ties.
+  StreamId earliest_stream() const {
+    StreamId best = kNoStream;
+    Time bt = kInf;
+    for (StreamId i = 0; i < times_.size(); ++i) {
+      const Time t = times_[i];
+      if (t < bt || (t == bt && best != kNoStream &&
+                     streams_[i].rank < streams_[best].rank)) {
+        best = i;
+        bt = t;
+      }
+    }
+    return best;
+  }
+
+  /// Fire stream `id` at time `ts`: advance the clock, run the callback in
+  /// place (add_stream is rejected while it runs, so streams_ cannot
+  /// relocate under it), and store the returned next fire time.  An explicit
+  /// set_stream_time ON THE FIRING STREAM from inside its own callback chain
+  /// (e.g. a sink stopping its generator mid-arrival) takes precedence over
+  /// the returned time — detected via a NaN sentinel parked in the slot
+  /// while the callback runs.
+  void fire_stream(StreamId id, Time ts) {
+    now_ = ts;
+    // Scope guard: a throwing callback must not leave the fire flag set, or
+    // every later add_stream on this simulator would be rejected.
+    struct FireFlag {
+      bool& flag;
+      explicit FireFlag(bool& f) : flag(f) { flag = true; }
+      ~FireFlag() { flag = false; }
+    } guard(in_stream_fire_);
+    times_[id] = kNaN;  // sentinel: "no explicit reschedule yet"
+    const Time next = streams_[id].fn(ts);
+    if (times_[id] == times_[id]) return;  // callback set its own time: keep
+    PSD_CHECK(next >= ts, "stream returned a next time in the past");
+    times_[id] = next;
+  }
+
   EventQueue queue_;
+  std::vector<Stream> streams_;   ///< Callback + tie rank (cold).
+  std::vector<Time> times_;       ///< Next fire time per stream (hot).
+  bool in_stream_fire_ = false;
   Time now_ = 0.0;
   std::uint64_t executed_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "workload/arrival.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -7,12 +8,9 @@
 
 namespace psd {
 
-PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+PoissonArrivals::PoissonArrivals(double rate)
+    : rate_(rate), inv_rate_(1.0 / rate) {
   PSD_REQUIRE(rate > 0.0, "arrival rate must be positive");
-}
-
-Duration PoissonArrivals::next_interarrival(Rng& rng) {
-  return rng.exponential(rate_);
 }
 
 std::string PoissonArrivals::name() const {
@@ -21,26 +19,15 @@ std::string PoissonArrivals::name() const {
   return os.str();
 }
 
-std::unique_ptr<ArrivalProcess> PoissonArrivals::clone() const {
-  return std::make_unique<PoissonArrivals>(*this);
-}
-
-DeterministicArrivals::DeterministicArrivals(double rate) : rate_(rate) {
+DeterministicArrivals::DeterministicArrivals(double rate)
+    : rate_(rate), gap_(1.0 / rate) {
   PSD_REQUIRE(rate > 0.0, "arrival rate must be positive");
-}
-
-Duration DeterministicArrivals::next_interarrival(Rng& /*rng*/) {
-  return 1.0 / rate_;
 }
 
 std::string DeterministicArrivals::name() const {
   std::ostringstream os;
   os << "Deterministic(rate=" << rate_ << ")";
   return os.str();
-}
-
-std::unique_ptr<ArrivalProcess> DeterministicArrivals::clone() const {
-  return std::make_unique<DeterministicArrivals>(*this);
 }
 
 Mmpp2Arrivals::Mmpp2Arrivals(double rate_low, double rate_high,
@@ -60,10 +47,11 @@ Duration Mmpp2Arrivals::next_interarrival(Rng& rng) {
   Duration gap = 0.0;
   for (;;) {
     if (residual_phase_ <= 0.0) {
-      residual_phase_ = rng.exponential(high_ ? to_low_ : to_high_);
+      residual_phase_ =
+          ziggurat_exponential(rng, high_ ? to_low_ : to_high_);
     }
     const double rate = high_ ? rate_high_ : rate_low_;
-    const Duration to_arrival = rng.exponential(rate);
+    const Duration to_arrival = ziggurat_exponential(rng, rate);
     if (to_arrival <= residual_phase_) {
       residual_phase_ -= to_arrival;
       return gap + to_arrival;
@@ -86,15 +74,10 @@ std::string Mmpp2Arrivals::name() const {
   return os.str();
 }
 
-std::unique_ptr<ArrivalProcess> Mmpp2Arrivals::clone() const {
-  return std::make_unique<Mmpp2Arrivals>(*this);
-}
-
-std::unique_ptr<ArrivalProcess> make_bursty_arrivals(double mean_rate,
-                                                     double burstiness) {
+ArrivalVariant make_bursty_arrivals(double mean_rate, double burstiness) {
   PSD_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
   PSD_REQUIRE(burstiness >= 1.0, "burstiness >= 1 (1 == plain Poisson)");
-  if (burstiness == 1.0) return std::make_unique<PoissonArrivals>(mean_rate);
+  if (burstiness == 1.0) return PoissonArrivals(mean_rate);
   // Symmetric two-phase chain: phases split time evenly, so the mean rate is
   // (low + high) / 2; spread controlled by `burstiness` = high/mean.
   const double high = burstiness * mean_rate;
@@ -102,7 +85,19 @@ std::unique_ptr<ArrivalProcess> make_bursty_arrivals(double mean_rate,
   // Renormalize so (low + high)/2 == mean_rate even after the floor.
   const double scale = 2.0 * mean_rate / (low + high);
   const double sw = mean_rate / 10.0;  // phases last ~10 mean interarrivals
-  return std::make_unique<Mmpp2Arrivals>(low * scale, high * scale, sw, sw);
+  return Mmpp2Arrivals(low * scale, high * scale, sw, sw);
+}
+
+ArrivalVariant make_arrivals(ArrivalKind kind, double rate, double burstiness) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return PoissonArrivals(rate);
+    case ArrivalKind::kDeterministic:
+      return DeterministicArrivals(rate);
+    case ArrivalKind::kBursty:
+      return make_bursty_arrivals(rate, burstiness);
+  }
+  PSD_UNREACHABLE("unknown arrival kind");
 }
 
 }  // namespace psd

@@ -1,74 +1,69 @@
-// Arrival processes.
+// Arrival processes — sealed, value-semantic.
 //
 // The paper's traffic model is Poisson (the M in M/G_B/1); deterministic
 // arrivals support engine validation and the MMPP keeps a knob for bursty
 // extensions (§4.4 attributes estimation error to traffic burstiness).
+//
+// Like the size-distribution layer (dist/sampler.hpp), the open virtual
+// hierarchy is gone: each process is a plain copyable type with an inline
+// next_interarrival(), and ArrivalVariant is the closed std::variant over
+// them — one visit per draw (or per refilled batch) instead of a virtual
+// call, and copies never touch the heap.  Exponential draws go through the
+// ziggurat (see src/dist/README.md for the stream re-baseline note).
 #pragma once
 
-#include <memory>
 #include <string>
+#include <variant>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "dist/ziggurat.hpp"
+#include "workload/class_spec.hpp"
 
 namespace psd {
 
-class ArrivalProcess {
- public:
-  virtual ~ArrivalProcess() = default;
-
-  /// Time until the next arrival (strictly positive).
-  virtual Duration next_interarrival(Rng& rng) = 0;
-
-  /// Long-run average arrival rate.
-  virtual double mean_rate() const = 0;
-
-  virtual std::string name() const = 0;
-  virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
-};
-
 /// Poisson process: exponential i.i.d. interarrivals.
-class PoissonArrivals final : public ArrivalProcess {
+class PoissonArrivals {
  public:
   explicit PoissonArrivals(double rate);
 
-  Duration next_interarrival(Rng& rng) override;
-  double mean_rate() const override { return rate_; }
-  std::string name() const override;
-  std::unique_ptr<ArrivalProcess> clone() const override;
+  Duration next_interarrival(Rng& rng) {
+    return ziggurat_exponential(rng) * inv_rate_;
+  }
+  double mean_rate() const { return rate_; }
+  std::string name() const;
 
  private:
-  double rate_;
+  double rate_, inv_rate_;
 };
 
 /// Deterministic arrivals with fixed spacing 1/rate.
-class DeterministicArrivals final : public ArrivalProcess {
+class DeterministicArrivals {
  public:
   explicit DeterministicArrivals(double rate);
 
-  Duration next_interarrival(Rng& rng) override;
-  double mean_rate() const override { return rate_; }
-  std::string name() const override;
-  std::unique_ptr<ArrivalProcess> clone() const override;
+  Duration next_interarrival(Rng&) { return gap_; }
+  double mean_rate() const { return rate_; }
+  std::string name() const;
 
  private:
-  double rate_;
+  double rate_, gap_;
 };
 
 /// Two-state Markov-modulated Poisson process; the chain switches between a
 /// low-rate and a high-rate phase with exponential sojourns.  mean_rate() is
-/// the stationary-weighted average of the two phase rates.
-class Mmpp2Arrivals final : public ArrivalProcess {
+/// the stationary-weighted average of the two phase rates.  Copies carry the
+/// current phase state with them (value semantics).
+class Mmpp2Arrivals {
  public:
   /// rate_low/rate_high: Poisson rates in each phase;
   /// switch_to_high/switch_to_low: phase transition rates.
   Mmpp2Arrivals(double rate_low, double rate_high, double switch_to_high,
                 double switch_to_low);
 
-  Duration next_interarrival(Rng& rng) override;
-  double mean_rate() const override;
-  std::string name() const override;
-  std::unique_ptr<ArrivalProcess> clone() const override;
+  Duration next_interarrival(Rng& rng);
+  double mean_rate() const;
+  std::string name() const;
 
  private:
   double rate_low_, rate_high_, to_high_, to_low_;
@@ -76,8 +71,55 @@ class Mmpp2Arrivals final : public ArrivalProcess {
   Duration residual_phase_ = 0.0;  ///< Time left in the current phase.
 };
 
-/// Scale an MMPP-style burstiness profile to a target mean rate.
-std::unique_ptr<ArrivalProcess> make_bursty_arrivals(double mean_rate,
-                                                     double burstiness);
+/// The sealed arrival-process set.  next_interarrival is stateful (MMPP phase
+/// evolution), so draws mutate the variant in place.
+class ArrivalVariant {
+ public:
+  using Alternatives =
+      std::variant<PoissonArrivals, DeterministicArrivals, Mmpp2Arrivals>;
+
+  template <typename A,
+            typename = std::enable_if_t<
+                std::is_constructible_v<Alternatives, A&&> &&
+                !std::is_same_v<std::decay_t<A>, ArrivalVariant>>>
+  ArrivalVariant(A&& process) : alt_(std::forward<A>(process)) {}
+
+  Duration next_interarrival(Rng& rng) {
+    return std::visit([&rng](auto& a) { return a.next_interarrival(rng); },
+                      alt_);
+  }
+
+  /// Batch draw: one dispatch fills n interarrival gaps (generator refill).
+  void fill_interarrivals(Rng& rng, double* out, std::size_t n) {
+    std::visit(
+        [&](auto& a) {
+          for (std::size_t i = 0; i < n; ++i) out[i] = a.next_interarrival(rng);
+        },
+        alt_);
+  }
+
+  double mean_rate() const {
+    return std::visit([](const auto& a) { return a.mean_rate(); }, alt_);
+  }
+  std::string name() const {
+    return std::visit([](const auto& a) { return a.name(); }, alt_);
+  }
+
+  template <typename A>
+  const A* get_if() const {
+    return std::get_if<A>(&alt_);
+  }
+
+ private:
+  Alternatives alt_;
+};
+
+/// Scale an MMPP-style burstiness profile to a target mean rate
+/// (burstiness == 1 degenerates to plain Poisson).
+ArrivalVariant make_bursty_arrivals(double mean_rate, double burstiness);
+
+/// The arrival process a ScenarioConfig axis describes.
+ArrivalVariant make_arrivals(ArrivalKind kind, double rate,
+                             double burstiness = 1.0);
 
 }  // namespace psd

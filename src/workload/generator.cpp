@@ -1,46 +1,55 @@
 #include "workload/generator.hpp"
 
-#include "common/error.hpp"
-
 namespace psd {
 
 RequestGenerator::RequestGenerator(Simulator& sim, Rng rng, ClassId cls,
-                                   std::unique_ptr<ArrivalProcess> arrivals,
-                                   std::unique_ptr<SizeDistribution> sizes,
-                                   RequestSink& sink)
+                                   ArrivalVariant arrivals,
+                                   SamplerVariant sizes, RequestSink& sink)
     : sim_(sim),
       rng_(rng),
       cls_(cls),
       arrivals_(std::move(arrivals)),
       sizes_(std::move(sizes)),
-      sink_(sink) {
-  PSD_REQUIRE(arrivals_ != nullptr, "arrival process required");
-  PSD_REQUIRE(sizes_ != nullptr, "size distribution required");
+      sink_(sink) {}
+
+double RequestGenerator::next_gap() {
+  if (cursor_ == kBatch) {
+    arrivals_.fill_interarrivals(rng_, gap_buf_.data(), kBatch);
+    sizes_.sample_n(rng_, size_buf_.data(), kBatch);
+    cursor_ = 0;
+  }
+  return gap_buf_[cursor_];
 }
 
 void RequestGenerator::start(Time origin) {
-  stop();
-  const Duration gap = arrivals_->next_interarrival(rng_);
-  next_ = sim_.at(origin + gap, [this] { arrive(); });
+  cursor_ = kBatch;  // restart consumes a fresh block
+  const Time first = origin + next_gap();
+  if (stream_ == Simulator::kNoStream) {
+    // Rank 0: a simultaneous arrival fires before any completion stream.
+    stream_ = sim_.add_stream(
+        first, [this](Time t) { return arrive(t); }, /*tie_rank=*/0);
+  } else {
+    sim_.set_stream_time(stream_, first);
+  }
 }
 
-void RequestGenerator::stop() { next_.cancel(); }
+void RequestGenerator::stop() {
+  if (stream_ != Simulator::kNoStream) {
+    sim_.set_stream_time(stream_, kInf);
+  }
+}
 
-void RequestGenerator::arrive() {
+Time RequestGenerator::arrive(Time now) {
   Request req;
   // Encode the class in the top bits so ids are unique across generators.
   req.id = (static_cast<RequestId>(cls_) << 48) | count_;
   req.cls = cls_;
-  req.arrival = sim_.now();
-  req.size = sizes_->sample(rng_);
+  req.arrival = now;
+  req.size = size_buf_[cursor_];
+  ++cursor_;
   ++count_;
   sink_.submit(req);
-  schedule_next();
-}
-
-void RequestGenerator::schedule_next() {
-  const Duration gap = arrivals_->next_interarrival(rng_);
-  next_ = sim_.at(sim_.now() + gap, [this] { arrive(); });
+  return now + next_gap();
 }
 
 }  // namespace psd

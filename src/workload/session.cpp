@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "dist/mixture.hpp"
+#include "dist/ziggurat.hpp"
 
 namespace psd {
 
@@ -62,21 +62,21 @@ std::vector<double> SessionProfile::class_request_rates(
   return rates;
 }
 
-std::vector<std::unique_ptr<SizeDistribution>> SessionProfile::class_mixtures(
+std::vector<SamplerVariant> SessionProfile::class_mixtures(
     std::size_t num_classes) const {
   const auto visits = expected_visits();
-  std::vector<std::vector<Mixture::Component>> per_class(num_classes);
+  std::vector<std::vector<MixtureComponent>> per_class(num_classes);
   for (std::size_t s = 0; s < states.size(); ++s) {
     PSD_REQUIRE(states[s].cls < num_classes, "state class out of range");
     if (visits[s] <= 0.0) continue;
     per_class[states[s].cls].push_back(
-        Mixture::Component{visits[s], make_distribution(states[s].size)});
+        MixtureComponent{visits[s], make_sampler(states[s].size)});
   }
-  std::vector<std::unique_ptr<SizeDistribution>> out;
+  std::vector<SamplerVariant> out;
   out.reserve(num_classes);
   for (auto& comps : per_class) {
     PSD_REQUIRE(!comps.empty(), "a class has no reachable states");
-    out.push_back(std::make_unique<Mixture>(std::move(comps)));
+    out.push_back(MixtureSampler(std::move(comps)));
   }
   return out;
 }
@@ -93,13 +93,13 @@ SessionWorkload::SessionWorkload(Simulator& sim, Rng rng,
     double total = 0.0;
     for (double q : st.next_prob) total += q;
     PSD_REQUIRE(total <= 1.0 + 1e-9, "transition row exceeds probability 1");
-    dists_.push_back(make_distribution(st.size));
+    dists_.push_back(make_sampler(st.size));
   }
 }
 
 void SessionWorkload::start(Time origin) {
   stopped_ = false;
-  const Duration gap = rng_.exponential(profile_.session_rate);
+  const Duration gap = ziggurat_exponential(rng_, profile_.session_rate);
   next_session_ = sim_.at(origin + gap, [this] { session_arrive(); });
 }
 
@@ -109,7 +109,7 @@ void SessionWorkload::stop() {
 }
 
 void SessionWorkload::schedule_next_session() {
-  const Duration gap = rng_.exponential(profile_.session_rate);
+  const Duration gap = ziggurat_exponential(rng_, profile_.session_rate);
   next_session_ = sim_.at(sim_.now() + gap, [this] { session_arrive(); });
 }
 
@@ -126,7 +126,7 @@ void SessionWorkload::visit_state(std::size_t state) {
   req.id = (static_cast<RequestId>(st.cls) << 48) | requests_;
   req.cls = st.cls;
   req.arrival = sim_.now();
-  req.size = dists_[state]->sample(rng_);
+  req.size = dists_[state].sample(rng_);
   ++requests_;
   sink_.submit(req);
 
@@ -134,7 +134,8 @@ void SessionWorkload::visit_state(std::size_t state) {
   double u = rng_.uniform01();
   for (std::size_t t = 0; t < st.next_prob.size(); ++t) {
     if (u < st.next_prob[t]) {
-      const Duration think = rng_.exponential(1.0 / st.think_mean);
+      const Duration think =
+          st.think_mean * ziggurat_exponential(rng_);
       sim_.after_fast(think, [this, t] { visit_state(t); });
       return;
     }

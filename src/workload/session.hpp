@@ -9,11 +9,10 @@
 // which is what motivates the paper's M/D/1 special case (eq. 15).
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "dist/factory.hpp"
+#include "dist/sampler.hpp"
 #include "sim/simulator.hpp"
 #include "workload/sink.hpp"
 
@@ -47,8 +46,7 @@ struct SessionProfile {
   /// Per-class service-time distribution: the visit-weighted mixture of the
   /// state distributions mapped to each class.  Feeds the heterogeneous PSD
   /// allocator.
-  std::vector<std::unique_ptr<SizeDistribution>> class_mixtures(
-      std::size_t num_classes) const;
+  std::vector<SamplerVariant> class_mixtures(std::size_t num_classes) const;
 };
 
 /// Drives session arrivals and state walks, emitting requests into a sink.
@@ -73,7 +71,7 @@ class SessionWorkload {
   SessionProfile profile_;
   RequestSink& sink_;
   EventHandle next_session_;
-  std::vector<std::unique_ptr<SizeDistribution>> dists_;
+  std::vector<SamplerVariant> dists_;  ///< Per-state samplers, by value.
   bool stopped_ = false;
   std::uint64_t sessions_ = 0;
   std::uint64_t requests_ = 0;

@@ -9,7 +9,7 @@
 
 namespace psd {
 
-void RecordingSink::submit(Request req) {
+void RecordingSink::submit(const Request& req) {
   trace_.push_back(TraceEntry{req.arrival, req.cls, req.size});
   if (downstream_ != nullptr) downstream_->submit(req);
 }

@@ -28,7 +28,7 @@ class RecordingSink final : public RequestSink {
   explicit RecordingSink(RequestSink* downstream = nullptr)
       : downstream_(downstream) {}
 
-  void submit(Request req) override;
+  void submit(const Request& req) override;
 
   const Trace& trace() const { return trace_; }
   Trace take_trace() { return std::move(trace_); }

@@ -64,7 +64,7 @@ TEST(SlowdownBudgetGate, AdmitsWhileBudgetHolds) {
   // eq. 18 unit slowdown at load 0.5, two equal classes, deltas (1,2).
   const auto lam = rates_for_equal_load(0.5, 1.0, bp.mean(), 2);
   const auto sd = expected_psd_slowdowns(lam, {1.0, 2.0}, bp);
-  SlowdownBudgetGate generous({1.0, 2.0}, bp.clone(), 1.0,
+  SlowdownBudgetGate generous({1.0, 2.0}, BoundedParetoSampler(bp), 1.0,
                               sd[0] * 1.5 /* above prediction */);
   generous.update(lam);
   EXPECT_TRUE(generous.admit(0));
@@ -75,7 +75,8 @@ TEST(SlowdownBudgetGate, ShedsWhenBudgetExceeded) {
   BoundedPareto bp(1.5, 0.1, 100.0);
   const auto lam = rates_for_equal_load(0.9, 1.0, bp.mean(), 2);
   const auto sd = expected_psd_slowdowns(lam, {1.0, 2.0}, bp);
-  SlowdownBudgetGate tight({1.0, 2.0}, bp.clone(), 1.0, sd[0] * 0.25);
+  SlowdownBudgetGate tight({1.0, 2.0}, BoundedParetoSampler(bp), 1.0,
+                           sd[0] * 0.25);
   tight.update(lam);
   EXPECT_TRUE(tight.admit(0));   // highest class survives
   EXPECT_FALSE(tight.admit(1));  // lower class shed
@@ -88,7 +89,7 @@ TEST(SlowdownBudgetGate, SheddingActuallyRestoresBudget) {
   const auto lam = rates_for_equal_load(0.8, 1.0, bp.mean(), 2);
   const auto full = expected_psd_slowdowns(lam, {1.0, 2.0}, bp);
   const double budget = full[0] * 0.6;
-  SlowdownBudgetGate gate({1.0, 2.0}, bp.clone(), 1.0, budget);
+  SlowdownBudgetGate gate({1.0, 2.0}, BoundedParetoSampler(bp), 1.0, budget);
   gate.update(lam);
   ASSERT_FALSE(gate.admit(1));
   const auto solo = expected_psd_slowdowns({lam[0]}, {1.0}, bp);
@@ -99,7 +100,8 @@ TEST(SlowdownBudgetGate, InfeasibleLoadShedsToFeasibility) {
   BoundedPareto bp(1.5, 0.1, 100.0);
   const auto lam = rates_for_equal_load(0.9, 1.0, bp.mean(), 3);
   std::vector<double> heavy = {lam[0] * 2, lam[1] * 2, lam[2] * 2};  // rho 1.8
-  SlowdownBudgetGate gate({1.0, 2.0, 3.0}, bp.clone(), 1.0, 50.0);
+  SlowdownBudgetGate gate({1.0, 2.0, 3.0}, BoundedParetoSampler(bp), 1.0,
+                          50.0);
   gate.update(heavy);
   EXPECT_TRUE(gate.admit(0));
   EXPECT_FALSE(gate.admit(2));  // at least the lowest class must go
@@ -130,8 +132,8 @@ TEST(ServerAdmission, OverloadedServerStaysStableWithGate) {
   std::vector<std::unique_ptr<RequestGenerator>> gens;
   for (ClassId c = 0; c < 2; ++c) {
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(50 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
-        bp.clone(), server));
+        sim, Rng(50 + c), c, PoissonArrivals(lam[c]),
+        BoundedParetoSampler(bp), server));
     gens.back()->start(0.0);
   }
   sim.run_until(20000.0);

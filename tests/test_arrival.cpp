@@ -92,15 +92,16 @@ TEST(Mmpp2, IsOverdispersedVsPoisson) {
 }
 
 TEST(MakeBursty, UnitBurstinessIsPlainPoisson) {
-  const auto a = make_bursty_arrivals(3.0, 1.0);
-  EXPECT_NE(a->name().find("Poisson"), std::string::npos);
-  EXPECT_DOUBLE_EQ(a->mean_rate(), 3.0);
+  const ArrivalVariant a = make_bursty_arrivals(3.0, 1.0);
+  EXPECT_NE(a.name().find("Poisson"), std::string::npos);
+  EXPECT_DOUBLE_EQ(a.mean_rate(), 3.0);
+  EXPECT_NE(a.get_if<PoissonArrivals>(), nullptr);
 }
 
 TEST(MakeBursty, PreservesMeanRate) {
   for (double b : {1.5, 2.0, 4.0}) {
-    const auto a = make_bursty_arrivals(2.0, b);
-    EXPECT_NEAR(a->mean_rate(), 2.0, 1e-9) << "burstiness=" << b;
+    const ArrivalVariant a = make_bursty_arrivals(2.0, b);
+    EXPECT_NEAR(a.mean_rate(), 2.0, 1e-9) << "burstiness=" << b;
   }
 }
 
@@ -108,11 +109,19 @@ TEST(MakeBursty, RejectsBurstinessBelowOne) {
   EXPECT_THROW(make_bursty_arrivals(1.0, 0.5), std::invalid_argument);
 }
 
-TEST(ArrivalClone, PreservesBehaviourDistribution) {
-  PoissonArrivals p(2.0);
-  const auto c = p.clone();
-  EXPECT_DOUBLE_EQ(c->mean_rate(), 2.0);
-  EXPECT_EQ(c->name(), p.name());
+TEST(ArrivalCopy, VariantCopiesCarryPhaseStateAndStayInSync) {
+  // Copying a variant is a plain value copy: a copy taken mid-stream must
+  // produce the exact same continuation from an identical Rng.
+  ArrivalVariant a = Mmpp2Arrivals(1.0, 9.0, 0.5, 0.5);
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) a.next_interarrival(rng);
+  ArrivalVariant b = a;  // mid-stream copy, phase state included
+  Rng ra = rng.fork(1), rb = rng.fork(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_interarrival(ra), b.next_interarrival(rb));
+  }
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_DOUBLE_EQ(a.mean_rate(), b.mean_rate());
 }
 
 }  // namespace

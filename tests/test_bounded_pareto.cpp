@@ -110,16 +110,16 @@ TEST_P(BpMomentGrid, SampleMomentsMatchClosedForm) {
 TEST_P(BpMomentGrid, Lemma2ScalingOfAllThreeMoments) {
   const auto bp = make();
   for (double r : {0.25, 0.5, 2.0, 7.5}) {
-    const auto scaled = bp.scaled_by_rate(r);
+    const BoundedPareto scaled = bp.scaled_by_rate(r);
     // Lemma 2: E[X_i] = E[X]/r, E[X_i^2] = E[X^2]/r^2, E[1/X_i] = r E[1/X].
-    EXPECT_NEAR(scaled->mean(), bp.mean() / r, 1e-9 * bp.mean() / r);
-    EXPECT_NEAR(scaled->second_moment(), bp.second_moment() / (r * r),
+    EXPECT_NEAR(scaled.mean(), bp.mean() / r, 1e-9 * bp.mean() / r);
+    EXPECT_NEAR(scaled.second_moment(), bp.second_moment() / (r * r),
                 1e-9 * bp.second_moment() / (r * r));
-    EXPECT_NEAR(scaled->mean_inverse(), r * bp.mean_inverse(),
+    EXPECT_NEAR(scaled.mean_inverse(), r * bp.mean_inverse(),
                 1e-9 * r * bp.mean_inverse());
     // Support scales as [k/r, p/r] (paper's task-server distribution).
-    EXPECT_NEAR(scaled->min_value(), bp.lower() / r, 1e-12);
-    EXPECT_NEAR(scaled->max_value(), bp.upper() / r, 1e-9);
+    EXPECT_NEAR(scaled.min_value(), bp.lower() / r, 1e-12);
+    EXPECT_NEAR(scaled.max_value(), bp.upper() / r, 1e-9);
   }
 }
 
@@ -161,11 +161,11 @@ TEST(BoundedPareto, UpperBoundEffectMatchesFig12Narrative) {
   EXPECT_NEAR(p10k.mean_inverse() / p100.mean_inverse(), 1.0, 0.01);
 }
 
-TEST(BoundedPareto, CloneIsIndependentAndEqual) {
+TEST(BoundedPareto, CopyIsIndependentAndEqual) {
   BoundedPareto bp(1.5, 0.1, 100.0);
-  const auto c = bp.clone();
-  EXPECT_EQ(c->name(), bp.name());
-  EXPECT_DOUBLE_EQ(c->mean(), bp.mean());
+  const BoundedPareto c = bp;  // plain value copy, no heap clone
+  EXPECT_EQ(c.name(), bp.name());
+  EXPECT_DOUBLE_EQ(c.mean(), bp.mean());
 }
 
 TEST(BoundedPareto, ScvIsLargeForHeavyTail) {

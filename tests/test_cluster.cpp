@@ -233,8 +233,8 @@ TEST(Cluster, EndToEndPsdOnEveryNode) {
   std::vector<std::unique_ptr<RequestGenerator>> gens;
   for (ClassId c = 0; c < 2; ++c) {
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(70 + c), c, std::make_unique<PoissonArrivals>(lam[c]),
-        bp.clone(), cluster));
+        sim, Rng(70 + c), c, PoissonArrivals(lam[c]),
+        BoundedParetoSampler(bp), cluster));
     gens.back()->start(0.0);
   }
   sim.run_until(30000.0);

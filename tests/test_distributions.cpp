@@ -15,6 +15,7 @@
 #include "dist/factory.hpp"
 #include "dist/lognormal.hpp"
 #include "dist/pareto.hpp"
+#include "dist/sampler.hpp"
 #include "dist/uniform.hpp"
 #include "stats/online.hpp"
 
@@ -54,9 +55,10 @@ TEST(Exponential, MeanInverseDiverges) {
 }
 
 TEST(Exponential, RateScaling) {
-  Exponential e(3.0);
-  const auto s = e.scaled_by_rate(1.5);
-  EXPECT_DOUBLE_EQ(s->mean(), 2.0);
+  // Lemma-2 scaling now lives on the sealed sampler as a value transform.
+  ExponentialSampler e(3.0);
+  const ExponentialSampler s = e.scaled_by_rate(1.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
 }
 
 // --------------------------------------------------------- bounded exponential
@@ -92,10 +94,11 @@ TEST(BoundedExponential, SamplesStayInBounds) {
 
 TEST(BoundedExponential, RateScalingScalesAllMoments) {
   BoundedExponential be(1.0, 0.1, 10.0);
-  const auto s = be.scaled_by_rate(2.0);
-  EXPECT_NEAR(s->mean(), be.mean() / 2.0, 1e-9);
-  EXPECT_NEAR(s->second_moment(), be.second_moment() / 4.0, 1e-9);
-  EXPECT_NEAR(s->mean_inverse(), 2.0 * be.mean_inverse(), 1e-6);
+  const BoundedExponentialSampler s =
+      BoundedExponentialSampler(1.0, 0.1, 10.0).scaled_by_rate(2.0);
+  EXPECT_NEAR(s.mean(), be.mean() / 2.0, 1e-9);
+  EXPECT_NEAR(s.second_moment(), be.second_moment() / 4.0, 1e-9);
+  EXPECT_NEAR(s.mean_inverse(), 2.0 * be.mean_inverse(), 1e-6);
 }
 
 TEST(BoundedExponential, RejectsZeroLowerBound) {
@@ -114,10 +117,10 @@ TEST(Deterministic, AllMomentsExact) {
 }
 
 TEST(Deterministic, RateScaling) {
-  Deterministic d(3.0);
-  const auto s = d.scaled_by_rate(6.0);
-  EXPECT_DOUBLE_EQ(s->mean(), 0.5);
-  EXPECT_DOUBLE_EQ(s->mean_inverse(), 2.0);
+  DeterministicSampler d(3.0);
+  const DeterministicSampler s = d.scaled_by_rate(6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_inverse(), 2.0);
 }
 
 // ------------------------------------------------------------------ lognormal
@@ -137,9 +140,9 @@ TEST(Lognormal, FromMeanScvRoundTrip) {
 }
 
 TEST(Lognormal, RateScalingShiftsMu) {
-  Lognormal ln(1.0, 0.5);
-  const auto s = ln.scaled_by_rate(std::exp(1.0));
-  EXPECT_NEAR(s->mean(), ln.mean() / std::exp(1.0), 1e-9);
+  LognormalSampler ln(1.0, 0.5);
+  const LognormalSampler s = ln.scaled_by_rate(std::exp(1.0));
+  EXPECT_NEAR(s.mean(), ln.mean() / std::exp(1.0), 1e-9);
 }
 
 // -------------------------------------------------------------------- uniform
@@ -202,10 +205,10 @@ TEST(Empirical, RejectsEmptyAndNonPositive) {
 }
 
 TEST(Empirical, RateScalingDividesSamples) {
-  Empirical e({2.0, 4.0});
-  const auto s = e.scaled_by_rate(2.0);
-  EXPECT_DOUBLE_EQ(s->mean(), 1.5);
-  EXPECT_DOUBLE_EQ(s->min_value(), 1.0);
+  EmpiricalSampler e({2.0, 4.0});
+  const EmpiricalSampler s = e.scaled_by_rate(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(s.min_value(), 1.0);
 }
 
 // -------------------------------------------------------------------- factory
@@ -222,10 +225,11 @@ TEST(Factory, BuildsEveryKind) {
       0.0);
 }
 
-TEST(Factory, ScaledCloneKeepsKind) {
-  const auto d = make_distribution(DistSpec::bounded_pareto(1.5, 0.1, 100));
-  const auto s = d->scaled_by_rate(0.5);
-  EXPECT_NEAR(s->mean(), d->mean() * 2.0, 1e-9);
+TEST(Factory, ScaledSamplerKeepsKind) {
+  const SamplerVariant d = make_sampler(DistSpec::bounded_pareto(1.5, 0.1, 100));
+  const SamplerVariant s = d.scaled_by_rate(0.5);
+  EXPECT_NEAR(s.mean(), d.mean() * 2.0, 1e-9);
+  EXPECT_NE(s.get_if<BoundedParetoSampler>(), nullptr);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "dist/bounded_pareto.hpp"
 #include "dist/deterministic.hpp"
 #include "dist/mixture.hpp"
+#include "dist/sampler.hpp"
 #include "stats/online.hpp"
 #include "workload/session.hpp"
 
@@ -57,10 +58,14 @@ TEST(Mixture, HeavyTailComponentDominatesSecondMoment) {
 }
 
 TEST(Mixture, RateScalingScalesComponents) {
-  const auto m = two_point_mixture();
-  const auto s = m.scaled_by_rate(2.0);
-  EXPECT_DOUBLE_EQ(s->mean(), m.mean() / 2.0);
-  EXPECT_DOUBLE_EQ(s->mean_inverse(), 2.0 * m.mean_inverse());
+  // Lemma-2 scaling lives on the sealed mixture sampler.
+  std::vector<MixtureComponent> comps;
+  comps.push_back({1.0, DeterministicSampler(1.0)});
+  comps.push_back({3.0, DeterministicSampler(2.0)});
+  const MixtureSampler m{std::move(comps)};
+  const MixtureSampler s = m.scaled_by_rate(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), m.mean() / 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_inverse(), 2.0 * m.mean_inverse());
 }
 
 TEST(Mixture, RejectsBadComponents) {
@@ -155,7 +160,9 @@ TEST(HeteroEq17, OverloadClampWorks) {
 TEST(HeteroAllocator, RuntimeAdapterMatchesClosedForm) {
   Deterministic d1(0.4);
   BoundedPareto d2(1.5, 0.1, 100.0);
-  HeteroPsdAllocator alloc({1.0, 2.0}, {&d1, &d2}, 1.0, 0.98, 0.0);
+  std::vector<SamplerVariant> samplers = {
+      DeterministicSampler(0.4), BoundedParetoSampler(1.5, 0.1, 100.0)};
+  HeteroPsdAllocator alloc({1.0, 2.0}, std::move(samplers), 1.0, 0.98, 0.0);
   const std::vector<double> lam = {0.5, 0.9};
   const auto rates = alloc.allocate(lam);
   HeteroPsdInput in;
@@ -175,12 +182,12 @@ TEST(SessionMixtures, ClassMixtureMomentsArePositiveAndOrdered) {
   const auto mix = profile.class_mixtures(2);
   ASSERT_EQ(mix.size(), 2u);
   for (const auto& m : mix) {
-    EXPECT_GT(m->mean(), 0.0);
-    EXPECT_GT(m->second_moment(), 0.0);
-    EXPECT_GT(m->mean_inverse(), 0.0);
+    EXPECT_GT(m.mean(), 0.0);
+    EXPECT_GT(m.second_moment(), 0.0);
+    EXPECT_GT(m.mean_inverse(), 0.0);
   }
   // The browsing class mixes heavy-tailed states: bigger second moment.
-  EXPECT_GT(mix[1]->second_moment(), mix[0]->second_moment());
+  EXPECT_GT(mix[1].second_moment(), mix[0].second_moment());
 }
 
 TEST(SessionMixtures, MixtureMeanMatchesEmpiricalSessionSizes) {
@@ -192,7 +199,7 @@ TEST(SessionMixtures, MixtureMeanMatchesEmpiricalSessionSizes) {
   Simulator sim;
   struct Sink final : RequestSink {
     OnlineMoments size_by_class[2];
-    void submit(Request r) override { size_by_class[r.cls].add(r.size); }
+    void submit(const Request& r) override { size_by_class[r.cls].add(r.size); }
   } sink;
   SessionWorkload w(sim, Rng(8), profile, sink);
   w.start(0.0);
@@ -200,7 +207,7 @@ TEST(SessionMixtures, MixtureMeanMatchesEmpiricalSessionSizes) {
   w.stop();
   for (int c = 0; c < 2; ++c) {
     ASSERT_GT(sink.size_by_class[c].count(), 1000u);
-    EXPECT_NEAR(sink.size_by_class[c].mean() / mix[c]->mean(), 1.0, 0.1)
+    EXPECT_NEAR(sink.size_by_class[c].mean() / mix[c].mean(), 1.0, 0.1)
         << "class " << c;
   }
 }

@@ -146,7 +146,11 @@ TEST(Integration, AdaptiveAllocatorAlsoHitsTargetRatio) {
   cfg.delta = {1.0, 2.0};
   cfg.load = 0.6;
   cfg.allocator = AllocatorKind::kAdaptivePsd;
-  const auto r = run_replications(cfg, 10);
+  // Heavy tails make the mean-of-means ratio the slow statistic; the median
+  // windowed ratio is the robust one (see the file header), so pin that
+  // tightly and give the mean the replication count it needs.
+  const auto r = run_replications(cfg, 40);
+  EXPECT_NEAR(r.ratio[0].p50, 2.0, 0.5);
   EXPECT_NEAR(r.mean_ratio[1], 2.0, 0.5);
 }
 

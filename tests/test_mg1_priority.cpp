@@ -106,9 +106,9 @@ TEST(Mg1PrioritySim, StrictBackendMatchesCobham) {
     Simulator* sim;
     std::vector<WaitingQueue>* queues;
     SchedulerBackend* backend;
-    void submit(Request req) override {
+    void submit(const Request& req) override {
       const ClassId cls = req.cls;
-      (*queues)[cls].push(std::move(req), sim->now());
+      (*queues)[cls].push(req, sim->now());
       backend->notify_arrival(cls);
     }
   } sink;
@@ -119,8 +119,8 @@ TEST(Mg1PrioritySim, StrictBackendMatchesCobham) {
   std::vector<std::unique_ptr<RequestGenerator>> gens;
   for (ClassId c = 0; c < 2; ++c) {
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(100 + c), c, std::make_unique<PoissonArrivals>(0.25),
-        std::make_unique<Deterministic>(1.0), sink));
+        sim, Rng(100 + c), c, PoissonArrivals(0.25),
+        DeterministicSampler(1.0), sink));
     gens.back()->start(0.0);
   }
   sim.run_until(400000.0);

@@ -41,8 +41,8 @@ struct Rig {
   RequestGenerator* add_generator(ClassId cls, double lambda,
                                   std::uint64_t seed) {
     gens.push_back(std::make_unique<RequestGenerator>(
-        sim, Rng(seed), cls, std::make_unique<PoissonArrivals>(lambda),
-        bp.clone(), *server));
+        sim, Rng(seed), cls, PoissonArrivals(lambda),
+        BoundedParetoSampler(bp), *server));
     return gens.back().get();
   }
 };

@@ -96,8 +96,8 @@ TEST(Mg1, Theorem1EqualsLemma1OnScaledDistribution) {
   const double r = 0.37;
   const double lam = 0.6 * r / bp.mean();
   Mg1 direct(lam, bp, r);
-  const auto scaled = bp.scaled_by_rate(r);
-  Mg1 unit(lam, *scaled, 1.0);
+  const BoundedPareto scaled = bp.scaled_by_rate(r);
+  Mg1 unit(lam, scaled, 1.0);
   EXPECT_NEAR(direct.expected_wait(), unit.expected_wait(), 1e-10);
   EXPECT_NEAR(direct.expected_slowdown(), unit.expected_slowdown(), 1e-10);
 }

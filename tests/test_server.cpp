@@ -88,8 +88,8 @@ TEST(Server, PeriodicReallocationUpdatesRates) {
   // the cold-start equal split.
   std::vector<std::unique_ptr<RequestGenerator>> gens;
   gens.push_back(std::make_unique<RequestGenerator>(
-      sim, Rng(3), 0, std::make_unique<PoissonArrivals>(1.0),
-      std::make_unique<BoundedPareto>(1.5, 0.1, 100.0), server));
+      sim, Rng(3), 0, PoissonArrivals(1.0),
+      BoundedParetoSampler(bp), server));
   gens[0]->start(0.0);
   sim.run_until(1000.0);
   EXPECT_GE(server.reallocations(), 9u);

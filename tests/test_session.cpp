@@ -10,7 +10,7 @@ namespace {
 
 class CollectingSink final : public RequestSink {
  public:
-  void submit(Request req) override { requests.push_back(req); }
+  void submit(const Request& req) override { requests.push_back(req); }
   std::vector<Request> requests;
 };
 

@@ -148,5 +148,127 @@ TEST(Periodic, DestructorCancels) {
   EXPECT_EQ(ticks, 0);
 }
 
+// ---- time streams ----------------------------------------------------------
+
+TEST(Streams, FireAtReturnedTimesAndSeeAdvancedClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.add_stream(1.0, [&](Time t) {
+    EXPECT_DOUBLE_EQ(sim.now(), t);  // clock advanced before the callback
+    fired.push_back(t);
+    return t + 2.0;
+  });
+  sim.run_until(6.0);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 3.0);
+  EXPECT_DOUBLE_EQ(fired[2], 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);  // clock still lands on the horizon
+}
+
+TEST(Streams, InterleaveWithQueueEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.add_stream(1.5, [&](Time t) {
+    order.push_back(1);
+    return t + 2.0;  // 1.5, 3.5
+  });
+  sim.at_fast(1.0, [&] { order.push_back(0); });
+  sim.at_fast(2.0, [&] { order.push_back(0); });
+  sim.at_fast(4.0, [&] { order.push_back(0); });
+  sim.run_until(4.0);  // stream fires at 1.5 and 3.5 inside the horizon
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(Streams, QueueWinsExactTiesAndRanksOrderStreams) {
+  Simulator sim;
+  std::vector<int> order;
+  // Registered completion-style stream (rank 1) BEFORE the arrival-style
+  // stream (rank 0): rank must beat registration order at equal times.
+  sim.add_stream(2.0, [&](Time) { order.push_back(2); return kInf; }, 1);
+  sim.add_stream(2.0, [&](Time) { order.push_back(1); return kInf; }, 0);
+  sim.at_fast(2.0, [&] { order.push_back(0); });
+  sim.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Streams, SetStreamTimePausesAndResumes) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.add_stream(1.0, [&](Time t) {
+    ++fired;
+    return t + 1.0;
+  });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 3);  // 1, 2, 3
+  sim.set_stream_time(id, kInf);  // pause
+  sim.run_until(6.0);
+  EXPECT_EQ(fired, 3);
+  sim.set_stream_time(id, 8.0);  // resume
+  sim.run_until(8.0);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Streams, RunAllDrainsQueueAndIdlesOnInfStreams) {
+  Simulator sim;
+  int fires = 0;
+  sim.add_stream(1.0, [&](Time) {
+    ++fires;
+    return kInf;  // one-shot
+  });
+  sim.at_fast(2.0, [] {});
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Streams, StepExecutesOneTimelinePointAtATime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.add_stream(1.0, [&](Time) { order.push_back(1); return kInf; });
+  sim.at_fast(2.0, [&] { order.push_back(0); });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(order.size(), 1u);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Streams, ExplicitRescheduleDuringOwnFireBeatsReturnValue) {
+  // A sink that stops its generator runs inside that generator's own stream
+  // fire; the pause (set_stream_time to kInf) must survive the callback's
+  // returned next-arrival time.
+  Simulator sim;
+  int fires = 0;
+  Simulator::StreamId id = Simulator::kNoStream;
+  id = sim.add_stream(1.0, [&](Time t) {
+    ++fires;
+    if (fires == 2) sim.set_stream_time(id, kInf);  // "stop" mid-fire
+    return t + 1.0;  // would keep going if the pause were overwritten
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Streams, CallbackSchedulingQueueEventsPreservesOrder) {
+  // A stream callback that schedules an event EARLIER than the stream's own
+  // next fire: the cached queue probe in the run loop must pick it up.
+  Simulator sim;
+  std::vector<double> fired;
+  sim.add_stream(1.0, [&](Time t) {
+    fired.push_back(t);
+    sim.at_fast(t + 0.5, [&] { fired.push_back(sim.now()); });
+    return t + 2.0;
+  });
+  sim.run_until(4.0);
+  // stream at 1, event at 1.5, stream at 3, event at 3.5.
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 1.5);
+  EXPECT_DOUBLE_EQ(fired[2], 3.0);
+  EXPECT_DOUBLE_EQ(fired[3], 3.5);
+}
+
 }  // namespace
 }  // namespace psd

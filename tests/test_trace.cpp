@@ -13,7 +13,7 @@ namespace {
 
 class CollectingSink final : public RequestSink {
  public:
-  void submit(Request req) override { requests.push_back(req); }
+  void submit(const Request& req) override { requests.push_back(req); }
   std::vector<Request> requests;
 };
 
@@ -98,8 +98,9 @@ TEST(TraceEndToEnd, RecordedWorkloadReplaysIdentically) {
   // Record a Poisson/BoundedPareto stream, replay it, and compare.
   Simulator sim1;
   RecordingSink rec;
-  RequestGenerator gen(sim1, Rng(9), 1, std::make_unique<PoissonArrivals>(3.0),
-                       std::make_unique<BoundedPareto>(1.5, 0.1, 100.0), rec);
+  RequestGenerator gen(sim1, Rng(9), 1, PoissonArrivals(3.0),
+                       make_sampler(DistSpec::bounded_pareto(1.5, 0.1, 100.0)),
+                       rec);
   gen.start(0.0);
   sim1.run_until(100.0);
   const Trace trace = rec.trace();

@@ -5,8 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "dist/bounded_pareto.hpp"
-#include "dist/deterministic.hpp"
+#include "dist/sampler.hpp"
 #include "workload/class_spec.hpp"
 #include "workload/generator.hpp"
 #include "workload/sink.hpp"
@@ -16,7 +15,7 @@ namespace {
 
 class CollectingSink final : public RequestSink {
  public:
-  void submit(Request req) override { requests.push_back(req); }
+  void submit(const Request& req) override { requests.push_back(req); }
   std::vector<Request> requests;
 };
 
@@ -52,8 +51,8 @@ TEST(Generator, ProducesRequestsWithCorrectClassAndTimes) {
   CollectingSink sink;
   Rng rng(1);
   RequestGenerator gen(sim, rng, 3,
-                       std::make_unique<DeterministicArrivals>(1.0),
-                       std::make_unique<Deterministic>(0.5), sink);
+                       DeterministicArrivals(1.0),
+                       make_sampler(DistSpec::deterministic(0.5)), sink);
   gen.start(0.0);
   sim.run_until(10.0);
   gen.stop();
@@ -70,8 +69,8 @@ TEST(Generator, IdsUniqueAndClassTagged) {
   Simulator sim;
   CollectingSink sink;
   RequestGenerator gen(sim, Rng(2), 5,
-                       std::make_unique<DeterministicArrivals>(10.0),
-                       std::make_unique<Deterministic>(1.0), sink);
+                       DeterministicArrivals(10.0),
+                       make_sampler(DistSpec::deterministic(1.0)), sink);
   gen.start(0.0);
   sim.run_until(5.0);
   ASSERT_GE(sink.requests.size(), 2u);
@@ -82,8 +81,8 @@ TEST(Generator, IdsUniqueAndClassTagged) {
 TEST(Generator, PoissonRateRealized) {
   Simulator sim;
   CollectingSink sink;
-  RequestGenerator gen(sim, Rng(3), 0, std::make_unique<PoissonArrivals>(2.0),
-                       std::make_unique<Deterministic>(1.0), sink);
+  RequestGenerator gen(sim, Rng(3), 0, PoissonArrivals(2.0),
+                       make_sampler(DistSpec::deterministic(1.0)), sink);
   gen.start(0.0);
   sim.run_until(50000.0);
   EXPECT_NEAR(static_cast<double>(sink.requests.size()) / 50000.0, 2.0, 0.05);
@@ -93,8 +92,8 @@ TEST(Generator, StopHaltsProduction) {
   Simulator sim;
   CollectingSink sink;
   RequestGenerator gen(sim, Rng(4), 0,
-                       std::make_unique<DeterministicArrivals>(1.0),
-                       std::make_unique<Deterministic>(1.0), sink);
+                       DeterministicArrivals(1.0),
+                       make_sampler(DistSpec::deterministic(1.0)), sink);
   gen.start(0.0);
   sim.run_until(5.0);
   gen.stop();
@@ -106,8 +105,8 @@ TEST(Generator, HeavyTailedSizesWithinSupport) {
   Simulator sim;
   CollectingSink sink;
   RequestGenerator gen(sim, Rng(5), 0,
-                       std::make_unique<DeterministicArrivals>(100.0),
-                       std::make_unique<BoundedPareto>(1.5, 0.1, 100.0), sink);
+                       DeterministicArrivals(100.0),
+                       make_sampler(DistSpec::bounded_pareto(1.5, 0.1, 100.0)), sink);
   gen.start(0.0);
   sim.run_until(100.0);
   ASSERT_GT(sink.requests.size(), 1000u);
@@ -122,8 +121,8 @@ TEST(Generator, SameSeedSameStream) {
     Simulator sim;
     CollectingSink sink;
     RequestGenerator gen(sim, Rng(seed), 0,
-                         std::make_unique<PoissonArrivals>(5.0),
-                         std::make_unique<BoundedPareto>(1.5, 0.1, 100.0),
+                         PoissonArrivals(5.0),
+                         make_sampler(DistSpec::bounded_pareto(1.5, 0.1, 100.0)),
                          sink);
     gen.start(0.0);
     sim.run_until(100.0);

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_*.json (JSONL) records.
+
+Compares a freshly measured records file against the checked-in baseline and
+fails (exit 1) when any gated benchmark's ns_per_op regressed by more than
+the allowed fraction.  Records are matched on (suite, bench, impl); when a
+file holds several records for one key (append-mode reruns), the LAST one
+wins — the files are append-only logs.
+
+Usage:
+  tools/bench_gate.py fresh.json baseline.json \
+      --bench full_server_load60 [--bench three_class ...] \
+      [--max-regress 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}: bad JSONL line: {err}\n  {line}")
+            key = (rec.get("suite"), rec.get("bench"), rec.get("impl"))
+            records[key] = rec  # last record wins
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="just-measured records file")
+    ap.add_argument("baseline", help="checked-in baseline records file")
+    ap.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        help="bench name to gate (repeatable); default: all simulator "
+        "full_server_* benches",
+    )
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.25,
+        help="allowed fractional ns_per_op increase (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    fresh = load_records(args.fresh)
+    base = load_records(args.baseline)
+
+    gated = args.bench or sorted(
+        {k[1] for k in base if k[0] == "simulator" and k[1].startswith("full_server")}
+    )
+    if not gated:
+        raise SystemExit("no benches to gate (baseline has no simulator records)")
+
+    failures = []
+    for bench in gated:
+        fresh_rec = next(
+            (r for k, r in fresh.items() if k[1] == bench and k[0] == "simulator"),
+            None,
+        )
+        base_rec = next(
+            (r for k, r in base.items() if k[1] == bench and k[0] == "simulator"),
+            None,
+        )
+        if base_rec is None:
+            print(f"[gate] {bench}: no baseline record — skipping")
+            continue
+        if fresh_rec is None:
+            failures.append(f"{bench}: missing from fresh records")
+            continue
+        fresh_ns = float(fresh_rec["ns_per_op"])
+        base_ns = float(base_rec["ns_per_op"])
+        ratio = fresh_ns / base_ns
+        verdict = "OK" if ratio <= 1.0 + args.max_regress else "REGRESSED"
+        print(
+            f"[gate] {bench}: {fresh_ns:.1f} ns vs baseline {base_ns:.1f} ns "
+            f"({ratio - 1.0:+.1%}) {verdict}"
+        )
+        if verdict != "OK":
+            failures.append(
+                f"{bench}: {fresh_ns:.1f} ns vs {base_ns:.1f} ns baseline "
+                f"(> {args.max_regress:.0%} regression)"
+            )
+
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

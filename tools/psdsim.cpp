@@ -109,21 +109,21 @@ int main(int argc, char** argv) {
 
   try {
     cfg.validate();
-    const auto dist = make_distribution(cfg.size_dist);
+    const SamplerVariant dist = make_sampler(cfg.size_dist);
     const auto lambdas = cfg.true_lambdas();
 
-    std::cout << "service-time distribution: " << dist->name()
-              << "  (E[X]=" << Table::fmt(dist->mean(), 4)
-              << ", E[X^2]=" << Table::fmt(dist->second_moment(), 4)
-              << ", E[1/X]=" << Table::fmt(dist->mean_inverse(), 4) << ")\n";
+    std::cout << "service-time distribution: " << dist.name()
+              << "  (E[X]=" << Table::fmt(dist.mean(), 4)
+              << ", E[X^2]=" << Table::fmt(dist.second_moment(), 4)
+              << ", E[1/X]=" << Table::fmt(dist.mean_inverse(), 4) << ")\n";
 
     PsdInput in;
     in.lambda = lambdas;
     in.delta = cfg.delta;
-    in.mean_size = dist->mean();
+    in.mean_size = dist.mean();
     in.min_residual_share = 0.0;
     const auto alloc = allocate_psd_rates(in);
-    const auto expected = expected_psd_slowdowns(lambdas, cfg.delta, *dist);
+    const auto expected = expected_psd_slowdowns(lambdas, cfg.delta, dist);
 
     if (analytic_only) {
       Table t({"class", "delta", "lambda", "rate (eq.17)", "E[S] (eq.18)"});
