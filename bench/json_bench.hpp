@@ -49,6 +49,19 @@ double min_ns_per_op(std::uint64_t warmup, std::uint64_t iters, int k,
   return best;
 }
 
+/// Render a double as a JSON number, or null when non-finite — a literal
+/// "nan"/"inf" in one record line breaks every JSONL consumer of the whole
+/// file (tools/bench_gate.py aborts in load_records).
+inline std::string json_num(double v) {
+  if (!(v == v) || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    return "null";
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
 /// One benchmark record; `extra` is pre-rendered JSON key/values, e.g.
 /// "\"impl\":\"pooled\",\"backlog\":4096".
 inline void emit_record(const std::string& path, const std::string& suite,
@@ -57,9 +70,9 @@ inline void emit_record(const std::string& path, const std::string& suite,
   std::ostringstream os;
   os << "{\"suite\":\"" << suite << "\",\"bench\":\"" << bench << "\"";
   if (!extra.empty()) os << ',' << extra;
-  os << ",\"ns_per_op\":" << ns_per_op
-     << ",\"ops_per_sec\":" << (1e9 / ns_per_op) << ",\"iters\":" << iters
-     << "}\n";
+  os << ",\"ns_per_op\":" << json_num(ns_per_op)
+     << ",\"ops_per_sec\":" << json_num(1e9 / ns_per_op)
+     << ",\"iters\":" << iters << "}\n";
   std::ofstream out(path, std::ios::app);
   if (out) {
     out << os.str();

@@ -191,8 +191,13 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
   return out;
 }
 
+/// Single-node replication core.  `record` (optional) receives every
+/// generated arrival as a trace; `replay` (optional) substitutes a
+/// TracePlayer for the synthetic generators.  At most one may be set.
 RunResult run_single_node_scenario(const ScenarioConfig& cfg,
-                                   std::uint64_t run_index) {
+                                   std::uint64_t run_index,
+                                   Trace* record = nullptr,
+                                   const Trace* replay = nullptr) {
   const SamplerVariant dist = make_sampler(cfg.size_dist);
   const double unit = dist.mean() / cfg.capacity;
   const auto lambdas = cfg.true_lambdas();
@@ -206,15 +211,28 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
                 make_allocator(cfg, dist.mean()), run_rng.fork(1000));
   server.start(0.0);
 
-  // --- generators (one per class, independent streams) ---
+  // --- arrivals: generators (one per class, independent streams), with an
+  //     optional recording tee in front of the server, or a trace replay ---
+  PSD_CHECK(record == nullptr || replay == nullptr,
+            "cannot record and replay at once");
+  RecordingSink recorder(&server);
+  RequestSink& sink = record != nullptr
+                          ? static_cast<RequestSink&>(recorder)
+                          : static_cast<RequestSink&>(server);
   std::vector<std::unique_ptr<RequestGenerator>> gens;
-  gens.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    gens.push_back(std::make_unique<RequestGenerator>(
-        sim, run_rng.fork(i), static_cast<ClassId>(i),
-        make_arrivals(cfg.arrivals, lambdas[i], cfg.burstiness), dist,
-        server));
-    gens.back()->start(0.0);
+  std::unique_ptr<TracePlayer> player;
+  if (replay != nullptr) {
+    player = std::make_unique<TracePlayer>(sim, *replay, server);
+    if (!replay->empty()) player->start(replay->front().time);
+  } else {
+    gens.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      gens.push_back(std::make_unique<RequestGenerator>(
+          sim, run_rng.fork(i), static_cast<ClassId>(i),
+          make_arrivals(cfg.arrivals, lambdas[i], cfg.burstiness), dist,
+          sink));
+      gens.back()->start(0.0);
+    }
   }
 
   // --- run: warmup + measurement ---
@@ -222,6 +240,7 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
   sim.run_until(horizon);
   for (auto& g : gens) g->stop();
   server.finalize();
+  if (record != nullptr) *record = recorder.take_trace();
 
   // --- collect ---
   RunResult out;
@@ -247,6 +266,22 @@ RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index) {
   cfg.validate();
   return cfg.cluster_nodes > 1 ? run_cluster_scenario(cfg, run_index)
                                : run_single_node_scenario(cfg, run_index);
+}
+
+RunResult run_scenario_recorded(const ScenarioConfig& cfg, Trace& out_trace,
+                                std::uint64_t run_index) {
+  cfg.validate();
+  PSD_REQUIRE(cfg.cluster_nodes == 1,
+              "trace recording requires a single-node scenario");
+  return run_single_node_scenario(cfg, run_index, &out_trace, nullptr);
+}
+
+RunResult run_scenario_replayed(const ScenarioConfig& cfg,
+                                const Trace& trace) {
+  cfg.validate();
+  PSD_REQUIRE(cfg.cluster_nodes == 1,
+              "trace replay requires a single-node scenario");
+  return run_single_node_scenario(cfg, 0, nullptr, &trace);
 }
 
 ReplicatedResult aggregate_replications(const ScenarioConfig& cfg,

@@ -8,6 +8,7 @@
 #include "stats/ci.hpp"
 #include "stats/interval_series.hpp"
 #include "workload/request.hpp"
+#include "workload/trace.hpp"
 
 namespace psd {
 
@@ -35,6 +36,19 @@ struct RunResult {
 /// grid (every node rolls the same warmup/window protocol), so windowed
 /// ratio pairing stays time-aligned cluster-wide.
 RunResult run_scenario(const ScenarioConfig& cfg, std::uint64_t run_index = 0);
+
+/// Single-node replication that also captures every generated arrival as a
+/// trace (time, class, size — raw simulator time).  The same trace can then
+/// be replayed through run_scenario_replayed below or through the rt
+/// runtime's TraceLoadGen, so one recorded workload exercises both stacks.
+RunResult run_scenario_recorded(const ScenarioConfig& cfg, Trace& out_trace,
+                                std::uint64_t run_index = 0);
+
+/// Single-node replication driven by a recorded trace instead of synthetic
+/// generators.  The scenario's measurement protocol (warmup, horizon,
+/// windows) still applies; cfg.cluster_nodes must be 1.
+RunResult run_scenario_replayed(const ScenarioConfig& cfg,
+                                const Trace& trace);
 
 struct RatioPercentiles {
   double p5 = 0.0;

@@ -72,3 +72,12 @@
 #include "sweep/grid.hpp"
 #include "sweep/jsonl.hpp"
 #include "sweep/thread_pool.hpp"
+
+#include "rt/clock.hpp"
+#include "rt/controller.hpp"
+#include "rt/loadgen.hpp"
+#include "rt/mpsc_queue.hpp"
+#include "rt/runtime.hpp"
+#include "rt/seqlock.hpp"
+#include "rt/shard.hpp"
+#include "rt/token_bucket.hpp"

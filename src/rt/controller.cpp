@@ -1,0 +1,115 @@
+#include "rt/controller.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/static_allocators.hpp"
+#include "core/psd_rate_allocator.hpp"
+
+namespace psd::rt {
+
+namespace {
+
+std::unique_ptr<RateAllocator> make_rt_allocator(const ControllerConfig& cfg) {
+  PsdAllocatorConfig pc;
+  pc.delta = cfg.delta;
+  pc.capacity = cfg.total_capacity;
+  pc.mean_size = cfg.mean_size;
+  pc.rho_max = cfg.rho_max;
+  pc.min_residual_share = cfg.min_residual_share;
+  switch (cfg.allocator) {
+    case AllocatorKind::kPsd:
+      return std::make_unique<PsdRateAllocator>(pc);
+    case AllocatorKind::kAdaptivePsd:
+      return std::make_unique<AdaptivePsdAllocator>(pc, cfg.adaptive);
+    case AllocatorKind::kEqualShare:
+      return std::make_unique<EqualShareAllocator>(cfg.delta.size(),
+                                                   cfg.total_capacity);
+    case AllocatorKind::kLoadProportional:
+      return std::make_unique<LoadProportionalAllocator>(
+          cfg.delta.size(), cfg.total_capacity, cfg.mean_size);
+    case AllocatorKind::kNone:
+      return nullptr;
+  }
+  PSD_UNREACHABLE("unknown allocator kind");
+}
+
+}  // namespace
+
+Controller::Controller(ControllerConfig cfg, std::vector<Shard*> shards)
+    : cfg_(std::move(cfg)),
+      shards_(std::move(shards)),
+      allocator_(make_rt_allocator(cfg_)) {
+  PSD_REQUIRE(!shards_.empty(), "controller needs at least one shard");
+  PSD_REQUIRE(!cfg_.delta.empty() && cfg_.delta.size() <= kMaxRtClasses,
+              "controller supports 1..kMaxRtClasses classes");
+  windows_seen_.assign(shards_.size() * cfg_.delta.size(), 0);
+  // Until the first warm tick, every shard runs its initial (equal) split.
+  rates_.assign(cfg_.delta.size(),
+                cfg_.total_capacity / static_cast<double>(cfg_.delta.size()));
+}
+
+std::string Controller::allocator_name() const {
+  return allocator_ ? allocator_->name() : "none";
+}
+
+void Controller::tick(Time now) {
+  const std::size_t n = cfg_.delta.size();
+  std::vector<double> lambda(n, 0.0);
+  std::vector<double> sd_sum(n, 0.0);
+  std::vector<std::uint32_t> sd_cnt(n, 0);
+  bool fresh_window = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardSnapshot snap = shards_[i]->snapshot();
+    for (std::size_t c = 0; c < n; ++c) {
+      lambda[c] += snap.lambda_hat[c];
+      // Slowdown feedback only from classes whose metrics window actually
+      // advanced since this controller last looked: ticks and shard window
+      // rolls are not phase-locked (and windows close lazily, on the first
+      // completion past the boundary), so gating on the per-class sequence
+      // number is what makes the adaptive integrator see each window once —
+      // not once per tick, and not again during a completion lull.
+      std::uint64_t& seen = windows_seen_[i * n + c];
+      const bool advanced = snap.window_seq[c] > seen;
+      seen = snap.window_seq[c];
+      if (advanced && std::isfinite(snap.window_slowdown[c])) {
+        sd_sum[c] += snap.window_slowdown[c];
+        ++sd_cnt[c];
+        fresh_window = true;
+      }
+    }
+  }
+  std::vector<double> mean_sd(n, kNaN);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (sd_cnt[c] > 0) mean_sd[c] = sd_sum[c] / sd_cnt[c];
+  }
+
+  ++ticks_;
+  const double total =
+      std::accumulate(lambda.begin(), lambda.end(), 0.0);
+  // Cold start (estimators have not closed a window yet) keeps the initial
+  // equal split; eq. 17 needs at least one positive lambda.
+  if (allocator_ != nullptr && total > 0.0) {
+    if (fresh_window) allocator_->observe_slowdowns(mean_sd);
+    rates_ = allocator_->allocate(lambda);
+    ++allocations_;
+    const double inv_shards = 1.0 / static_cast<double>(shards_.size());
+    std::vector<double> slice(n);
+    for (std::size_t c = 0; c < n; ++c) slice[c] = rates_[c] * inv_shards;
+    for (Shard* shard : shards_) shard->apply_rates(slice);
+  }
+
+  ControllerSnapshot s;
+  s.time = now;
+  s.num_classes = static_cast<std::uint32_t>(n);
+  s.ticks = ticks_;
+  s.allocations = allocations_;
+  for (std::size_t c = 0; c < n; ++c) {
+    s.lambda[c] = lambda[c];
+    s.rate[c] = rates_[c];
+    s.window_slowdown[c] = mean_sd[c];
+  }
+  snap_.publish(s);
+}
+
+}  // namespace psd::rt

@@ -1,0 +1,74 @@
+// The runtime's reallocation loop, lifted out of the simulated server and
+// onto its own (wall-clock) cadence.
+//
+// Every tick the controller reads each shard's seqlock snapshot — live
+// LoadEstimator arrival rates plus last-window slowdowns — aggregates them
+// into a cluster-wide view, re-runs the PSD rate allocator (eq. 17, or its
+// adaptive feedback extension) against the TOTAL capacity, and hands each
+// shard an equal slice of the result.  Slices are equal because the load
+// generators spray classes round-robin across shards, so per-shard class
+// mixes converge to the global mix; shard imbalance beyond that is exactly
+// the kind of scenario the rt runtime exists to expose.
+//
+// tick() is plain and synchronous: the threaded Runtime calls it from a
+// periodic thread, deterministic tests call it directly under a ManualClock.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_psd.hpp"
+#include "experiment/scenario.hpp"
+#include "rt/shard.hpp"
+
+namespace psd::rt {
+
+struct ControllerConfig {
+  std::vector<double> delta;
+  double total_capacity = 1.0;  ///< Sum of shard capacities (work/sec).
+  double mean_size = 1.0;       ///< E[X] of the service-time distribution.
+  AllocatorKind allocator = AllocatorKind::kAdaptivePsd;
+  AdaptiveConfig adaptive;
+  double rho_max = 0.98;
+  double min_residual_share = 1e-3;
+};
+
+struct ControllerSnapshot {
+  double time = 0.0;
+  std::uint32_t num_classes = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t allocations = 0;  ///< Ticks that produced new rates.
+  double lambda[kMaxRtClasses] = {};  ///< Aggregated arrivals/sec estimate.
+  double rate[kMaxRtClasses] = {};    ///< Current GLOBAL rates (all shards).
+  double window_slowdown[kMaxRtClasses] = {};  ///< Cross-shard mean.
+};
+
+class Controller {
+ public:
+  /// `shards` are borrowed and must outlive the controller.
+  Controller(ControllerConfig cfg, std::vector<Shard*> shards);
+
+  /// Aggregate estimates, reallocate, push rates to every shard.  Called
+  /// from exactly one thread at a time.
+  void tick(Time now);
+
+  /// Any thread.
+  ControllerSnapshot snapshot() const { return snap_.read(); }
+
+  std::string allocator_name() const;
+
+ private:
+  ControllerConfig cfg_;
+  std::vector<Shard*> shards_;
+  std::unique_ptr<RateAllocator> allocator_;  ///< Null for kNone.
+  /// Last window_seq seen, per (shard, class) — feedback from a class is
+  /// integrated only when its metrics window genuinely advanced.
+  std::vector<std::uint64_t> windows_seen_;
+  std::vector<double> rates_;                 ///< Global (summed) rates.
+  std::uint64_t ticks_ = 0;
+  std::uint64_t allocations_ = 0;
+  Seqlock<ControllerSnapshot> snap_;
+};
+
+}  // namespace psd::rt

@@ -1,0 +1,368 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "dist/sampler.hpp"
+#include "workload/class_spec.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+namespace psd::rt {
+
+bool pin_current_thread(unsigned cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+double RtConfig::shard_capacity() const {
+  return make_sampler(size_dist).mean() / mean_service_seconds;
+}
+
+std::vector<double> RtConfig::lambdas() const {
+  std::vector<double> share = load_share;
+  if (share.empty()) {
+    share.assign(delta.size(), 1.0 / static_cast<double>(delta.size()));
+  }
+  // Utilization rho per shard means a TOTAL work arrival rate of
+  // rho * shards * capacity, i.e. rho * shards / mean_service_seconds
+  // requests per second, split by share.
+  std::vector<double> out(delta.size());
+  const double total =
+      load * static_cast<double>(shards) / mean_service_seconds;
+  for (std::size_t c = 0; c < delta.size(); ++c) out[c] = total * share[c];
+  return out;
+}
+
+void RtConfig::validate() const {
+  PSD_REQUIRE(!delta.empty() && delta.size() <= kMaxRtClasses,
+              "need 1..kMaxRtClasses classes");
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    PSD_REQUIRE(delta[i] > 0.0, "delta must be positive");
+    if (i > 0) {
+      PSD_REQUIRE(delta[i] >= delta[i - 1], "delta must be non-decreasing");
+    }
+  }
+  PSD_REQUIRE(load > 0.0 && load < 1.0, "load must be in (0,1)");
+  if (!load_share.empty()) {
+    PSD_REQUIRE(load_share.size() == delta.size(),
+                "load_share size mismatch");
+    const double sum =
+        std::accumulate(load_share.begin(), load_share.end(), 0.0);
+    PSD_REQUIRE(std::abs(sum - 1.0) < 1e-6, "load shares must sum to 1");
+  }
+  PSD_REQUIRE(mean_service_seconds > 0.0,
+              "mean_service_seconds must be positive");
+  PSD_REQUIRE(shards >= 1, "need at least one shard");
+  PSD_REQUIRE(loadgens >= 1, "need at least one load generator");
+  PSD_REQUIRE(controller_period > 0.0, "controller period must be positive");
+  PSD_REQUIRE(warmup >= 0.0 && warmup < duration,
+              "need warmup in [0, duration)");
+  PSD_REQUIRE(bucket_burst_seconds > 0.0, "burst must be positive");
+}
+
+void Runtime::build_shards(double shard_capacity) {
+  Rng master(cfg_.seed);
+  ShardConfig sc;
+  sc.num_classes = cfg_.num_classes();
+  sc.capacity = shard_capacity;
+  sc.window = cfg_.controller_period;
+  sc.estimator_history = cfg_.estimator_history;
+  sc.warmup = cfg_.warmup;
+  sc.bucket_burst_seconds = cfg_.bucket_burst_seconds;
+  sc.ingress_capacity = cfg_.ingress_capacity;
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(sc, master.fork(9000 + i)));
+  }
+}
+
+std::vector<Shard*> Runtime::shard_ptrs() {
+  std::vector<Shard*> ptrs;
+  ptrs.reserve(shards_.size());
+  for (auto& s : shards_) ptrs.push_back(s.get());
+  return ptrs;
+}
+
+SamplerVariant Runtime::init_topology() {
+  cfg_.validate();
+  const SamplerVariant sampler = make_sampler(cfg_.size_dist);
+  const double capacity = cfg_.shard_capacity();
+  build_shards(capacity);
+
+  ControllerConfig cc;
+  cc.delta = cfg_.delta;
+  cc.total_capacity = capacity * static_cast<double>(cfg_.shards);
+  cc.mean_size = sampler.mean();
+  cc.allocator = cfg_.allocator;
+  cc.adaptive = cfg_.adaptive;
+  cc.rho_max = cfg_.rho_max;
+  cc.min_residual_share = cfg_.min_residual_share;
+  controller_ = std::make_unique<Controller>(std::move(cc), shard_ptrs());
+  return sampler;
+}
+
+Runtime::Runtime(RtConfig cfg, ClockVariant clock)
+    : cfg_(std::move(cfg)),
+      clock_(std::move(clock)),
+      next_tick_(cfg_.controller_period) {
+  const SamplerVariant sampler = init_topology();
+  const auto lam = cfg_.lambdas();
+  const double inv_gens = 1.0 / static_cast<double>(cfg_.loadgens);
+  Rng master(cfg_.seed);
+  for (std::size_t g = 0; g < cfg_.loadgens; ++g) {
+    std::vector<SyntheticLoadGen::ClassLoad> classes;
+    classes.reserve(cfg_.num_classes());
+    for (std::size_t c = 0; c < cfg_.num_classes(); ++c) {
+      classes.push_back({static_cast<ClassId>(c),
+                         PoissonArrivals(lam[c] * inv_gens), sampler});
+    }
+    gens_.push_back(std::make_unique<SyntheticLoadGen>(
+        static_cast<std::uint32_t>(g), master.fork(100 + g),
+        std::move(classes), shard_ptrs(), 0.0));
+  }
+}
+
+Runtime::Runtime(RtConfig cfg, ClockVariant clock, Trace trace,
+                 double time_scale)
+    : cfg_(std::move(cfg)),
+      clock_(std::move(clock)),
+      next_tick_(cfg_.controller_period) {
+  init_topology();
+  gens_.push_back(std::make_unique<TraceLoadGen>(
+      std::move(trace), time_scale, cfg_.num_classes(), shard_ptrs()));
+}
+
+std::uint64_t Runtime::total_outstanding() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->outstanding();
+  return n;
+}
+
+void Runtime::step_to(Time t) {
+  ManualClock* mc = clock_.manual();
+  PSD_REQUIRE(mc != nullptr, "step_to requires a ManualClock");
+  PSD_REQUIRE(!ran_, "step_to cannot mix with a threaded run()");
+  mc->advance_to(t);
+  // Load stops at cfg.duration in both drive modes (threaded run() stops
+  // its generator threads there); quiesce steps beyond it to drain.
+  const Time gen_horizon = std::min(t, cfg_.duration);
+  for (auto& g : gens_) g->step_until(gen_horizon);
+  for (auto& s : shards_) s->drain(t);
+  while (next_tick_ <= t) {
+    controller_->tick(next_tick_);
+    next_tick_ += cfg_.controller_period;
+  }
+}
+
+void Runtime::quiesce(Duration max_extra, Duration step) {
+  PSD_REQUIRE(clock_.is_manual(), "quiesce requires a ManualClock");
+  Time t = clock_.now();
+  const Time limit = t + max_extra;
+  while (total_outstanding() > 0 && t < limit) {
+    t = std::min(t + step, limit);
+    step_to(t);
+  }
+}
+
+void Runtime::finish() {
+  if (finalized_) return;
+  finalized_ = true;
+  const Time now = clock_.now();
+  for (auto& s : shards_) s->finalize(now);
+}
+
+RtReport Runtime::run() {
+  PSD_REQUIRE(!ran_ && !finalized_, "run() is one-shot");
+  PSD_REQUIRE(!clock_.is_manual(),
+              "run() spins wall-clock threads; use step_to with ManualClock");
+  ran_ = true;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::atomic<bool> stop_gen{false};
+  std::atomic<bool> stop_rest{false};
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() + gens_.size() + 1);
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, hw, &stop_rest] {
+      if (cfg_.pin_threads) pin_current_thread(static_cast<unsigned>(i % hw));
+      Shard& sh = *shards_[i];
+      while (!stop_rest.load(std::memory_order_acquire)) {
+        if (sh.drain(clock_.now()) == 0) {
+          // Nothing arrived: yield the core instead of spinning.  Latency
+          // this adds lands in mean_ingress_wait, never in slowdowns (the
+          // embedded simulator timestamps are exact).
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    });
+  }
+  for (std::size_t g = 0; g < gens_.size(); ++g) {
+    threads.emplace_back([this, g, hw, &stop_gen] {
+      if (cfg_.pin_threads) {
+        pin_current_thread(
+            static_cast<unsigned>((shards_.size() + g) % hw));
+      }
+      LoadSource& gen = *gens_[g];
+      while (!stop_gen.load(std::memory_order_acquire)) {
+        gen.step_until(clock_.now());
+        const double dt = gen.next_time() - clock_.now();
+        if (dt > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(dt, 1e-3)));
+        }
+      }
+    });
+  }
+  threads.emplace_back([this, hw, &stop_rest] {
+    if (cfg_.pin_threads) pin_current_thread(hw - 1);
+    Time next = next_tick_;
+    while (!stop_rest.load(std::memory_order_acquire)) {
+      const Time now = clock_.now();
+      if (now >= next) {
+        controller_->tick(now);
+        next = now + cfg_.controller_period;
+      }
+      const double dt = next - clock_.now();
+      if (dt > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::min(dt, 1e-3)));
+      }
+    }
+  });
+
+  // Let the workload run its course.
+  while (clock_.now() < cfg_.duration) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(cfg_.duration - clock_.now(), 1e-2)));
+  }
+  stop_gen.store(true, std::memory_order_release);
+
+  // Grace period: shards keep draining until the accepted backlog clears
+  // (bounded — a near-zero-rate class paying off a token deficit may
+  // legitimately never finish).
+  const Time grace_end = clock_.now() + 2.0;
+  while (clock_.now() < grace_end && total_outstanding() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop_rest.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  run_elapsed_ = clock_.now();
+  finish();
+  return report();
+}
+
+RtReport Runtime::report() const {
+  const std::size_t n = cfg_.num_classes();
+  RtReport r;
+  r.cls.resize(n);
+  std::vector<double> sd_sum(n, 0.0);
+  std::vector<std::uint64_t> sd_n(n, 0);
+  std::vector<double> wait_sum(n, 0.0);
+  std::vector<std::uint64_t> wait_n(n, 0);
+  for (const auto& shard : shards_) {
+    const ShardSnapshot snap = shard->snapshot();
+    r.drains += snap.drains;
+    for (std::size_t c = 0; c < n; ++c) {
+      r.cls[c].completed += snap.completed[c];
+      if (snap.completed[c] > 0 && std::isfinite(snap.mean_slowdown[c])) {
+        sd_sum[c] += snap.mean_slowdown[c] *
+                     static_cast<double>(snap.completed[c]);
+        sd_n[c] += snap.completed[c];
+      }
+      if (snap.accepted[c] > 0 &&
+          std::isfinite(snap.mean_ingress_wait[c])) {
+        wait_sum[c] += snap.mean_ingress_wait[c] *
+                       static_cast<double>(snap.accepted[c]);
+        wait_n[c] += snap.accepted[c];
+      }
+    }
+    r.dropped += shard->dropped();
+    r.completed_all += shard->completed_all();
+    r.outstanding += shard->outstanding();
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    r.cls[c].delta = cfg_.delta[c];
+    if (sd_n[c] > 0) {
+      r.cls[c].mean_slowdown = sd_sum[c] / static_cast<double>(sd_n[c]);
+    }
+    if (wait_n[c] > 0) {
+      r.cls[c].mean_ingress_wait =
+          wait_sum[c] / static_cast<double>(wait_n[c]);
+    }
+    r.cls[c].target_ratio = cfg_.delta[c] / cfg_.delta[0];
+    r.completed_total += r.cls[c].completed;
+  }
+  const double s0 = r.cls[0].mean_slowdown;
+  double worst = kNaN;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (std::isfinite(s0) && s0 > 0.0 &&
+        std::isfinite(r.cls[c].mean_slowdown)) {
+      r.cls[c].achieved_ratio = r.cls[c].mean_slowdown / s0;
+      if (c > 0) {
+        const double err =
+            std::abs(r.cls[c].achieved_ratio / r.cls[c].target_ratio - 1.0);
+        worst = std::isfinite(worst) ? std::max(worst, err) : err;
+      }
+    }
+  }
+  r.max_ratio_error = worst;
+
+  // Windowed medians: pool per-window slowdown ratios (class c vs class 0,
+  // index-aligned — every shard rolls the same warmup/window grid) across
+  // shards and take the median.  Reads the servers' window series directly,
+  // so only after finish() stopped the shard threads.
+  if (finalized_) {
+    double worst_w = kNaN;
+    for (std::size_t c = 1; c < n; ++c) {
+      std::vector<double> ratios;
+      for (const auto& shard : shards_) {
+        const auto& m = shard->server().metrics();
+        const auto& w0 = m.windows(0);
+        const auto& wc = m.windows(static_cast<ClassId>(c));
+        const std::size_t count = std::min(w0.size(), wc.size());
+        for (std::size_t w = 0; w < count; ++w) {
+          if (w0[w].count > 0 && wc[w].count > 0 && w0[w].mean > 0.0) {
+            ratios.push_back(wc[w].mean / w0[w].mean);
+          }
+        }
+      }
+      if (ratios.empty()) continue;
+      std::sort(ratios.begin(), ratios.end());
+      const double p50 = ratios[ratios.size() / 2];
+      r.cls[c].window_ratio_p50 = p50;
+      const double err = std::abs(p50 / r.cls[c].target_ratio - 1.0);
+      worst_w = std::isfinite(worst_w) ? std::max(worst_w, err) : err;
+    }
+    r.max_window_ratio_error = worst_w;
+  }
+
+  for (const auto& g : gens_) {
+    r.produced += g->produced();
+  }
+  const ControllerSnapshot cs = controller_->snapshot();
+  r.controller_ticks = cs.ticks;
+  r.reallocations = cs.allocations;
+  r.elapsed = run_elapsed_ >= 0.0 ? run_elapsed_ : clock_.now();
+  r.requests_per_sec =
+      r.elapsed > 0.0 ? static_cast<double>(r.completed_all) / r.elapsed
+                      : 0.0;
+  return r;
+}
+
+}  // namespace psd::rt

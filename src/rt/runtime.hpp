@@ -1,0 +1,161 @@
+// The serving runtime: load generators + worker shards + controller wired
+// behind one configuration, drivable two ways.
+//
+//   * Threaded (SteadyClock): run() spawns one thread per load generator,
+//     one per shard, and one controller thread, optionally affinity-pinned,
+//     runs for cfg.duration wall seconds, drains, and reports.  This is the
+//     psdserved / bench/micro_rt mode.
+//   * Deterministic (ManualClock): step_to(t) advances every component on
+//     the calling thread in a fixed order — generators, shards, controller —
+//     so a fixed seed yields bit-identical reports with zero sleeps.  This
+//     is the unit-test mode; see src/rt/README.md for why both modes share
+//     every line of component code.
+//
+// The configuration speaks the paper's language (deltas, load, size
+// distribution) plus one rt-only knob: mean_service_seconds maps the mean
+// request's full-capacity service time onto the wall clock, fixing the
+// shard capacity at E[X]/mean_service_seconds work units per second.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dist/factory.hpp"
+#include "rt/clock.hpp"
+#include "rt/controller.hpp"
+#include "rt/loadgen.hpp"
+#include "rt/shard.hpp"
+
+namespace psd::rt {
+
+struct RtConfig {
+  // --- classes & workload ---
+  std::vector<double> delta = {1.0, 2.0};
+  double load = 0.6;               ///< Target utilization per shard, in (0,1).
+  std::vector<double> load_share;  ///< Empty = equal shares.
+  DistSpec size_dist = DistSpec::bounded_pareto(1.5, 0.1, 100.0);
+  /// Wall-clock seconds the MEAN request needs at full shard capacity.
+  double mean_service_seconds = 1e-4;
+
+  // --- topology ---
+  std::size_t shards = 1;
+  std::size_t loadgens = 1;
+  bool pin_threads = false;
+
+  // --- control loop ---
+  double controller_period = 0.05;  ///< Seconds; also the estimator window.
+  std::size_t estimator_history = 5;
+  AllocatorKind allocator = AllocatorKind::kAdaptivePsd;
+  /// Heavier smoothing than the simulator default: rt windows are short.
+  AdaptiveConfig adaptive{0.3, 4.0, 0.3};
+  double rho_max = 0.98;
+  double min_residual_share = 1e-3;
+
+  // --- run protocol ---
+  double warmup = 0.5;    ///< Seconds excluded from metrics.
+  double duration = 3.0;  ///< Total run length, warmup included.
+
+  // --- plumbing ---
+  double bucket_burst_seconds = 0.1;
+  std::size_t ingress_capacity = 1 << 14;
+  std::uint64_t seed = 0x5EEDBA5EULL;
+
+  std::size_t num_classes() const { return delta.size(); }
+  /// Work units per second per shard.
+  double shard_capacity() const;
+  /// TOTAL per-class arrival rates (requests/sec across all shards).
+  std::vector<double> lambdas() const;
+  void validate() const;
+};
+
+struct RtClassReport {
+  double delta = 0.0;
+  std::uint64_t completed = 0;   ///< Post-warmup completions.
+  double mean_slowdown = kNaN;
+  double achieved_ratio = kNaN;  ///< Of cumulative means, vs class 0.
+  /// Median over measurement windows of the per-window slowdown ratio vs
+  /// class 0.  Robust against single Bounded-Pareto giants that can swing a
+  /// short run's cumulative mean arbitrarily; only populated after
+  /// finish()/run() (it reads the closed window series).
+  double window_ratio_p50 = kNaN;
+  double target_ratio = kNaN;    ///< delta_c / delta_0.
+  double mean_ingress_wait = kNaN;
+};
+
+struct RtReport {
+  std::vector<RtClassReport> cls;
+  /// max over classes >= 1 of |achieved/target - 1| (NaN without data).
+  double max_ratio_error = kNaN;
+  /// Same, over the windowed medians — the statistic smoke checks gate on.
+  double max_window_ratio_error = kNaN;
+  std::uint64_t produced = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t completed_total = 0;  ///< Post-warmup.
+  std::uint64_t completed_all = 0;    ///< Including warmup.
+  std::uint64_t outstanding = 0;      ///< Accepted but never completed.
+  double elapsed = 0.0;               ///< Wall/model seconds covered.
+  double requests_per_sec = 0.0;      ///< completed_all / elapsed.
+  std::uint64_t controller_ticks = 0;
+  std::uint64_t reallocations = 0;
+  std::uint64_t drains = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(RtConfig cfg, ClockVariant clock);
+
+  /// Replay construction: the trace drives arrivals instead of synthetic
+  /// generators.  `time_scale` multiplies recorded times into seconds.
+  Runtime(RtConfig cfg, ClockVariant clock, Trace trace, double time_scale);
+
+  // --- threaded drive (SteadyClock) ---
+
+  /// Spawn generator/shard/controller threads, run for cfg.duration, drain,
+  /// finalize, report.  One-shot.
+  RtReport run();
+
+  // --- deterministic drive (ManualClock) ---
+
+  /// Advance the clock to `t` and step generators, shards, controller (in
+  /// that order) on the calling thread.
+  void step_to(Time t);
+
+  /// Keep stepping past the end of load until every accepted request
+  /// completed or `max_extra` seconds of model time elapse.
+  void quiesce(Duration max_extra = 10.0, Duration step = 0.01);
+
+  /// Close metrics windows; idempotent.  run() does this itself.
+  void finish();
+
+  RtReport report() const;
+
+  std::uint64_t total_outstanding() const;
+  std::size_t num_shards() const { return shards_.size(); }
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+  const Controller& controller() const { return *controller_; }
+  const RtConfig& config() const { return cfg_; }
+  ClockVariant& clock() { return clock_; }
+
+ private:
+  /// Shared constructor core: validate, build shards + controller.  Returns
+  /// the sampler so the synthetic path can reuse it for size draws.
+  SamplerVariant init_topology();
+  void build_shards(double shard_capacity);
+  std::vector<Shard*> shard_ptrs();
+
+  RtConfig cfg_;
+  ClockVariant clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<LoadSource>> gens_;
+  std::unique_ptr<Controller> controller_;
+  Time next_tick_;
+  double run_elapsed_ = -1.0;  ///< Set once a threaded run completes.
+  bool ran_ = false;
+  bool finalized_ = false;
+};
+
+/// Best-effort affinity pin of the calling thread (Linux); false elsewhere
+/// or on failure.  Exposed for the bench harness.
+bool pin_current_thread(unsigned cpu);
+
+}  // namespace psd::rt

@@ -1,0 +1,178 @@
+#include "rt/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/dedicated_rate.hpp"
+
+namespace psd::rt {
+
+Shard::Shard(const ShardConfig& cfg, Rng rng)
+    : cfg_(cfg),
+      ingress_(cfg.ingress_capacity),
+      staged_(cfg.num_classes),
+      estimator_(cfg.num_classes, cfg.window, cfg.estimator_history),
+      next_roll_(cfg.window),
+      accepted_(cfg.num_classes, 0),
+      done_cls_(cfg.num_classes, 0),
+      ingress_wait_(cfg.num_classes),
+      lambda_cache_(cfg.num_classes, 0.0),
+      window_sd_cache_(cfg.num_classes, kNaN),
+      window_seq_cache_(cfg.num_classes, 0) {
+  PSD_REQUIRE(cfg.num_classes >= 1 && cfg.num_classes <= kMaxRtClasses,
+              "shard supports 1..kMaxRtClasses classes");
+  PSD_REQUIRE(cfg.window > 0.0, "window must be positive");
+  PSD_REQUIRE(cfg.bucket_burst_seconds > 0.0, "burst must be positive");
+
+  ServerConfig sc;
+  sc.num_classes = cfg.num_classes;
+  sc.capacity = cfg.capacity;
+  sc.realloc_period = 0.0;  // the rt controller reallocates, not the server
+  sc.metrics.num_classes = cfg.num_classes;
+  sc.metrics.warmup_end = cfg.warmup;
+  sc.metrics.window = cfg.window;
+  sc.initial_rates = cfg.initial_rates;
+  server_ = std::make_unique<Server>(
+      sim_, sc, std::make_unique<DedicatedRateBackend>(), nullptr,
+      std::move(rng));
+  server_->set_completion_observer([this](const Request& req) {
+    ++done_cls_[req.cls];
+    done_.fetch_add(1, std::memory_order_release);
+  });
+
+  rates_ = server_->current_rates();
+  const double burst = cfg.capacity * cfg.bucket_burst_seconds;
+  buckets_.reserve(cfg.num_classes);
+  for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+    buckets_.emplace_back(rates_[c], burst, 0.0);
+  }
+  publish(0.0);
+}
+
+bool Shard::submit(const Request& req) {
+  // Count BEFORE the push: once the request is in the ring the shard thread
+  // may pop, serve, and complete it before this producer runs another
+  // instruction, and done_ passing pushed_ would wrap outstanding().
+  pushed_.fetch_add(1, std::memory_order_release);
+  if (ingress_.try_push(req)) return true;
+  pushed_.fetch_sub(1, std::memory_order_release);
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void Shard::apply_rates(const std::vector<double>& rates) {
+  PSD_REQUIRE(rates.size() == cfg_.num_classes, "rate vector size mismatch");
+  std::lock_guard<std::mutex> lock(pending_m_);
+  pending_rates_ = rates;
+  has_pending_ = true;
+}
+
+std::size_t Shard::drain(Time now) {
+  // The wall clock is monotone across calls, but the embedded simulator may
+  // already sit exactly at `now` from the previous drain.
+  if (now < sim_.now()) now = sim_.now();
+
+  // 1. Fire every completion due by `now` at its exact model time, then
+  //    leave the simulation clock parked at `now` for the injections below.
+  sim_.run_until(now);
+
+  // 2. Adopt a controller handoff, effective `now` (in-service work is
+  //    settled at the old rate up to here; buckets likewise).
+  {
+    std::lock_guard<std::mutex> lock(pending_m_);
+    if (has_pending_) {
+      rates_ = pending_rates_;
+      has_pending_ = false;
+      server_->set_rates(rates_);
+      for (std::size_t c = 0; c < buckets_.size(); ++c) {
+        buckets_[c].set_rate(rates_[c], now);
+      }
+    }
+  }
+
+  // 3. Ingest the ingress backlog into the per-class staging queues.  The
+  //    request's queueing clock starts here: time spent in flight between
+  //    the producer and this pop is reported separately (mean_ingress_wait),
+  //    so slowdown measurements stay on the exact simulator time axis.
+  Request req;
+  std::size_t popped = 0;
+  while (ingress_.try_pop(req)) {
+    ++popped;
+    const ClassId c = req.cls;
+    // Clamped at zero: producers stamp arrival from their own clock reads,
+    // which may postdate this drain's single read of `now`.
+    ingress_wait_[c].add(std::max(0.0, now - req.arrival));
+    req.arrival = now;
+    estimator_.on_arrival(c, req.size);
+    ++accepted_[c];
+    staged_[c].push_back(req);
+  }
+  if (popped > 0) ingress_.publish_consumed();
+
+  // 4. Release staged work the token buckets can pay for.
+  for (std::size_t c = 0; c < staged_.size(); ++c) {
+    auto& q = staged_[c];
+    while (!q.empty() && buckets_[c].try_consume(q.front().size, now)) {
+      server_->submit(q.front());
+      q.pop_front();
+    }
+  }
+
+  // 5. Roll estimator windows that closed by `now` and refresh the cached
+  //    estimates the controller consumes.
+  bool rolled = false;
+  while (next_roll_ <= now) {
+    estimator_.roll(next_roll_);
+    next_roll_ += cfg_.window;
+    rolled = true;
+  }
+  if (rolled) refresh_estimates();
+
+  ++drains_;
+  publish(now);
+  return popped;
+}
+
+void Shard::refresh_estimates() {
+  lambda_cache_ = estimator_.lambda_estimate();
+  window_sd_cache_ = server_->metrics().last_window_slowdowns();
+  // Captured together with the slowdowns so the published (value, seq)
+  // pair is coherent: seq is the number of CLOSED windows behind value.
+  for (std::size_t c = 0; c < window_seq_cache_.size(); ++c) {
+    window_seq_cache_[c] =
+        server_->metrics().windows(static_cast<ClassId>(c)).size();
+  }
+}
+
+void Shard::publish(Time now) {
+  ShardSnapshot s;
+  s.time = now;
+  s.num_classes = static_cast<std::uint32_t>(cfg_.num_classes);
+  s.drains = drains_;
+  s.drops = drops_.load(std::memory_order_relaxed);
+  s.windows_closed = estimator_.windows_closed();
+  const auto& metrics = server_->metrics();
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+    const auto cls = static_cast<ClassId>(c);
+    s.accepted[c] = accepted_[c];
+    s.completed[c] = metrics.completed(cls);
+    s.staged[c] = staged_[c].size();
+    s.outstanding[c] = accepted_[c] - done_cls_[c];
+    s.lambda_hat[c] = lambda_cache_[c];
+    s.mean_slowdown[c] = metrics.slowdown(cls).mean();
+    s.window_slowdown[c] = window_sd_cache_[c];
+    s.rate[c] = rates_[c];
+    s.mean_ingress_wait[c] = ingress_wait_[c].mean();
+    s.window_seq[c] = window_seq_cache_[c];
+  }
+  snap_.publish(s);
+}
+
+void Shard::finalize(Time now) {
+  drain(now);
+  server_->finalize();
+  refresh_estimates();
+  publish(now);
+}
+
+}  // namespace psd::rt

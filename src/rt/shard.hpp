@@ -1,0 +1,166 @@
+// A worker shard: one thread's slice of the serving runtime.
+//
+// Each shard owns a complete single-node PSD pipeline — a private Simulator
+// plus a Server (waiting queues, dedicated-rate backend, metrics) — and runs
+// it on the WALL clock: drain(now) advances the embedded simulator to `now`,
+// so scheduled completions fire at their exact model times and only then
+// injects freshly arrived requests.  The embedded simulator is the shard's
+// service engine; the wall clock merely gates how far it may advance.  The
+// payoff is that service_start/departure timestamps are exact on the shared
+// time axis no matter how late the OS schedules the shard thread, which is
+// what makes slowdown ratios reproducible on loaded machines (and bitwise
+// deterministic under ManualClock).
+//
+// Ingress is a lock-free MPSC ring fed by the load-generator threads; on
+// pop, a request is stamped with its shard-entry time and parked in a
+// per-class staging queue behind a deficit token bucket charged at the
+// class's allocated rate.  The bucket is the rt-side rate enforcement
+// derived from psd_allocation: a class consumes work no faster than r_c in
+// the long run, and time spent staged counts toward its queueing delay (the
+// differentiation the controller is steering).
+//
+// Thread roles: submit() — any producer; drain()/finalize() — the one shard
+// thread; apply_rates() — the controller; snapshot() — anyone, via seqlock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rt/mpsc_queue.hpp"
+#include "rt/seqlock.hpp"
+#include "rt/token_bucket.hpp"
+#include "server/load_estimator.hpp"
+#include "server/server.hpp"
+
+namespace psd::rt {
+
+/// Fixed snapshot arity: snapshots are trivially-copyable PODs published
+/// through a seqlock, so the class count is bounded at compile time.
+inline constexpr std::size_t kMaxRtClasses = 8;
+
+struct ShardSnapshot {
+  double time = 0.0;
+  std::uint32_t num_classes = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t drops = 0;                ///< Ingress-full rejections.
+  /// Estimator windows rolled so far (lambda_hat freshness).
+  std::uint64_t windows_closed = 0;
+  /// Per-class count of CLOSED metrics windows behind window_slowdown.
+  /// Metrics windows close lazily (when a completion lands past the
+  /// boundary), so this — not windows_closed — is what tells the controller
+  /// a class's window_slowdown is genuinely new.  The adaptive allocator
+  /// must integrate each window's feedback exactly ONCE: shard rolls and
+  /// controller ticks are not phase-locked, and re-integrating a stale
+  /// window (e.g. during a completion lull) double-applies its error.
+  std::uint64_t window_seq[kMaxRtClasses] = {};
+  std::uint64_t accepted[kMaxRtClasses] = {};   ///< Popped from ingress.
+  std::uint64_t completed[kMaxRtClasses] = {};  ///< Post-warmup completions.
+  std::uint64_t staged[kMaxRtClasses] = {};     ///< Waiting behind buckets.
+  std::uint64_t outstanding[kMaxRtClasses] = {};  ///< In shard, not done.
+  double lambda_hat[kMaxRtClasses] = {};  ///< Estimator arrivals/sec.
+  double mean_slowdown[kMaxRtClasses] = {};     ///< Cumulative post-warmup.
+  double window_slowdown[kMaxRtClasses] = {};   ///< Last closed window.
+  double rate[kMaxRtClasses] = {};              ///< Current allocation.
+  double mean_ingress_wait[kMaxRtClasses] = {};  ///< Produce -> pop latency.
+};
+
+struct ShardConfig {
+  std::size_t num_classes = 2;
+  double capacity = 1.0;       ///< Work units per second.
+  double window = 0.05;        ///< Estimator/metrics window (seconds).
+  std::size_t estimator_history = 5;
+  double warmup = 0.0;         ///< Metrics warmup cutoff (seconds).
+  double bucket_burst_seconds = 0.1;  ///< Burst = rate * this.
+  std::size_t ingress_capacity = 1 << 14;
+  std::vector<double> initial_rates;  ///< Empty = equal split.
+};
+
+class Shard {
+ public:
+  Shard(const ShardConfig& cfg, Rng rng);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Producer side (any thread): enqueue a request whose `arrival` is its
+  /// production wall time.  Returns false (and counts a drop) on a full ring.
+  bool submit(const Request& req);
+
+  /// Shard thread only: advance the embedded simulator to `now`, ingest the
+  /// ingress backlog, release staged work under the token buckets, roll the
+  /// estimator window, publish a fresh snapshot.  Returns requests popped.
+  std::size_t drain(Time now);
+
+  /// Controller thread: stage a new per-class rate vector; the shard adopts
+  /// it at the start of its next drain.
+  void apply_rates(const std::vector<double>& rates);
+
+  /// Any thread, any time: consistent copy of the latest published state.
+  ShardSnapshot snapshot() const { return snap_.read(); }
+
+  /// Requests accepted by submit() and not yet completed (any thread).
+  std::uint64_t outstanding() const {
+    const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+    const std::uint64_t done = done_.load(std::memory_order_acquire);
+    return pushed > done ? pushed - done : 0;
+  }
+
+  std::uint64_t dropped() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+  /// Total completions including warmup (any thread).
+  std::uint64_t completed_all() const {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  /// Final drain + metrics close.  Call after all producer/controller
+  /// threads have stopped; single-threaded from here on.
+  void finalize(Time now);
+
+  /// Direct access for deterministic tests (no concurrent drains).
+  const Server& server() const { return *server_; }
+  const ShardConfig& config() const { return cfg_; }
+
+ private:
+  void refresh_estimates();
+  void publish(Time now);
+
+  ShardConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<Server> server_;
+  MpscQueue<Request> ingress_;
+  std::vector<std::deque<Request>> staged_;
+  std::vector<TokenBucket> buckets_;
+  LoadEstimator estimator_;
+  Time next_roll_;
+  std::vector<double> rates_;
+
+  // Controller -> shard handoff (rarely contended; one exchange per tick).
+  std::mutex pending_m_;
+  std::vector<double> pending_rates_;
+  bool has_pending_ = false;
+
+  // Cross-thread counters.
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> done_{0};
+
+  // Shard-thread-private statistics.
+  std::vector<std::uint64_t> accepted_;
+  std::vector<std::uint64_t> done_cls_;
+  std::vector<MeanStat> ingress_wait_;
+  std::vector<double> lambda_cache_;
+  std::vector<double> window_sd_cache_;
+  std::vector<std::uint64_t> window_seq_cache_;  ///< Coherent with the above.
+  std::uint64_t drains_ = 0;
+
+  Seqlock<ShardSnapshot> snap_;
+};
+
+}  // namespace psd::rt

@@ -59,6 +59,15 @@ void Server::start(Time origin) {
   realloc_->start(origin + cfg_.realloc_period);
 }
 
+void Server::set_rates(const std::vector<double>& rates) {
+  PSD_REQUIRE(rates.size() == cfg_.num_classes, "rate vector size mismatch");
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  PSD_REQUIRE(total <= cfg_.capacity * (1.0 + 1e-9),
+              "rates exceed capacity");
+  rates_ = rates;
+  backend_->set_rates(rates_);
+}
+
 void Server::set_admission(std::unique_ptr<AdmissionController> admission) {
   admission_ = std::move(admission);
 }
@@ -81,7 +90,10 @@ void Server::submit(const Request& req) {
   // The offered-load estimator sees everything (so the admission gate keeps
   // an accurate view of demand while shedding); the allocator's estimator
   // only sees what was actually admitted into the queues.  Without a gate
-  // the two views coincide, so only the allocator's estimator runs.
+  // the two views coincide, so only the allocator's estimator runs — and
+  // with reallocation disabled entirely (realloc_period == 0, e.g. the rt
+  // runtime's shards, which measure load outside the server) nothing would
+  // ever roll or read it, so the per-arrival update is skipped too.
   if (admission_ != nullptr) {
     offered_.on_arrival(req.cls, req.size);
     if (!admission_->admit(req.cls)) {
@@ -89,7 +101,7 @@ void Server::submit(const Request& req) {
       return;
     }
   }
-  estimator_.on_arrival(req.cls, req.size);
+  if (cfg_.realloc_period > 0.0) estimator_.on_arrival(req.cls, req.size);
   const ClassId cls = req.cls;
   queues_[cls].push(req, sim_.now());
   backend_->notify_arrival(cls);

@@ -51,6 +51,12 @@ class Server final : public RequestSink {
   /// Begin the reallocation loop (first tick one period after `origin`).
   void start(Time origin);
 
+  /// Externally install absolute per-class rates (sum <= capacity).  The rt
+  /// runtime makes reallocation decisions outside the simulation (its
+  /// controller thread spans shards), so the transition realloc_tick performs
+  /// internally is also exposed as an entry point.
+  void set_rates(const std::vector<double>& rates);
+
   // RequestSink: entry point for generators / trace players.
   void submit(const Request& req) override;
 
@@ -60,7 +66,9 @@ class Server final : public RequestSink {
   const MetricsCollector& metrics() const { return metrics_; }
   MetricsCollector& metrics() { return metrics_; }
   const std::vector<double>& current_rates() const { return rates_; }
-  /// Estimator over ADMITTED load (feeds the rate allocator).
+  /// Estimator over ADMITTED load (feeds the rate allocator).  Only
+  /// populated while periodic reallocation is enabled (realloc_period > 0);
+  /// otherwise nothing rolls it, so the per-arrival update is skipped.
   const LoadEstimator& estimator() const { return estimator_; }
   /// Estimator over OFFERED load including rejected requests (feeds the
   /// admission gate, so shedding decisions see true demand).  Only populated

@@ -1,6 +1,8 @@
 #include "workload/trace.hpp"
 
+#include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -42,10 +44,15 @@ void TracePlayer::start(Time origin) {
 }
 
 void write_trace(std::ostream& os, const Trace& trace) {
+  // max_digits10 so the text round-trip reproduces every double exactly —
+  // a replayed trace must hit the server at bit-identical times.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "# time,class,size\n";
   for (const auto& e : trace) {
     os << e.time << ',' << e.cls << ',' << e.size << '\n';
   }
+  os.precision(old_precision);
 }
 
 Trace read_trace(std::istream& is) {

@@ -1,6 +1,7 @@
 // WorkStealingPool: execution counts, nested submits, stealing, wait_idle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -99,6 +100,51 @@ TEST(ThreadPool, ImbalancedLoadGetsStolen) {
 TEST(ThreadPool, DefaultWorkerCountIsHardwareBound) {
   WorkStealingPool pool;
   EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, OversubscribedPoolDrainsEverything) {
+  // More workers than this machine has cores: workers get preempted at
+  // arbitrary points in the deque/steal protocol, which is exactly where
+  // lost-wakeup and double-execution bugs hide.  Counts must still be exact.
+  const std::size_t workers =
+      std::max<std::size_t>(8, std::thread::hardware_concurrency() * 4);
+  WorkStealingPool pool(workers);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 5000; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 5000);
+  EXPECT_EQ(pool.stats().executed, 5000u);
+  EXPECT_EQ(pool.worker_count(), workers);
+}
+
+TEST(ThreadPool, OversubscribedNestedSubmitStorm) {
+  // Nested submits land on the submitting worker's own deque; with workers
+  // outnumbering cores the owner is routinely descheduled between producing
+  // and consuming them, so completion depends on stealing staying live.
+  const std::size_t workers =
+      std::max<std::size_t>(8, std::thread::hardware_concurrency() * 4);
+  WorkStealingPool pool(workers);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      for (int j = 0; j < 16; ++j) {
+        pool.submit([&] {
+          count.fetch_add(1, std::memory_order_relaxed);
+          pool.submit(
+              [&] { count.fetch_add(1, std::memory_order_relaxed); });
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64 + 64 * 16 + 64 * 16);
+  // wait_idle() must be exact even with every worker racing: re-run works.
+  pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64 + 64 * 16 + 64 * 16 + 1);
 }
 
 TEST(ThreadPool, RejectsEmptyTask) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "dist/bounded_pareto.hpp"
+#include "experiment/runner.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
 
@@ -92,6 +93,55 @@ TEST(TraceCsv, SkipsCommentsAndBlankLines) {
 TEST(TraceCsv, RejectsMalformedLine) {
   std::stringstream ss("1.0;0;2.0\n");
   EXPECT_THROW(read_trace(ss), std::invalid_argument);
+}
+
+TEST(TraceCsv, RoundTripIsExactForArbitraryDoubles) {
+  // Full-precision round-trip: replayed arrivals must hit the server at
+  // bit-identical times, so the text format cannot truncate.
+  Trace t = {{0.1 + 0.2, 0, 1.0 / 3.0}, {12345.6789012345678, 1, 9.87e-7}};
+  std::stringstream ss;
+  write_trace(ss, t);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].time, t[0].time);    // bitwise, not NEAR
+  EXPECT_EQ(back[0].size, t[0].size);
+  EXPECT_EQ(back[1].time, t[1].time);
+  EXPECT_EQ(back[1].size, t[1].size);
+}
+
+TEST(TraceScenario, RecordedScenarioReplaysToIdenticalResults) {
+  // The runner-level round trip psdsim's --record-trace/--replay-trace use:
+  // a replication recorded through the tee, then replayed through the same
+  // measurement protocol, must reproduce every statistic exactly (the
+  // arrivals — the only stochastic input the dedicated backend consumes —
+  // are pinned by the trace).
+  ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = 0.6;
+  cfg.warmup_tu = 500.0;
+  cfg.measure_tu = 3000.0;
+  cfg.seed = 13;
+
+  Trace trace;
+  const RunResult recorded = run_scenario_recorded(cfg, trace);
+  ASSERT_GT(trace.size(), 100u);
+  ASSERT_EQ(recorded.submitted, trace.size());
+
+  // Round-trip through the text format, as the CLI does.
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const Trace reloaded = read_trace(ss);
+
+  const RunResult replayed = run_scenario_replayed(cfg, reloaded);
+  ASSERT_EQ(replayed.cls.size(), recorded.cls.size());
+  EXPECT_EQ(replayed.submitted, recorded.submitted);
+  for (std::size_t c = 0; c < recorded.cls.size(); ++c) {
+    EXPECT_EQ(replayed.cls[c].completed, recorded.cls[c].completed);
+    EXPECT_DOUBLE_EQ(replayed.cls[c].mean_slowdown,
+                     recorded.cls[c].mean_slowdown);
+    EXPECT_DOUBLE_EQ(replayed.cls[c].mean_delay, recorded.cls[c].mean_delay);
+  }
+  EXPECT_DOUBLE_EQ(replayed.system_slowdown, recorded.system_slowdown);
 }
 
 TEST(TraceEndToEnd, RecordedWorkloadReplaysIdentically) {

@@ -3,14 +3,20 @@
 
 Compares a freshly measured records file against the checked-in baseline and
 fails (exit 1) when any gated benchmark's ns_per_op regressed by more than
-the allowed fraction.  Records are matched on (suite, bench, impl); when a
-file holds several records for one key (append-mode reruns), the LAST one
-wins — the files are append-only logs.
+the allowed fraction.  Records are keyed on (suite, bench, impl) for
+dedup — when a file holds several records for one key (append-mode reruns)
+the LAST one wins, the files being append-only logs — and gated by
+(suite, bench): a gated bench is expected to have one impl per file.
+
+By default the gate covers the simulator suite's full_server_* benches
+(BENCH_hot_path.json).  `--suite rt` gates the real-time runtime's records
+instead (BENCH_rt.json): every bench present in the baseline for that suite
+is gated, so committing a baseline record is what arms its gate.
 
 Usage:
   tools/bench_gate.py fresh.json baseline.json \
       --bench full_server_load60 [--bench three_class ...] \
-      [--max-regress 0.25]
+      [--suite simulator] [--threshold 25]
 """
 
 import argparse
@@ -39,37 +45,67 @@ def main():
     ap.add_argument("fresh", help="just-measured records file")
     ap.add_argument("baseline", help="checked-in baseline records file")
     ap.add_argument(
+        "--suite",
+        default="simulator",
+        help="suite whose records to gate (default: simulator)",
+    )
+    ap.add_argument(
         "--bench",
         action="append",
         default=[],
-        help="bench name to gate (repeatable); default: all simulator "
-        "full_server_* benches",
+        help="bench name to gate (repeatable); default: all of the "
+        "baseline's full_server_* benches for the simulator suite, every "
+        "baseline bench for any other suite",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="allowed ns_per_op increase in PERCENT (default 25)",
     )
     ap.add_argument(
         "--max-regress",
         type=float,
-        default=0.25,
-        help="allowed fractional ns_per_op increase (default 0.25)",
+        default=None,
+        help="legacy spelling: allowed fractional increase (0.25 == "
+        "--threshold 25); wins over --threshold when both are given",
     )
     args = ap.parse_args()
+
+    allowed = (
+        args.max_regress if args.max_regress is not None
+        else args.threshold / 100.0
+    )
 
     fresh = load_records(args.fresh)
     base = load_records(args.baseline)
 
-    gated = args.bench or sorted(
-        {k[1] for k in base if k[0] == "simulator" and k[1].startswith("full_server")}
-    )
+    def in_suite(key):
+        return key[0] == args.suite
+
+    if args.bench:
+        gated = args.bench
+    elif args.suite == "simulator":
+        # Back-compat: the hot-path file carries sampling-layer records the
+        # gate has never covered; only the end-to-end benches are gated.
+        gated = sorted(
+            {k[1] for k in base if in_suite(k) and k[1].startswith("full_server")}
+        )
+    else:
+        gated = sorted({k[1] for k in base if in_suite(k)})
     if not gated:
-        raise SystemExit("no benches to gate (baseline has no simulator records)")
+        raise SystemExit(
+            f"no benches to gate (baseline has no {args.suite} records)"
+        )
 
     failures = []
     for bench in gated:
         fresh_rec = next(
-            (r for k, r in fresh.items() if k[1] == bench and k[0] == "simulator"),
+            (r for k, r in fresh.items() if k[1] == bench and in_suite(k)),
             None,
         )
         base_rec = next(
-            (r for k, r in base.items() if k[1] == bench and k[0] == "simulator"),
+            (r for k, r in base.items() if k[1] == bench and in_suite(k)),
             None,
         )
         if base_rec is None:
@@ -81,7 +117,7 @@ def main():
         fresh_ns = float(fresh_rec["ns_per_op"])
         base_ns = float(base_rec["ns_per_op"])
         ratio = fresh_ns / base_ns
-        verdict = "OK" if ratio <= 1.0 + args.max_regress else "REGRESSED"
+        verdict = "OK" if ratio <= 1.0 + allowed else "REGRESSED"
         print(
             f"[gate] {bench}: {fresh_ns:.1f} ns vs baseline {base_ns:.1f} ns "
             f"({ratio - 1.0:+.1%}) {verdict}"
@@ -89,7 +125,7 @@ def main():
         if verdict != "OK":
             failures.append(
                 f"{bench}: {fresh_ns:.1f} ns vs {base_ns:.1f} ns baseline "
-                f"(> {args.max_regress:.0%} regression)"
+                f"(> {allowed:.0%} regression)"
             )
 
     if failures:

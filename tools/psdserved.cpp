@@ -1,0 +1,242 @@
+// psdserved — real-time serving front end for the PSD stack.
+//
+//   psdserved --classes 1,2 --load 0.6 --duration 3
+//   psdserved --classes 1,2,4 --load 60 --shards 2 --loadgens 2 --pin
+//   psdserved --replay-trace arrivals.trace --classes 1,2
+//   psdserved --check-ratio-tol 0.15 --bench-out BENCH_rt.json   (CI smoke)
+//
+// Unlike psdsim (discrete-event, simulated time), this drives src/rt: real
+// load-generator / shard / controller threads against the wall clock.  Per
+// class it prints completions, measured mean slowdown, achieved vs target
+// slowdown ratio, and the ingress transit latency; --check-ratio-tol turns
+// the run into a pass/fail differentiation smoke test.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "psd.hpp"
+#include "../bench/json_bench.hpp"
+#include "cli_util.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace psd;
+
+const char* kUsage =
+    R"(psdserved — wall-clock PSD serving runtime (src/rt)
+
+options:
+  --classes D1,D2[,...]   differentiation parameters, non-decreasing
+                          (default 1,2)
+  --load F                per-shard utilization: fraction or percent
+                          (default 0.6)
+  --shares S1,S2[,...]    per-class load shares, sum 1       (default equal)
+  --dist SPEC             service-time distribution  (default bp:1.5,0.1,100)
+  --shards N              worker shards (threads)            (default 1)
+  --loadgens N            load-generator threads             (default 1)
+  --duration SEC          total run length                   (default 3)
+  --warmup SEC            excluded from metrics              (default 0.5)
+  --mean-service-us U     mean request service time, usec    (default 100)
+  --period-ms MS          controller reallocation period     (default 50)
+  --allocator NAME        psd | adaptive | equal | loadprop | none
+                          (default adaptive)
+  --burst SEC             token-bucket burst allowance       (default 0.1)
+  --seed N                master seed                        (default fixed)
+  --pin                   pin threads to cores (best effort)
+  --replay-trace FILE     drive arrivals from a recorded trace (see psdsim
+                          --record-trace) instead of synthetic generators
+  --trace-scale F         seconds per recorded time unit
+                          (default mean-service-us / E[X]: replay a simulator
+                          trace at the runtime's native speed)
+  --check-ratio-tol F     exit 1 unless max achieved-vs-target slowdown
+                          ratio error <= F
+  --bench-out FILE        append a JSONL perf record (suite "rt")
+  --help                  this text
+)";
+
+[[noreturn]] void usage(int code) {
+  std::cout << kUsage;
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rt::RtConfig cfg;
+  std::string replay_path;
+  std::string bench_out;
+  double trace_scale = 0.0;  // 0 = derive from mean_service / E[X]
+  double check_tol = -1.0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw cli::CliError(arg + " needs a value (see --help)");
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") usage(0);
+      else if (arg == "--classes")
+        cfg.delta = cli::parse_list(arg, value(), "--classes 1,2,4");
+      else if (arg == "--load")
+        cfg.load = cli::normalize_load(
+            arg, cli::parse_double(arg, value(), "--load 0.6"));
+      else if (arg == "--shares")
+        cfg.load_share = cli::parse_list(arg, value(), "--shares 0.7,0.3");
+      else if (arg == "--dist") cfg.size_dist = cli::parse_dist(arg, value());
+      else if (arg == "--shards")
+        cfg.shards = static_cast<std::size_t>(
+            cli::parse_uint(arg, value(), "--shards 2"));
+      else if (arg == "--loadgens")
+        cfg.loadgens = static_cast<std::size_t>(
+            cli::parse_uint(arg, value(), "--loadgens 2"));
+      else if (arg == "--duration")
+        cfg.duration = cli::parse_double(arg, value(), "--duration 3");
+      else if (arg == "--warmup")
+        cfg.warmup = cli::parse_double(arg, value(), "--warmup 0.5");
+      else if (arg == "--mean-service-us")
+        cfg.mean_service_seconds =
+            cli::parse_double(arg, value(), "--mean-service-us 100") * 1e-6;
+      else if (arg == "--period-ms")
+        cfg.controller_period =
+            cli::parse_double(arg, value(), "--period-ms 50") * 1e-3;
+      else if (arg == "--allocator")
+        cfg.allocator = cli::parse_allocator(arg, value());
+      else if (arg == "--burst")
+        cfg.bucket_burst_seconds =
+            cli::parse_double(arg, value(), "--burst 0.1");
+      else if (arg == "--seed")
+        cfg.seed = cli::parse_uint(arg, value(), "--seed 42");
+      else if (arg == "--pin") cfg.pin_threads = true;
+      else if (arg == "--replay-trace") replay_path = value();
+      else if (arg == "--trace-scale")
+        trace_scale = cli::parse_double(arg, value(), "--trace-scale 1e-4");
+      else if (arg == "--check-ratio-tol")
+        check_tol = cli::parse_double(arg, value(), "--check-ratio-tol 0.15");
+      else if (arg == "--bench-out") bench_out = value();
+      else {
+        std::cerr << "error: unknown option '" << arg << "'\n";
+        usage(2);
+      }
+    }
+  } catch (const cli::CliError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    cfg.validate();
+    const SamplerVariant dist = make_sampler(cfg.size_dist);
+
+    std::unique_ptr<rt::Runtime> runtime;
+    if (!replay_path.empty()) {
+      std::ifstream in(replay_path);
+      if (!in) {
+        std::cerr << "error: cannot open trace '" << replay_path << "'\n";
+        return 2;
+      }
+      Trace trace = read_trace(in);
+      const double scale = trace_scale > 0.0
+                               ? trace_scale
+                               : cfg.mean_service_seconds / dist.mean();
+      // Load generation stops at --duration; a trace cut short there would
+      // silently compare different arrival sets across the sim and rt
+      // stacks, so stretch the run to cover every recorded entry.
+      if (!trace.empty()) {
+        const double span = (trace.back().time - trace.front().time) * scale;
+        if (cfg.duration < span + 0.1) {
+          cfg.duration = span + 0.1;
+          std::cout << "note: extending --duration to " << cfg.duration
+                    << "s to cover the full trace\n";
+        }
+      }
+      std::cout << "replaying " << trace.size() << " arrivals from "
+                << replay_path << " (scale " << scale << " s/unit)\n";
+      runtime = std::make_unique<rt::Runtime>(cfg, rt::SteadyClock(),
+                                              std::move(trace), scale);
+    } else {
+      runtime = std::make_unique<rt::Runtime>(cfg, rt::SteadyClock());
+    }
+
+    std::cout << "serving " << cfg.delta.size() << " classes at load "
+              << cfg.load << " for " << cfg.duration << "s (warmup "
+              << cfg.warmup << "s): " << cfg.shards << " shard(s), "
+              << cfg.loadgens << " loadgen(s), allocator "
+              << runtime->controller().allocator_name() << ", E[X]="
+              << Table::fmt(dist.mean(), 4) << " in "
+              << cfg.mean_service_seconds * 1e6 << "us...\n\n";
+
+    const rt::RtReport r = runtime->run();
+
+    Table t({"class", "delta", "completed", "S measured", "ratio",
+             "ratio p50", "target", "err%", "ingress us"});
+    for (std::size_t c = 0; c < r.cls.size(); ++c) {
+      const auto& cl = r.cls[c];
+      const double err =
+          c > 0 ? (cl.window_ratio_p50 / cl.target_ratio - 1.0) * 100.0 : 0.0;
+      t.add_row({std::to_string(c + 1), Table::fmt(cl.delta, 2),
+                 std::to_string(cl.completed),
+                 Table::fmt(cl.mean_slowdown, 3),
+                 Table::fmt(cl.achieved_ratio, 3),
+                 c > 0 ? Table::fmt(cl.window_ratio_p50, 3) : "1.000",
+                 Table::fmt(cl.target_ratio, 2),
+                 c > 0 ? Table::fmt(err, 1) : "-",
+                 Table::fmt(cl.mean_ingress_wait * 1e6, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nthroughput: " << Table::fmt(r.requests_per_sec, 0)
+              << " req/s  (produced " << r.produced << ", completed "
+              << r.completed_all << ", dropped " << r.dropped
+              << ", unfinished " << r.outstanding << ")\n";
+    std::cout << "controller: " << r.controller_ticks << " ticks, "
+              << r.reallocations << " reallocations; " << r.drains
+              << " shard drains over " << Table::fmt(r.elapsed, 2) << "s\n";
+    std::cout << "max ratio error: " << Table::fmt(r.max_ratio_error * 100, 1)
+              << "% (of means), "
+              << Table::fmt(r.max_window_ratio_error * 100, 1)
+              << "% (windowed median)\n";
+
+    if (!bench_out.empty()) {
+      // json_num: a single-class run has no ratio to report (NaN) and a
+      // zero-completion run no ns_per_op (inf) — both must render as null
+      // or the record line poisons the whole file for bench_gate.py.
+      using bench::json_num;
+      std::ostringstream os;
+      os << "{\"suite\":\"rt\",\"bench\":\"serve_load"
+         << static_cast<int>(cfg.load * 100 + 0.5)
+         << "\",\"impl\":\"psdserved\",\"shards\":" << cfg.shards
+         << ",\"classes\":" << cfg.delta.size()
+         << ",\"ns_per_op\":" << json_num(1e9 / r.requests_per_sec)
+         << ",\"ops_per_sec\":" << json_num(r.requests_per_sec)
+         << ",\"ratio_error\":" << json_num(r.max_ratio_error)
+         << ",\"window_ratio_error\":" << json_num(r.max_window_ratio_error)
+         << ",\"iters\":" << r.completed_all << "}\n";
+      std::ofstream out(bench_out, std::ios::app);
+      out << os.str();
+      std::cout << os.str();
+    }
+
+    if (check_tol >= 0.0) {
+      // Gate on the windowed median: robust to the single heavy-tail giants
+      // that can swing a short run's cumulative class mean arbitrarily.
+      if (!(r.max_window_ratio_error <= check_tol)) {
+        std::cerr << "RATIO CHECK FAILED: max windowed-median error "
+                  << r.max_window_ratio_error * 100 << "% > tolerance "
+                  << check_tol * 100 << "%\n";
+        return 1;
+      }
+      std::cout << "ratio check passed (<= " << check_tol * 100 << "%)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 // and the windowed ratio percentiles — the numbers a capacity planner or a
 // reviewer wants first.  For grids of scenarios, see psdsweep.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -44,6 +45,11 @@ options:
   --warmup TU             warmup in time units                  (default 10000)
   --seed N                master seed                           (default 42)
   --analytic              print closed-form results only (no simulation)
+  --record-trace FILE     run ONE replication and write its arrival trace
+                          (CSV: time,class,size in raw simulator time)
+  --replay-trace FILE     drive ONE replication from a recorded trace
+                          instead of synthetic generators (the same trace
+                          also feeds psdserved --replay-trace)
   --csv                   CSV instead of aligned table
   --help                  this text
 )";
@@ -55,11 +61,37 @@ options:
 
 }  // namespace
 
+namespace {
+
+/// Per-class table for one replication (the record/replay paths run exactly
+/// one, so there are no cross-run confidence intervals to show).
+void print_single_run(const ScenarioConfig& cfg, const RunResult& r,
+                      const std::vector<double>& expected, bool csv) {
+  Table t({"class", "delta", "S measured", "S expected", "ratio vs class 1",
+           "completed"});
+  const double s0 = r.cls[0].mean_slowdown;
+  for (std::size_t i = 0; i < cfg.delta.size(); ++i) {
+    t.add_row({std::to_string(i + 1), Table::fmt(cfg.delta[i], 2),
+               Table::fmt(r.cls[i].mean_slowdown, 3),
+               Table::fmt(expected[i], 3),
+               Table::fmt(s0 > 0.0 ? r.cls[i].mean_slowdown / s0 : kNaN, 3),
+               std::to_string(r.cls[i].completed)});
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+  std::cout << "\nsystem slowdown: " << Table::fmt(r.system_slowdown, 3)
+            << "   submitted=" << r.submitted
+            << " reallocations=" << r.reallocations << "\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ScenarioConfig cfg;
   std::size_t runs = 32;
   bool analytic_only = false;
   bool csv = false;
+  std::string record_path;
+  std::string replay_path;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -96,6 +128,8 @@ int main(int argc, char** argv) {
       else if (arg == "--seed")
         cfg.seed = cli::parse_uint(arg, value(), "--seed 42");
       else if (arg == "--analytic") analytic_only = true;
+      else if (arg == "--record-trace") record_path = value();
+      else if (arg == "--replay-trace") replay_path = value();
       else if (arg == "--csv") csv = true;
       else {
         std::cerr << "error: unknown option '" << arg << "'\n";
@@ -134,6 +168,42 @@ int main(int argc, char** argv) {
                   4);
       }
       csv ? t.print_csv(std::cout) : t.print(std::cout);
+      return 0;
+    }
+
+    if (!record_path.empty() && !replay_path.empty()) {
+      std::cerr << "error: --record-trace and --replay-trace are mutually "
+                   "exclusive\n";
+      return 2;
+    }
+    if (!record_path.empty()) {
+      std::cout << "recording one replication (" << cfg.measure_tu
+                << " tu, warmup " << cfg.warmup_tu << " tu)...\n\n";
+      Trace trace;
+      const RunResult r = run_scenario_recorded(cfg, trace);
+      std::ofstream out(record_path);
+      if (!out) {
+        std::cerr << "error: cannot write '" << record_path << "'\n";
+        return 1;
+      }
+      write_trace(out, trace);
+      print_single_run(cfg, r, expected, csv);
+      std::cout << "wrote " << trace.size() << " arrivals to " << record_path
+                << "\n";
+      return 0;
+    }
+    if (!replay_path.empty()) {
+      std::ifstream in(replay_path);
+      if (!in) {
+        std::cerr << "error: cannot open trace '" << replay_path << "'\n";
+        return 1;
+      }
+      const Trace trace = read_trace(in);
+      std::cout << "replaying " << trace.size() << " arrivals from "
+                << replay_path << " (" << cfg.measure_tu << " tu, warmup "
+                << cfg.warmup_tu << " tu)...\n\n";
+      const RunResult r = run_scenario_replayed(cfg, trace);
+      print_single_run(cfg, r, expected, csv);
       return 0;
     }
 
