@@ -1,0 +1,79 @@
+// Microbenchmarks of the arrival-process layer: the per-draw cost of each
+// process shape, the batched refill the RequestGenerator hot path rides,
+// and the thinning overhead a LoadProfile adds on top of a stationary base.
+//
+//   ./micro_workload [records.json]    (default BENCH_workload.json)
+//
+// Suite "workload" in the JSONL record; the committed baseline at the repo
+// root arms tools/bench_gate.py --suite workload in CI.  The numbers to
+// watch: modulated draws must stay within a small constant factor of the
+// plain Poisson draw (one uniform + one profile evaluation per accepted
+// candidate — more only when the profile dips and candidates are thinned
+// away), and the batch-64 fill must stay cheaper per gap than 64 singles.
+#include <cstdint>
+#include <string>
+
+#include "json_bench.hpp"
+#include "workload/arrival.hpp"
+
+namespace {
+
+using namespace psd;
+using bench::emit_record;
+using bench::min_ns_per_op;
+
+constexpr std::uint64_t kWarmup = 1 << 12;
+constexpr std::uint64_t kIters = 1 << 17;
+constexpr int kReps = 5;
+
+/// One record for a single-draw loop over `arrivals`.
+void bench_draw(const std::string& path, const char* name,
+                ArrivalVariant arrivals) {
+  Rng rng(0xBE9C5u);
+  const double ns = min_ns_per_op(kWarmup, kIters, kReps, [&] {
+    return arrivals.next_interarrival(rng);
+  });
+  emit_record(path, "workload", name, "\"impl\":\"variant\"", ns, kIters);
+}
+
+/// One record for the generator-style batched refill (per-gap cost).
+void bench_batch(const std::string& path, const char* name,
+                 ArrivalVariant arrivals) {
+  Rng rng(0xBA7C4u);
+  double buf[64];
+  const double ns = min_ns_per_op(kWarmup / 64, kIters / 64, kReps, [&] {
+    arrivals.fill_interarrivals(rng, buf, 64);
+    return buf[63];
+  });
+  emit_record(path, "workload", name, "\"impl\":\"batch64\"", ns / 64.0,
+              kIters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_workload.json";
+
+  bench_draw(path, "poisson_draw", PoissonArrivals(1.0));
+  bench_draw(path, "mmpp_draw", make_bursty_arrivals(1.0, 4.0));
+  bench_draw(path, "mmpp_onoff_draw", make_bursty_arrivals(1.0, 8.0, 20.0, 0.2));
+
+  // Profiles over a Poisson base: spike (flat envelope, factor 1 outside
+  // the spike so acceptance is mostly certain), sin (continuous thinning),
+  // ramp mid-slope.
+  bench_draw(path, "modulated_spike_draw",
+             make_arrivals(ArrivalKind::kPoisson, 1.0, 1.0, 10.0, 0.5,
+                           LoadProfile::spike(1e6, 1e5, 3.0)));
+  bench_draw(path, "modulated_sin_draw",
+             make_arrivals(ArrivalKind::kPoisson, 1.0, 1.0, 10.0, 0.5,
+                           LoadProfile::sinusoid(1e4, 0.5)));
+  bench_draw(path, "modulated_ramp_draw",
+             make_arrivals(ArrivalKind::kPoisson, 1.0, 1.0, 10.0, 0.5,
+                           LoadProfile::ramp(0.0, 1e9, 0.5, 1.5)));
+
+  bench_batch(path, "poisson_batch", PoissonArrivals(1.0));
+  bench_batch(path, "modulated_sin_batch",
+              make_arrivals(ArrivalKind::kPoisson, 1.0, 1.0, 10.0, 0.5,
+                            LoadProfile::sinusoid(1e4, 0.5)));
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "sched/lottery.hpp"
 #include "sched/sfq.hpp"
 #include "server/server.hpp"
+#include "stats/convergence.hpp"
 #include "stats/percentile.hpp"
 #include "workload/generator.hpp"
 
@@ -71,6 +72,38 @@ std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
   PSD_UNREACHABLE("unknown allocator kind");
 }
 
+/// One class's arrival process in raw simulator time: the configured
+/// stationary shape, modulated by the scenario profile when one is set
+/// (profile times are paper tu, so scale them by `unit` first).
+ArrivalVariant scenario_arrivals(const ScenarioConfig& cfg, double lambda,
+                                 double unit) {
+  if (!cfg.profile.active()) {
+    return make_arrivals(cfg.arrivals, lambda, cfg.burstiness,
+                         cfg.mmpp_sojourn, cfg.mmpp_duty);
+  }
+  return make_arrivals(cfg.arrivals, lambda, cfg.burstiness, cfg.mmpp_sojourn,
+                       cfg.mmpp_duty, cfg.profile.scaled_time(unit));
+}
+
+/// Per-class settle times (tu) from the per-window slowdown series, when
+/// the profile defines a settling point inside the run.
+std::vector<double> settle_times(const ScenarioConfig& cfg,
+                                 const RunResult& r) {
+  const double step_tu = cfg.profile.step_time();
+  if (!std::isfinite(step_tu) || r.cls.size() < 2) return {};
+  const double unit = r.time_unit;
+  const double onset = (cfg.warmup_tu > step_tu ? cfg.warmup_tu : step_tu) *
+                       unit;  // windows only exist past the warmup
+  std::vector<double> out(r.cls.size() - 1, kNaN);
+  for (std::size_t j = 1; j < r.cls.size(); ++j) {
+    const double settled = ratio_settle_time(
+        r.cls[0].windows, r.cls[j].windows, cfg.delta[j] / cfg.delta[0],
+        cfg.converge_tol, onset, cfg.window_tu * unit);
+    out[j - 1] = settled / unit;  // NaN propagates
+  }
+  return out;
+}
+
 ServerConfig node_server_config(const ScenarioConfig& cfg, double unit) {
   ServerConfig sc;
   sc.num_classes = cfg.num_classes();
@@ -110,19 +143,7 @@ void accumulate_node(RunResult& out, const Server& server) {
       c.mean_delay += (m.delay(cls).mean() - c.mean_delay) * w;
       c.completed += done;
     }
-    const auto& win = m.windows(cls);
-    if (c.windows.size() < win.size()) c.windows.resize(win.size());
-    for (std::size_t w = 0; w < win.size(); ++w) {
-      if (win[w].count == 0) continue;
-      auto& dst = c.windows[w];
-      dst.start = win[w].start;
-      const auto total = dst.count + win[w].count;
-      dst.mean += (win[w].mean - dst.mean) *
-                  (static_cast<double>(win[w].count) /
-                   static_cast<double>(total));
-      dst.max = std::max(dst.max, win[w].max);
-      dst.count = total;
-    }
+    merge_windows_into(c.windows, m.windows(cls));
   }
   const auto& rec = m.records();
   out.records.insert(out.records.end(), rec.begin(), rec.end());
@@ -161,8 +182,7 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
   for (std::size_t i = 0; i < n; ++i) {
     gens.push_back(std::make_unique<RequestGenerator>(
         sim, run_rng.fork(i), static_cast<ClassId>(i),
-        make_arrivals(cfg.arrivals, lambdas[i] * static_cast<double>(nodes),
-                      cfg.burstiness),
+        scenario_arrivals(cfg, lambdas[i] * static_cast<double>(nodes), unit),
         dist, cluster));
     gens.back()->start(0.0);
   }
@@ -188,6 +208,7 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
     }
   }
   out.system_slowdown = sys_n > 0 ? sys : kNaN;
+  out.settle_tu = settle_times(cfg, out);
   return out;
 }
 
@@ -229,8 +250,7 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
     for (std::size_t i = 0; i < n; ++i) {
       gens.push_back(std::make_unique<RequestGenerator>(
           sim, run_rng.fork(i), static_cast<ClassId>(i),
-          make_arrivals(cfg.arrivals, lambdas[i], cfg.burstiness), dist,
-          sink));
+          scenario_arrivals(cfg, lambdas[i], unit), dist, sink));
       gens.back()->start(0.0);
     }
   }
@@ -257,6 +277,7 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
     out.cls[i].completed = m.completed(static_cast<ClassId>(i));
     out.cls[i].windows = m.windows(static_cast<ClassId>(i));
   }
+  out.settle_tu = settle_times(cfg, out);
   return out;
 }
 
@@ -343,6 +364,40 @@ ReplicatedResult aggregate_replications(const ScenarioConfig& cfg,
       rp.mean = s / static_cast<double>(ratios.size());
     }
     agg.ratio[j - 1] = rp;
+  }
+
+  // Transient response: across-run mean of the finite settle times and the
+  // fraction of runs that settled (profiled scenarios only).
+  if (std::isfinite(cfg.profile.step_time()) && n >= 2) {
+    agg.settle_mean_tu.assign(n - 1, kNaN);
+    agg.settle_rate.assign(n - 1, 0.0);
+    agg.settle_p75_tu.assign(n - 1, kNaN);
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      std::vector<double> settled_times;
+      std::size_t seen = 0;
+      for (const auto& r : results) {
+        if (j >= r.settle_tu.size()) continue;
+        ++seen;
+        if (std::isfinite(r.settle_tu[j])) {
+          settled_times.push_back(r.settle_tu[j]);
+        }
+      }
+      if (seen == 0) continue;
+      agg.settle_rate[j] = static_cast<double>(settled_times.size()) /
+                           static_cast<double>(seen);
+      if (settled_times.empty()) continue;
+      double sum = 0.0;
+      for (double t : settled_times) sum += t;
+      agg.settle_mean_tu[j] = sum / static_cast<double>(settled_times.size());
+      // p75 over ALL runs, unsettled ones ranking as +inf: the smallest
+      // bound that 75% of runs met, NaN when fewer than 75% settled.
+      std::sort(settled_times.begin(), settled_times.end());
+      const std::size_t rank =
+          static_cast<std::size_t>(std::ceil(0.75 * static_cast<double>(seen)));
+      if (rank >= 1 && rank <= settled_times.size()) {
+        agg.settle_p75_tu[j] = settled_times[rank - 1];
+      }
+    }
   }
 
   // eq.-18 predictions (only meaningful for the PSD allocators with a

@@ -26,6 +26,10 @@ struct RunResult {
   std::uint64_t submitted = 0;
   std::uint64_t reallocations = 0;
   double time_unit = 1.0;  ///< Raw time per paper tu.
+  /// Ratio re-convergence after the profile's settling point
+  /// (stats/convergence.hpp), in paper tu, for class j = 1..N-1.  Empty
+  /// unless cfg.profile has a finite step_time(); NaN = never settled.
+  std::vector<double> settle_tu;
 };
 
 /// Execute one replication; `run_index` derives an independent RNG stream
@@ -72,6 +76,18 @@ struct ReplicatedResult {
   std::vector<RatioPercentiles> ratio;
   /// Ratio of across-run mean slowdowns (the long-timescale achieved ratio).
   std::vector<double> mean_ratio;
+  /// Transient-response statistics (tu) for class j = 1..N-1, empty unless
+  /// the scenario's profile has a settling point: across-run mean of the
+  /// finite per-run settle times (NaN when no run settled), the fraction
+  /// of runs that settled at all, and the 75th percentile of settle times
+  /// with never-settled runs counted as infinite (NaN when the percentile
+  /// lands on one) — "75% of runs re-converged within p75" is the bound CI
+  /// gates on, immune to fast runs dragging the mean under a tail of slow
+  /// ones.  This is the statistic that separates the adaptive allocator
+  /// from static ones under bursts.
+  std::vector<double> settle_mean_tu;
+  std::vector<double> settle_rate;
+  std::vector<double> settle_p75_tu;
   std::uint64_t completed_total = 0;
 };
 

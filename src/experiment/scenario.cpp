@@ -36,6 +36,14 @@ void ScenarioConfig::validate() const {
   PSD_REQUIRE(!load_share.empty() ? load_share.size() == delta.size() : true,
               "load_share size mismatch");
   PSD_REQUIRE(cluster_nodes >= 1, "need at least one cluster node");
+  if (arrivals == ArrivalKind::kBursty) {
+    PSD_REQUIRE(burstiness >= 1.0, "burstiness must be >= 1");
+    PSD_REQUIRE(mmpp_sojourn > 0.0, "mmpp sojourn must be positive");
+    PSD_REQUIRE(mmpp_duty > 0.0 && mmpp_duty < 1.0,
+                "mmpp duty must be in (0,1)");
+  }
+  profile.validate();
+  PSD_REQUIRE(converge_tol > 0.0, "convergence tolerance must be positive");
   if (cluster_nodes > 1 && cluster_policy == AssignmentPolicy::kSizeInterval) {
     PSD_REQUIRE(size_dist.kind == DistSpec::Kind::kBoundedPareto,
                 "size-interval (SITA-E) cutoffs require a bounded-pareto "

@@ -16,6 +16,7 @@
 #include "dist/factory.hpp"
 #include "sched/dedicated_rate.hpp"
 #include "workload/class_spec.hpp"
+#include "workload/load_profile.hpp"
 
 namespace psd {
 
@@ -45,6 +46,15 @@ struct ScenarioConfig {
   DistSpec size_dist = DistSpec::bounded_pareto(1.5, 0.1, 100.0);
   ArrivalKind arrivals = ArrivalKind::kPoisson;
   double burstiness = 1.0;           ///< For ArrivalKind::kBursty.
+  double mmpp_sojourn = 10.0;  ///< kBursty: mean high-phase length, in mean
+                               ///< interarrivals (make_bursty_arrivals).
+  double mmpp_duty = 0.5;      ///< kBursty: high-phase time fraction.
+  /// Nonstationary modulation of every class's arrival process; times in
+  /// paper tu from the run start (warmup included).  kNone = stationary.
+  LoadProfile profile;
+  /// Half-width of the relative tolerance band used by the ratio
+  /// re-convergence metric when `profile` has a settling point.
+  double converge_tol = 0.25;
   double capacity = 1.0;
 
   // --- measurement protocol (paper time units) ---

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "dist/sampler.hpp"
+#include "stats/convergence.hpp"
 #include "workload/class_spec.hpp"
 
 #ifdef __linux__
@@ -72,6 +73,14 @@ void RtConfig::validate() const {
   PSD_REQUIRE(warmup >= 0.0 && warmup < duration,
               "need warmup in [0, duration)");
   PSD_REQUIRE(bucket_burst_seconds > 0.0, "burst must be positive");
+  if (arrivals.kind == ArrivalKind::kBursty) {
+    PSD_REQUIRE(arrivals.burstiness >= 1.0, "burstiness must be >= 1");
+    PSD_REQUIRE(arrivals.sojourn > 0.0, "mmpp sojourn must be positive");
+    PSD_REQUIRE(arrivals.duty > 0.0 && arrivals.duty < 1.0,
+                "mmpp duty must be in (0,1)");
+  }
+  profile.validate();
+  PSD_REQUIRE(converge_tol > 0.0, "convergence tolerance must be positive");
 }
 
 void Runtime::build_shards(double shard_capacity) {
@@ -127,8 +136,21 @@ Runtime::Runtime(RtConfig cfg, ClockVariant clock)
     std::vector<SyntheticLoadGen::ClassLoad> classes;
     classes.reserve(cfg_.num_classes());
     for (std::size_t c = 0; c < cfg_.num_classes(); ++c) {
-      classes.push_back({static_cast<ClassId>(c),
-                         PoissonArrivals(lam[c] * inv_gens), sampler});
+      // Stationary default stays the bare Poisson construction (identical
+      // draw streams at a fixed seed); MMPP shapes and load profiles route
+      // through the workload factory.  Each generator thread carries its
+      // own thinned stream at rate/loadgens — the superposition still
+      // tracks the profile on the wall clock.
+      if (cfg_.arrivals.kind == ArrivalKind::kPoisson &&
+          !cfg_.profile.active()) {
+        classes.push_back({static_cast<ClassId>(c),
+                           PoissonArrivals(lam[c] * inv_gens), sampler});
+      } else {
+        classes.push_back({static_cast<ClassId>(c),
+                           make_arrivals(cfg_.arrivals, lam[c] * inv_gens,
+                                         cfg_.profile),
+                           sampler});
+      }
     }
     gens_.push_back(std::make_unique<SyntheticLoadGen>(
         static_cast<std::uint32_t>(g), master.fork(100 + g),
@@ -350,6 +372,34 @@ RtReport Runtime::report() const {
       worst_w = std::isfinite(worst_w) ? std::max(worst_w, err) : err;
     }
     r.max_window_ratio_error = worst_w;
+
+    // Ratio re-convergence after the profile's settling point.  Shard
+    // window series are index-aligned (same warmup/window grid), so merge
+    // them count-weighted into one per-class series first — the same
+    // pairing rule the simulator's cluster aggregation uses.
+    const double step_at = cfg_.profile.step_time();
+    if (std::isfinite(step_at) && n >= 2) {
+      auto merged = [&](ClassId cls) {
+        std::vector<IntervalStat> out;
+        for (const auto& shard : shards_) {
+          merge_windows_into(out, shard->server().metrics().windows(cls));
+        }
+        return out;
+      };
+      const auto w0 = merged(0);
+      const double onset = std::max(step_at, cfg_.warmup);
+      double worst_s = 0.0;
+      for (std::size_t c = 1; c < n; ++c) {
+        const double settled = ratio_settle_time(
+            w0, merged(static_cast<ClassId>(c)), r.cls[c].target_ratio,
+            cfg_.converge_tol, onset, cfg_.controller_period);
+        r.cls[c].settle_seconds = settled;
+        // NaN (never settled) poisons the max: a bounded check must fail.
+        if (!std::isfinite(settled)) worst_s = kNaN;
+        else if (std::isfinite(worst_s)) worst_s = std::max(worst_s, settled);
+      }
+      r.max_settle_seconds = worst_s;
+    }
   }
 
   for (const auto& g : gens_) {

@@ -34,6 +34,14 @@ struct RtConfig {
   double load = 0.6;               ///< Target utilization per shard, in (0,1).
   std::vector<double> load_share;  ///< Empty = equal shares.
   DistSpec size_dist = DistSpec::bounded_pareto(1.5, 0.1, 100.0);
+  /// Arrival-process shape (Poisson default; MMPP/ON-OFF via kBursty).
+  ArrivalSpec arrivals;
+  /// Nonstationary modulation of every class's arrival rate; times in wall
+  /// seconds from the run start (warmup included).  The load-generator
+  /// threads follow it on the wall clock through thinned arrival streams.
+  LoadProfile profile;
+  /// Tolerance band of the post-disturbance ratio settle metric.
+  double converge_tol = 0.25;
   /// Wall-clock seconds the MEAN request needs at full shard capacity.
   double mean_service_seconds = 1e-4;
 
@@ -80,6 +88,11 @@ struct RtClassReport {
   double window_ratio_p50 = kNaN;
   double target_ratio = kNaN;    ///< delta_c / delta_0.
   double mean_ingress_wait = kNaN;
+  /// Seconds after the profile's settling point until this class's windowed
+  /// slowdown ratio re-entered (and kept) the tolerance band
+  /// (stats/convergence.hpp; windows merged across shards).  NaN without a
+  /// profiled settling point, before finish(), or when it never settled.
+  double settle_seconds = kNaN;
 };
 
 struct RtReport {
@@ -88,6 +101,9 @@ struct RtReport {
   double max_ratio_error = kNaN;
   /// Same, over the windowed medians — the statistic smoke checks gate on.
   double max_window_ratio_error = kNaN;
+  /// max over classes >= 1 of settle_seconds; NaN when any class lacks one
+  /// (strict: a class that never re-converged must fail a bounded check).
+  double max_settle_seconds = kNaN;
   std::uint64_t produced = 0;
   std::uint64_t dropped = 0;
   std::uint64_t completed_total = 0;  ///< Post-warmup.

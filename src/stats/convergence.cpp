@@ -1,0 +1,50 @@
+#include "stats/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace psd {
+
+double ratio_settle_time(const std::vector<IntervalStat>& w0,
+                         const std::vector<IntervalStat>& wj, double target,
+                         double tol, Time onset, Duration window) {
+  PSD_REQUIRE(target > 0.0, "ratio target must be positive");
+  PSD_REQUIRE(tol > 0.0, "tolerance must be positive");
+  PSD_REQUIRE(window > 0.0, "window length must be positive");
+  const double lo = target * (1.0 - tol);
+  const double hi = target * (1.0 + tol);
+
+  // Per-window decay of the discounted sums: 0.7 halves a window's weight
+  // in ~2 windows, so the evaluation tracks roughly the last 3 windows
+  // while still blending giants across window borders.
+  constexpr double kDecay = 0.7;
+
+  const std::size_t n = std::min(w0.size(), wj.size());
+  double sum0 = 0.0, sumj = 0.0, cnt0 = 0.0, cntj = 0.0;
+  bool any_valid = false;
+  double last_bad_end = -kInf;   // end of the last out-of-band evaluation
+  double last_valid_end = -kInf;
+  for (std::size_t w = 0; w < n; ++w) {
+    const double end = w0[w].start + window;
+    if (end <= onset) continue;  // windows before the onset are excluded
+    sum0 = sum0 * kDecay + w0[w].mean * static_cast<double>(w0[w].count);
+    cnt0 = cnt0 * kDecay + static_cast<double>(w0[w].count);
+    sumj = sumj * kDecay + wj[w].mean * static_cast<double>(wj[w].count);
+    cntj = cntj * kDecay + static_cast<double>(wj[w].count);
+    if (cnt0 <= 0.0 || cntj <= 0.0 || !(sum0 > 0.0)) continue;
+    any_valid = true;
+    last_valid_end = end;
+    const double ratio = (sumj / cntj) / (sum0 / cnt0);
+    if (ratio < lo || ratio > hi) last_bad_end = end;
+  }
+  if (!any_valid) return kNaN;
+  if (last_bad_end == -kInf) return 0.0;
+  // Converged only if at least one in-band evaluation FOLLOWS the last bad
+  // one; a run that ends out of band never settled.
+  if (last_bad_end >= last_valid_end) return kNaN;
+  return std::max(0.0, last_bad_end - onset);
+}
+
+}  // namespace psd

@@ -1,0 +1,44 @@
+// Re-convergence ("settle time") of achieved slowdown ratios after a load
+// disturbance.
+//
+// The adaptive eq.-17 allocator's whole purpose is to pull per-class
+// slowdown ratios back to the delta targets when the offered load shifts;
+// this metric makes that comparable across allocators: given the per-window
+// mean-slowdown series of class j and class 0 and a disturbance onset, the
+// settle time is how long after the onset the windowed ratio takes to
+// re-enter the tolerance band around the target and STAY there for the rest
+// of the run.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/interval_series.hpp"
+
+namespace psd {
+
+/// Settle time of the achieved ratio after `onset`: at each window end past
+/// the onset, form the ratio of the classes' exponentially-discounted
+/// count-weighted mean slowdowns (per-window decay 0.7, an effective
+/// averaging horizon of ~3 windows) and find the last evaluation point
+/// where it falls outside [target*(1-tol), target*(1+tol)]:
+///   * never out of band          -> 0 (already converged at the onset),
+///   * out of band at the final evaluation point
+///                                -> NaN (never observed to re-converge),
+///   * otherwise                  -> that window's end - onset.
+/// Why discounted means: a raw per-window ratio is swung arbitrarily by a
+/// single Bounded-Pareto giant (the windowed p5-p95 ratio spread covers
+/// orders of magnitude), while an undiscounted cumulative mean never
+/// forgets the drain transient right after the disturbance — its huge
+/// absolute slowdowns dominate the sums for the rest of the run.  The EWMA
+/// smooths several windows together AND ages the transient out, which is
+/// what a settling-time band test needs.  Windows pair index-wise (both
+/// series roll the same grid); an evaluation point exists once both
+/// discounted eras have weight and the class-0 mean is positive.  Returns
+/// NaN when there are no evaluation points after the onset.  `window` is
+/// the series' window length (IntervalStat carries only start times).
+double ratio_settle_time(const std::vector<IntervalStat>& w0,
+                         const std::vector<IntervalStat>& wj, double target,
+                         double tol, Time onset, Duration window);
+
+}  // namespace psd

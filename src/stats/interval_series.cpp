@@ -36,6 +36,21 @@ void IntervalSeries::add(Time t, double value) {
   current_max_ = std::max(current_max_, value);
 }
 
+void merge_windows_into(std::vector<IntervalStat>& dst,
+                        const std::vector<IntervalStat>& src) {
+  if (dst.size() < src.size()) dst.resize(src.size());
+  for (std::size_t w = 0; w < src.size(); ++w) {
+    IntervalStat& d = dst[w];
+    d.start = src[w].start;
+    if (src[w].count == 0) continue;
+    const std::uint64_t total = d.count + src[w].count;
+    d.mean += (src[w].mean - d.mean) *
+              (static_cast<double>(src[w].count) / static_cast<double>(total));
+    d.max = std::max(d.max, src[w].max);
+    d.count = total;
+  }
+}
+
 void IntervalSeries::finalize() {
   if (finalized_) return;
   if (current_count_ > 0) {

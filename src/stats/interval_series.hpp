@@ -20,6 +20,16 @@ struct IntervalStat {
   double max = 0.0;
 };
 
+/// Count-weighted index-wise merge of one window series into an
+/// accumulator rolling the same (origin, window) grid: start times are
+/// taken from the source even for empty windows (downstream settle-time
+/// classification files windows by start, and a defaulted 0 would read as
+/// pre-onset), means combine by incremental count weighting, maxes by max.
+/// Shared by the simulator's cross-node and the rt runtime's cross-shard
+/// aggregation so their pairing rules cannot drift apart.
+void merge_windows_into(std::vector<IntervalStat>& dst,
+                        const std::vector<IntervalStat>& src);
+
 /// Accumulates (time, value) observations into consecutive fixed windows.
 /// Observations must arrive in non-decreasing time order.
 class IntervalSeries {

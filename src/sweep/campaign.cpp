@@ -81,6 +81,17 @@ std::string render_point_record(const CampaignPoint& point,
   rw += ']';
   o.raw("ratio_windows", rw);
 
+  // Nonstationary points carry the transient-response block; appending it
+  // conditionally keeps every stationary record's bytes unchanged.
+  if (cfg.profile.active()) {
+    o.field("profile", cfg.profile.name());
+    if (!result.settle_mean_tu.empty()) {
+      o.raw("settle_mean_tu", json_array(result.settle_mean_tu))
+          .raw("settle_rate", json_array(result.settle_rate))
+          .raw("settle_p75_tu", json_array(result.settle_p75_tu));
+    }
+  }
+
   o.field("completed", result.completed_total);
   if (timing) o.field("wall_ms", wall_ms);
   return o.str();

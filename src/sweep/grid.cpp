@@ -126,7 +126,10 @@ std::string config_canonical(const ScenarioConfig& in) {
   if (cfg.cluster_nodes == 1) cfg.cluster_policy = defaults.cluster_policy;
   if (cfg.arrivals != ArrivalKind::kBursty) {
     cfg.burstiness = defaults.burstiness;
+    cfg.mmpp_sojourn = defaults.mmpp_sojourn;
+    cfg.mmpp_duty = defaults.mmpp_duty;
   }
+  if (!cfg.profile.active()) cfg.converge_tol = defaults.converge_tol;
   if (!cfg.record_requests) {
     cfg.record_from_tu = defaults.record_from_tu;
     cfg.record_to_tu = defaults.record_to_tu;
@@ -162,6 +165,22 @@ std::string config_canonical(const ScenarioConfig& in) {
        ");";
   uns("arrivals", static_cast<std::uint64_t>(cfg.arrivals));
   num("burstiness", cfg.burstiness);
+  // Nonstationary fields append only when off their defaults, so every
+  // pre-existing (stationary, symmetric-MMPP) config keeps its canonical
+  // string — and with it its content key, resume identity, and derived
+  // point seed — byte-for-byte.
+  if (cfg.mmpp_sojourn != defaults.mmpp_sojourn) {
+    num("mmpp_sojourn", cfg.mmpp_sojourn);
+  }
+  if (cfg.mmpp_duty != defaults.mmpp_duty) num("mmpp_duty", cfg.mmpp_duty);
+  if (cfg.profile.active()) {
+    s += "profile=";
+    s += std::to_string(static_cast<int>(cfg.profile.kind));
+    s += '(' + json_number(cfg.profile.a) + ',' + json_number(cfg.profile.b) +
+         ',' + json_number(cfg.profile.c) + ',' + json_number(cfg.profile.d) +
+         ");";
+    num("converge_tol", cfg.converge_tol);
+  }
   num("capacity", cfg.capacity);
   num("warmup_tu", cfg.warmup_tu);
   num("measure_tu", cfg.measure_tu);
@@ -244,6 +263,9 @@ std::vector<CampaignPoint> expand_grid(const GridSpec& grid) {
           : grid.cluster_policies;
   const auto loads =
       grid.loads.empty() ? std::vector<double>{grid.base.load} : grid.loads;
+  const auto profiles = grid.profiles.empty()
+                            ? std::vector<LoadProfile>{grid.base.profile}
+                            : grid.profiles;
 
   std::vector<CampaignPoint> points;
   std::unordered_set<std::string> seen;
@@ -254,37 +276,43 @@ std::vector<CampaignPoint> expand_grid(const GridSpec& grid) {
           for (const auto rate_change : rate_changes) {
             for (const auto node_count : nodes) {
               for (const auto policy : policies) {
-                for (const double load : loads) {
-                  ScenarioConfig cfg = grid.base;
-                  cfg.delta = delta;
-                  cfg.size_dist = dist;
-                  cfg.backend = backend;
-                  cfg.allocator = allocator;
-                  cfg.rate_change = rate_change;
-                  cfg.cluster_nodes = node_count;
-                  cfg.cluster_policy = policy;
-                  cfg.load = load;
-                  cfg.validate();
-                  // Dedup on the full canonical form, not the 64-bit key, so
-                  // a hash collision can never silently drop a point.
-                  if (!seen.insert(config_canonical(cfg)).second) continue;
-                  CampaignPoint p;
-                  p.key = config_key(cfg);
-                  p.label = "delta=" + delta_label(delta) +
-                            " load=" + short_num(load) +
-                            " backend=" + backend_name(backend) +
-                            " alloc=" + allocator_name(allocator) +
-                            " dist=" + dist_name(dist);
-                  if (rate_change != RateChangePolicy::kRescaleRemaining) {
-                    p.label += std::string(" rate_change=") +
-                               rate_change_name(rate_change);
+                for (const auto& profile : profiles) {
+                  for (const double load : loads) {
+                    ScenarioConfig cfg = grid.base;
+                    cfg.delta = delta;
+                    cfg.size_dist = dist;
+                    cfg.backend = backend;
+                    cfg.allocator = allocator;
+                    cfg.rate_change = rate_change;
+                    cfg.cluster_nodes = node_count;
+                    cfg.cluster_policy = policy;
+                    cfg.profile = profile;
+                    cfg.load = load;
+                    cfg.validate();
+                    // Dedup on the full canonical form, not the 64-bit key,
+                    // so a hash collision can never silently drop a point.
+                    if (!seen.insert(config_canonical(cfg)).second) continue;
+                    CampaignPoint p;
+                    p.key = config_key(cfg);
+                    p.label = "delta=" + delta_label(delta) +
+                              " load=" + short_num(load) +
+                              " backend=" + backend_name(backend) +
+                              " alloc=" + allocator_name(allocator) +
+                              " dist=" + dist_name(dist);
+                    if (rate_change != RateChangePolicy::kRescaleRemaining) {
+                      p.label += std::string(" rate_change=") +
+                                 rate_change_name(rate_change);
+                    }
+                    if (node_count > 1) {
+                      p.label += " nodes=" + std::to_string(node_count) +
+                                 " policy=" + assignment_policy_name(policy);
+                    }
+                    if (profile.active()) {
+                      p.label += " profile=" + profile.name();
+                    }
+                    p.cfg = std::move(cfg);
+                    points.push_back(std::move(p));
                   }
-                  if (node_count > 1) {
-                    p.label += " nodes=" + std::to_string(node_count) +
-                               " policy=" + assignment_policy_name(policy);
-                  }
-                  p.cfg = std::move(cfg);
-                  points.push_back(std::move(p));
                 }
               }
             }

@@ -27,6 +27,9 @@ struct GridSpec {
   std::vector<RateChangePolicy> rate_changes;
   std::vector<std::size_t> cluster_nodes;
   std::vector<AssignmentPolicy> cluster_policies;
+  /// Nonstationary load profiles (times in paper tu); LoadProfile::none()
+  /// as an axis value runs the stationary control alongside the transients.
+  std::vector<LoadProfile> profiles;
 };
 
 struct CampaignPoint {

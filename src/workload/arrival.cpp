@@ -74,30 +74,107 @@ std::string Mmpp2Arrivals::name() const {
   return os.str();
 }
 
-ArrivalVariant make_bursty_arrivals(double mean_rate, double burstiness) {
-  PSD_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
-  PSD_REQUIRE(burstiness >= 1.0, "burstiness >= 1 (1 == plain Poisson)");
-  if (burstiness == 1.0) return PoissonArrivals(mean_rate);
-  // Symmetric two-phase chain: phases split time evenly, so the mean rate is
-  // (low + high) / 2; spread controlled by `burstiness` = high/mean.
-  const double high = burstiness * mean_rate;
-  const double low = std::max(2.0 * mean_rate - high, 0.05 * mean_rate);
-  // Renormalize so (low + high)/2 == mean_rate even after the floor.
-  const double scale = 2.0 * mean_rate / (low + high);
-  const double sw = mean_rate / 10.0;  // phases last ~10 mean interarrivals
-  return Mmpp2Arrivals(low * scale, high * scale, sw, sw);
+ModulatedArrivals::ModulatedArrivals(Base base_at_peak, LoadProfile profile,
+                                     double nominal_rate)
+    : base_(std::move(base_at_peak)),
+      profile_(profile),
+      nominal_rate_(nominal_rate),
+      inv_peak_(1.0 / profile.peak_factor()) {
+  PSD_REQUIRE(nominal_rate > 0.0, "nominal rate must be positive");
+  profile_.validate();
 }
 
-ArrivalVariant make_arrivals(ArrivalKind kind, double rate, double burstiness) {
+Duration ModulatedArrivals::next_interarrival(Rng& rng) {
+  // Lewis-Shedler thinning against the peak-rate envelope.  Candidate gaps
+  // advance the modulation clock whether accepted or not; rejected
+  // candidates simply vanish from the output stream.  The loop terminates
+  // because validated profiles keep factor(t) >= 0.01 everywhere.
+  Duration gap = 0.0;
+  for (;;) {
+    const Duration step = std::visit(
+        [&rng](auto& a) { return a.next_interarrival(rng); }, base_);
+    gap += step;
+    elapsed_ += step;
+    if (rng.uniform01() < profile_.factor(elapsed_) * inv_peak_) return gap;
+  }
+}
+
+std::string ModulatedArrivals::name() const {
+  std::ostringstream os;
+  os << "Modulated("
+     << std::visit([](const auto& a) { return a.name(); }, base_) << " x "
+     << profile_.name() << ")";
+  return os.str();
+}
+
+ArrivalVariant make_bursty_arrivals(double mean_rate, double burstiness,
+                                    double sojourn, double duty) {
+  PSD_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
+  PSD_REQUIRE(burstiness >= 1.0, "burstiness >= 1 (1 == plain Poisson)");
+  PSD_REQUIRE(sojourn > 0.0, "mean phase sojourn must be positive");
+  PSD_REQUIRE(duty > 0.0 && duty < 1.0, "duty must be in (0,1)");
+  if (burstiness == 1.0) return PoissonArrivals(mean_rate);
+  // Two-phase chain spending `duty` of its time in the high phase, so the
+  // mean rate is duty*high + (1-duty)*low; spread is `burstiness` =
+  // high/mean.  duty 0.5 reduces to the symmetric legacy shape.
+  const double high = burstiness * mean_rate;
+  const double low =
+      std::max((mean_rate - duty * high) / (1.0 - duty), 0.05 * mean_rate);
+  // Renormalize so the duty-weighted mean is mean_rate even after the floor.
+  const double scale = mean_rate / (duty * high + (1.0 - duty) * low);
+  // High phases last ~`sojourn` mean interarrivals; the low-phase sojourn
+  // follows from the duty cycle.
+  const double to_low = mean_rate / sojourn;
+  const double to_high = to_low * duty / (1.0 - duty);
+  return Mmpp2Arrivals(low * scale, high * scale, to_high, to_low);
+}
+
+namespace {
+
+/// The stationary process at `rate` (no modulation applied).
+ArrivalVariant make_stationary(ArrivalKind kind, double rate,
+                               double burstiness, double sojourn,
+                               double duty) {
   switch (kind) {
     case ArrivalKind::kPoisson:
       return PoissonArrivals(rate);
     case ArrivalKind::kDeterministic:
       return DeterministicArrivals(rate);
     case ArrivalKind::kBursty:
-      return make_bursty_arrivals(rate, burstiness);
+      return make_bursty_arrivals(rate, burstiness, sojourn, duty);
   }
   PSD_UNREACHABLE("unknown arrival kind");
+}
+
+}  // namespace
+
+ArrivalVariant make_arrivals(ArrivalKind kind, double rate, double burstiness,
+                             double sojourn, double duty,
+                             const LoadProfile& profile) {
+  if (!profile.active()) {
+    return make_stationary(kind, rate, burstiness, sojourn, duty);
+  }
+  profile.validate();
+  // The thinning envelope: run the base at the profile's peak rate, then
+  // hand it (as a ModulatedArrivals::Base) to the wrapper.
+  const double peak_rate = rate * profile.peak_factor();
+  ArrivalVariant base = make_stationary(kind, peak_rate, burstiness, sojourn,
+                                        duty);
+  if (const auto* p = base.get_if<PoissonArrivals>()) {
+    return ModulatedArrivals(*p, profile, rate);
+  }
+  if (const auto* d = base.get_if<DeterministicArrivals>()) {
+    return ModulatedArrivals(*d, profile, rate);
+  }
+  const auto* m = base.get_if<Mmpp2Arrivals>();
+  PSD_CHECK(m != nullptr, "stationary factory returned a modulated process");
+  return ModulatedArrivals(*m, profile, rate);
+}
+
+ArrivalVariant make_arrivals(const ArrivalSpec& spec, double rate,
+                             const LoadProfile& profile) {
+  return make_arrivals(spec.kind, rate, spec.burstiness, spec.sojourn,
+                       spec.duty, profile);
 }
 
 }  // namespace psd

@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "dist/ziggurat.hpp"
 #include "workload/class_spec.hpp"
+#include "workload/load_profile.hpp"
 
 namespace psd {
 
@@ -71,12 +72,54 @@ class Mmpp2Arrivals {
   Duration residual_phase_ = 0.0;  ///< Time left in the current phase.
 };
 
-/// The sealed arrival-process set.  next_interarrival is stateful (MMPP phase
-/// evolution), so draws mutate the variant in place.
+/// A stationary base process modulated by a LoadProfile through
+/// Lewis-Shedler thinning: the base runs at `peak_factor()` times the
+/// nominal rate, and each candidate arrival is accepted with probability
+/// factor(t) / peak — for a Poisson base this is exactly the nonhomogeneous
+/// Poisson process with rate lambda * factor(t).  The process carries its
+/// own elapsed clock (sum of emitted base gaps), so it stays a plain
+/// stateful value type: next_interarrival() needs no absolute time from the
+/// caller and the generator's batched fill path works unchanged.  Draw
+/// order per candidate is (base gap, acceptance uniform), fixed, so
+/// profiled streams are exactly reproducible at a seed.
+class ModulatedArrivals {
+ public:
+  /// The stationary processes a profile can modulate.  Thinning a
+  /// non-Poisson base is an approximation (it deletes, not rescales), noted
+  /// in name(); the Poisson case is exact.
+  using Base =
+      std::variant<PoissonArrivals, DeterministicArrivals, Mmpp2Arrivals>;
+
+  /// `base_at_peak` must already run at nominal_rate * profile.peak_factor()
+  /// (make_arrivals does this scaling); `nominal_rate` is kept for
+  /// mean_rate() reporting.
+  ModulatedArrivals(Base base_at_peak, LoadProfile profile,
+                    double nominal_rate);
+
+  Duration next_interarrival(Rng& rng);
+  /// The nominal (unmodulated) rate — the profile multiplies around it.
+  double mean_rate() const { return nominal_rate_; }
+  std::string name() const;
+
+  const LoadProfile& profile() const { return profile_; }
+  /// Elapsed time accumulated by emitted arrivals (testing hook).
+  Time elapsed() const { return elapsed_; }
+
+ private:
+  Base base_;
+  LoadProfile profile_;
+  double nominal_rate_;
+  double inv_peak_;
+  Time elapsed_ = 0.0;
+};
+
+/// The sealed arrival-process set.  next_interarrival is stateful (MMPP
+/// phase and modulation-clock evolution), so draws mutate the variant in
+/// place.
 class ArrivalVariant {
  public:
-  using Alternatives =
-      std::variant<PoissonArrivals, DeterministicArrivals, Mmpp2Arrivals>;
+  using Alternatives = std::variant<PoissonArrivals, DeterministicArrivals,
+                                    Mmpp2Arrivals, ModulatedArrivals>;
 
   template <typename A,
             typename = std::enable_if_t<
@@ -114,12 +157,26 @@ class ArrivalVariant {
   Alternatives alt_;
 };
 
-/// Scale an MMPP-style burstiness profile to a target mean rate
-/// (burstiness == 1 degenerates to plain Poisson).
-ArrivalVariant make_bursty_arrivals(double mean_rate, double burstiness);
+/// Scale an MMPP/ON-OFF burstiness shape to a target mean rate (burstiness
+/// == 1 degenerates to plain Poisson).  `sojourn` is the mean high-phase
+/// length in mean interarrival times; `duty` the stationary fraction of
+/// time spent in the high phase (0.5 = the symmetric legacy shape; small
+/// duty with large burstiness approaches an ON-OFF source).  Defaults
+/// reproduce the historical two-parameter form draw-for-draw.
+ArrivalVariant make_bursty_arrivals(double mean_rate, double burstiness,
+                                    double sojourn = 10.0, double duty = 0.5);
 
-/// The arrival process a ScenarioConfig axis describes.
+/// The arrival process a ScenarioConfig axis describes.  When `profile` is
+/// active the stationary process is built at the profile's peak rate and
+/// wrapped in ModulatedArrivals; when inactive the construction (and hence
+/// the draw stream at a fixed seed) is identical to the historical one.
 ArrivalVariant make_arrivals(ArrivalKind kind, double rate,
-                             double burstiness = 1.0);
+                             double burstiness = 1.0, double sojourn = 10.0,
+                             double duty = 0.5,
+                             const LoadProfile& profile = {});
+
+/// Bundled spec form (used by RtConfig and the CLI --arrivals parser).
+ArrivalVariant make_arrivals(const ArrivalSpec& spec, double rate,
+                             const LoadProfile& profile = {});
 
 }  // namespace psd

@@ -11,6 +11,23 @@ namespace psd {
 
 enum class ArrivalKind { kPoisson, kDeterministic, kBursty };
 
+/// Shape parameters of an arrival process, rate left open (the rate is
+/// derived from load targets downstream).  The kBursty fields follow
+/// make_bursty_arrivals: `burstiness` = high-phase rate over the mean,
+/// `sojourn` = mean high-phase length in mean interarrivals, `duty` =
+/// stationary high-phase time fraction.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double burstiness = 1.0;
+  double sojourn = 10.0;
+  double duty = 0.5;
+
+  friend bool operator==(const ArrivalSpec& x, const ArrivalSpec& y) {
+    return x.kind == y.kind && x.burstiness == y.burstiness &&
+           x.sojourn == y.sojourn && x.duty == y.duty;
+  }
+};
+
 struct ClassSpec {
   double delta = 1.0;       ///< Differentiation parameter (class 0 smallest).
   double arrival_rate = 0;  ///< Mean arrivals per unit time.

@@ -1,0 +1,86 @@
+// Time-varying load profiles: a small spec type (DistSpec-style — copyable,
+// comparable, serializable) describing a multiplicative rate modulation
+// factor(t) applied to a stationary arrival process.
+//
+// The paper's eq.-17 allocator is a *periodic* controller driven by a
+// windowed load estimator; holding slowdown ratios through transients is
+// exactly what the adaptive variant exists for, yet a stationary Poisson
+// scenario never exercises it.  A LoadProfile turns any base arrival
+// process into a nonstationary one:
+//
+//   * ramp:t0,t1,f0,f1  — piecewise-linear: factor f0 before t0, linear to
+//                         f1 across [t0,t1], f1 after (load steps and
+//                         gradual migrations),
+//   * sin:period,amp    — 1 + amp * sin(2*pi*t/period), the classic
+//                         "diurnal" cycle compressed to simulation scale,
+//   * spike:t0,dur,mag  — factor mag inside [t0, t0+dur), 1 elsewhere
+//                         (flash crowd: a sudden arrival surge that later
+//                         subsides).
+//
+// Times are in the *consumer's* time base: paper time units in
+// ScenarioConfig (the runner rescales via scaled_time(unit)), wall seconds
+// in RtConfig.  The modulation itself is applied by ModulatedArrivals
+// (workload/arrival.hpp) through Lewis-Shedler thinning, which preserves
+// the devirtualized batch-draw hot path — see src/workload/README.md.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace psd {
+
+struct LoadProfile {
+  enum class Kind { kNone, kRamp, kSin, kSpike };
+
+  Kind kind = Kind::kNone;
+  double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+
+  static LoadProfile none() { return {}; }
+  /// Linear from factor f0 at t0 to f1 at t1 (clamped outside).
+  static LoadProfile ramp(double t0, double t1, double f0, double f1) {
+    return {Kind::kRamp, t0, t1, f0, f1};
+  }
+  /// 1 + amp * sin(2*pi*t / period); amp in [0, 1).
+  static LoadProfile sinusoid(double period, double amp) {
+    return {Kind::kSin, period, amp, 0.0, 0.0};
+  }
+  /// Factor `mag` during [t0, t0 + dur), 1 elsewhere.
+  static LoadProfile spike(double t0, double dur, double mag) {
+    return {Kind::kSpike, t0, dur, mag, 0.0};
+  }
+
+  bool active() const { return kind != Kind::kNone; }
+
+  /// Multiplicative rate factor at elapsed time t (>= 0) since the stream
+  /// started.  Always > 0 for a validated profile.
+  double factor(Time t) const;
+
+  /// max over t of factor(t) — the thinning envelope.
+  double peak_factor() const;
+
+  /// When the profile's last discontinuity/transition settles: the moment
+  /// from which re-convergence of the slowdown ratios is measured (spike ->
+  /// spike END, ramp -> ramp end; NaN for sin/none, which never settle).
+  double step_time() const;
+
+  /// Same shape with all *times* multiplied by `s` (factors untouched);
+  /// converts a profile specified in paper tu into raw simulator time.
+  LoadProfile scaled_time(double s) const;
+
+  void validate() const;
+
+  /// Canonical parsable form ("spike:100,20,3"); "none" when inactive.
+  std::string name() const;
+
+  /// Inverse of name().  Throws psd::Error on malformed input; accepted
+  /// grammar: none | ramp:t0,t1,f0,f1 | sin:period,amp | spike:t0,dur,mag.
+  static LoadProfile parse(const std::string& spec);
+
+  friend bool operator==(const LoadProfile& x, const LoadProfile& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b && x.c == y.c &&
+           x.d == y.d;
+  }
+};
+
+}  // namespace psd

@@ -1,0 +1,381 @@
+// Nonstationary workload subsystem: MMPP/ON-OFF arrival moments, load
+// profiles and the thinning that applies them, the settle-time metric, and
+// the determinism/equivalence guarantees the profiled paths inherit from
+// the stationary stack (fixed seeds, any thread count, sim vs rt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "rt/runtime.hpp"
+#include "stats/convergence.hpp"
+#include "workload/arrival.hpp"
+#include "workload/load_profile.hpp"
+
+namespace psd {
+namespace {
+
+// ---------------------------------------------------------------- profiles
+
+TEST(LoadProfile, FactorShapes) {
+  const LoadProfile none;
+  EXPECT_FALSE(none.active());
+  EXPECT_DOUBLE_EQ(none.factor(17.0), 1.0);
+  EXPECT_DOUBLE_EQ(none.peak_factor(), 1.0);
+  EXPECT_TRUE(std::isnan(none.step_time()));
+
+  const LoadProfile ramp = LoadProfile::ramp(100.0, 200.0, 0.5, 1.5);
+  EXPECT_DOUBLE_EQ(ramp.factor(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ramp.factor(150.0), 1.0);
+  EXPECT_DOUBLE_EQ(ramp.factor(1000.0), 1.5);
+  EXPECT_DOUBLE_EQ(ramp.peak_factor(), 1.5);
+  EXPECT_DOUBLE_EQ(ramp.step_time(), 200.0);
+
+  const LoadProfile sin = LoadProfile::sinusoid(400.0, 0.5);
+  EXPECT_DOUBLE_EQ(sin.factor(0.0), 1.0);
+  EXPECT_NEAR(sin.factor(100.0), 1.5, 1e-12);  // quarter period: peak
+  EXPECT_NEAR(sin.factor(300.0), 0.5, 1e-12);  // three quarters: trough
+  EXPECT_DOUBLE_EQ(sin.peak_factor(), 1.5);
+  EXPECT_TRUE(std::isnan(sin.step_time()));
+
+  const LoadProfile spike = LoadProfile::spike(50.0, 10.0, 3.0);
+  EXPECT_DOUBLE_EQ(spike.factor(49.9), 1.0);
+  EXPECT_DOUBLE_EQ(spike.factor(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(spike.factor(59.9), 3.0);
+  EXPECT_DOUBLE_EQ(spike.factor(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(spike.peak_factor(), 3.0);
+  EXPECT_DOUBLE_EQ(spike.step_time(), 60.0);
+
+  // Time scaling stretches times, not factors.
+  const LoadProfile scaled = spike.scaled_time(2.0);
+  EXPECT_DOUBLE_EQ(scaled.factor(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.factor(101.0), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.step_time(), 120.0);
+}
+
+TEST(LoadProfile, ParseRoundTripsAndRejectsJunk) {
+  for (const char* spec :
+       {"none", "ramp:100,200,0.5,1.5", "sin:400,0.5", "spike:50,10,3"}) {
+    const LoadProfile p = LoadProfile::parse(spec);
+    EXPECT_EQ(LoadProfile::parse(p.name()), p) << spec;
+  }
+  EXPECT_THROW(LoadProfile::parse("sine:400,0.5"), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::parse("spike:50,10"), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::parse("spike:50,10,3,4"), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::parse("spike:a,b,c"), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::parse("ramp:200,100,1,1"), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::parse("sin:400,1.5"), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::parse("spike:0,10,0"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- MMPP
+
+/// Mean empirical rate over `n` draws.
+double empirical_rate(ArrivalVariant a, std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) t += a.next_interarrival(rng);
+  return static_cast<double>(n) / t;
+}
+
+/// Index of dispersion of counts in fixed bins (1 for Poisson, > 1 bursty).
+double dispersion(ArrivalVariant a, double bin, std::size_t bins,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(bins, 0.0);
+  double t = 0.0;
+  for (;;) {
+    t += a.next_interarrival(rng);
+    const auto b = static_cast<std::size_t>(t / bin);
+    if (b >= bins) break;
+    counts[b] += 1.0;
+  }
+  double mean = 0.0;
+  for (double c : counts) mean += c;
+  mean /= static_cast<double>(bins);
+  double var = 0.0;
+  for (double c : counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(bins - 1);
+  return var / mean;
+}
+
+TEST(Mmpp, MomentsMatchSpec) {
+  // Asymmetric ON-OFF-ish shape: duty 0.2, burst 4 -> high phase at 4x the
+  // mean rate for 20% of the time.
+  const double rate = 2.0;
+  ArrivalVariant a = make_bursty_arrivals(rate, 4.0, 10.0, 0.2);
+  EXPECT_NEAR(a.mean_rate(), rate, 1e-9);
+  EXPECT_NEAR(empirical_rate(a, 400000, 7), rate, 0.05 * rate);
+
+  // Burstiness: MMPP counts must be overdispersed, Poisson's must not be.
+  const double disp_mmpp = dispersion(make_bursty_arrivals(rate, 4.0, 10.0,
+                                                           0.2),
+                                      20.0 / rate, 2000, 11);
+  const double disp_poisson =
+      dispersion(PoissonArrivals(rate), 20.0 / rate, 2000, 11);
+  EXPECT_GT(disp_mmpp, 2.0);
+  EXPECT_LT(disp_poisson, 1.3);
+
+  // Legacy two-parameter form is the duty 0.5 / sojourn 10 special case,
+  // draw for draw.
+  Rng r1(42), r2(42);
+  ArrivalVariant legacy = make_bursty_arrivals(rate, 3.0);
+  ArrivalVariant general = make_bursty_arrivals(rate, 3.0, 10.0, 0.5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(legacy.next_interarrival(r1),
+                     general.next_interarrival(r2));
+  }
+}
+
+// --------------------------------------------------------------- thinning
+
+TEST(Thinning, EmpiricalRateTracksTheProfile) {
+  // Sinusoid: the first half period is the crest, the second the trough;
+  // average factor over each half is 1 +- 2*amp/pi.
+  const double rate = 5.0, period = 400.0, amp = 0.6;
+  ArrivalVariant a =
+      make_arrivals(ArrivalKind::kPoisson, rate, 1.0, 10.0, 0.5,
+                    LoadProfile::sinusoid(period, amp));
+  Rng rng(123);
+  double t = 0.0;
+  double crest = 0.0, trough = 0.0, horizon = 600 * period;
+  while (t < horizon) {
+    t += a.next_interarrival(rng);
+    if (t >= horizon) break;
+    const double phase = std::fmod(t, period);
+    (phase < period / 2 ? crest : trough) += 1.0;
+  }
+  const double half_span = 600.0 * period / 2.0;
+  const double boost = 2.0 * amp / 3.14159265358979323846;
+  EXPECT_NEAR(crest / half_span, rate * (1.0 + boost),
+              0.03 * rate * (1.0 + boost));
+  EXPECT_NEAR(trough / half_span, rate * (1.0 - boost),
+              0.05 * rate * (1.0 - boost));
+
+  // Flash crowd: the in-spike empirical rate is mag x base, outside 1 x.
+  ArrivalVariant s =
+      make_arrivals(ArrivalKind::kPoisson, rate, 1.0, 10.0, 0.5,
+                    LoadProfile::spike(1000.0, 500.0, 3.0));
+  Rng rng2(77);
+  t = 0.0;
+  double inside = 0.0, outside = 0.0;
+  while (t < 10000.0) {
+    t += s.next_interarrival(rng2);
+    if (t >= 10000.0) break;
+    (t >= 1000.0 && t < 1500.0 ? inside : outside) += 1.0;
+  }
+  EXPECT_NEAR(inside / 500.0, 3.0 * rate, 0.10 * 3.0 * rate);
+  EXPECT_NEAR(outside / 9500.0, rate, 0.05 * rate);
+}
+
+TEST(Thinning, ProfiledStreamsAreSeedDeterministic) {
+  const LoadProfile ramp = LoadProfile::ramp(10.0, 50.0, 1.0, 2.0);
+  ArrivalVariant a =
+      make_arrivals(ArrivalKind::kBursty, 3.0, 4.0, 10.0, 0.3, ramp);
+  ArrivalVariant b =
+      make_arrivals(ArrivalKind::kBursty, 3.0, 4.0, 10.0, 0.3, ramp);
+  Rng r1(99), r2(99);
+  double buf_a[64], buf_b[64];
+  a.fill_interarrivals(r1, buf_a, 64);   // generator batch path
+  for (int i = 0; i < 64; ++i) buf_b[i] = b.next_interarrival(r2);
+  for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(buf_a[i], buf_b[i]);
+}
+
+// ------------------------------------------------------------ settle time
+
+std::vector<IntervalStat> make_series(
+    const std::vector<double>& means, double window,
+    std::uint64_t count = 100) {
+  std::vector<IntervalStat> out(means.size());
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    out[i].start = static_cast<double>(i) * window;
+    out[i].mean = means[i];
+    out[i].count = means[i] > 0.0 ? count : 0;
+    out[i].max = means[i];
+  }
+  return out;
+}
+
+TEST(Convergence, SettleTimeFromWindowSeries) {
+  const double win = 10.0;
+  const auto w0 =
+      make_series({1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, win);
+
+  // In band from the onset: settles immediately.
+  EXPECT_DOUBLE_EQ(
+      ratio_settle_time(
+          w0, make_series({2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}, win), 2.0,
+          0.25, 20.0, win),
+      0.0);
+
+  // Disturbed from t=20 to t=50, in band afterwards: the EWMA (decay 0.7)
+  // needs 5 clean windows to flush the 3x excursion, so the last
+  // out-of-band evaluation is the window ending at t=90 -> settle 70.
+  const double settled = ratio_settle_time(
+      w0, make_series({2, 2, 6, 6, 6, 2, 2, 2, 2, 2, 2, 2}, win), 2.0, 0.25,
+      20.0, win);
+  EXPECT_DOUBLE_EQ(settled, 70.0);
+
+  // Out of band at the end: never settled.
+  EXPECT_TRUE(std::isnan(ratio_settle_time(
+      w0, make_series({2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 6, 6}, win), 2.0, 0.25,
+      20.0, win)));
+
+  // No valid windows after the onset.
+  EXPECT_TRUE(std::isnan(ratio_settle_time(
+      w0, make_series({2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}, win), 2.0, 0.25,
+      1000.0, win)));
+}
+
+// ------------------------------------------- end-to-end scenario plumbing
+
+ScenarioConfig spike_scenario() {
+  ScenarioConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = 0.5;
+  cfg.size_dist = DistSpec::uniform(0.5, 1.5);
+  cfg.warmup_tu = 1000.0;
+  cfg.measure_tu = 12000.0;
+  cfg.allocator = AllocatorKind::kAdaptivePsd;
+  cfg.profile = LoadProfile::spike(3000.0, 800.0, 1.6);
+  cfg.seed = 2026;
+  return cfg;
+}
+
+TEST(ProfiledScenario, ParallelEqualsSerialAtAnyThreadCount) {
+  const ScenarioConfig cfg = spike_scenario();
+  const ReplicatedResult serial = run_replications(cfg, 4, /*parallel=*/false);
+  const ReplicatedResult parallel = run_replications(cfg, 4, /*parallel=*/true);
+  ASSERT_EQ(serial.slowdown.size(), parallel.slowdown.size());
+  for (std::size_t i = 0; i < serial.slowdown.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.slowdown[i].mean, parallel.slowdown[i].mean);
+  }
+  ASSERT_EQ(serial.settle_mean_tu.size(), parallel.settle_mean_tu.size());
+  for (std::size_t j = 0; j < serial.settle_mean_tu.size(); ++j) {
+    EXPECT_DOUBLE_EQ(serial.settle_rate[j], parallel.settle_rate[j]);
+    if (std::isfinite(serial.settle_mean_tu[j])) {
+      EXPECT_DOUBLE_EQ(serial.settle_mean_tu[j], parallel.settle_mean_tu[j]);
+    } else {
+      EXPECT_TRUE(std::isnan(parallel.settle_mean_tu[j]));
+    }
+    if (std::isfinite(serial.settle_p75_tu[j])) {
+      EXPECT_DOUBLE_EQ(serial.settle_p75_tu[j], parallel.settle_p75_tu[j]);
+    } else {
+      EXPECT_TRUE(std::isnan(parallel.settle_p75_tu[j]));
+    }
+  }
+  EXPECT_EQ(serial.completed_total, parallel.completed_total);
+}
+
+TEST(ProfiledScenario, SettleMetricPopulatedForSpike) {
+  const RunResult r = run_scenario(spike_scenario(), 0);
+  ASSERT_EQ(r.settle_tu.size(), 1u);
+  // Either it settled (finite, inside the run) or provably never did (NaN);
+  // with this gentle spike and the adaptive allocator it should settle.
+  EXPECT_TRUE(std::isfinite(r.settle_tu[0]));
+  EXPECT_LT(r.settle_tu[0], 9000.0);
+}
+
+TEST(ProfiledScenario, SinProfileHasNoSettlePoint) {
+  ScenarioConfig cfg = spike_scenario();
+  cfg.profile = LoadProfile::sinusoid(2000.0, 0.4);
+  cfg.measure_tu = 4000.0;
+  const RunResult r = run_scenario(cfg, 0);
+  EXPECT_TRUE(r.settle_tu.empty());  // periodic: nothing to settle after
+  EXPECT_GT(r.cls[0].completed, 100u);
+}
+
+// ------------------------------------------------------------------- rt
+
+TEST(ProfiledRt, ManualDriveIsBitwiseDeterministic) {
+  rt::RtConfig cfg;
+  cfg.delta = {1.0, 2.0};
+  cfg.load = 0.5;
+  cfg.size_dist = DistSpec::uniform(0.5, 1.5);
+  cfg.mean_service_seconds = 1e-3;
+  cfg.shards = 2;
+  cfg.loadgens = 2;
+  cfg.controller_period = 0.1;
+  cfg.warmup = 0.5;
+  cfg.duration = 3.0;
+  cfg.seed = 71;
+  cfg.profile = LoadProfile::spike(1.0, 0.5, 2.0);
+  cfg.arrivals = {ArrivalKind::kBursty, 3.0, 10.0, 0.5};
+
+  auto drive = [&cfg] {
+    rt::Runtime runtime(cfg, rt::ManualClock{});
+    for (Time t = 0.02; t <= cfg.duration + 1e-9; t += 0.02) {
+      runtime.step_to(t);
+    }
+    runtime.quiesce(20.0, 0.05);
+    runtime.finish();
+    return runtime.report();
+  };
+  const rt::RtReport a = drive();
+  const rt::RtReport b = drive();
+  ASSERT_EQ(a.cls.size(), b.cls.size());
+  EXPECT_EQ(a.produced, b.produced);
+  EXPECT_GT(a.produced, 500u);
+  EXPECT_EQ(a.completed_all, b.completed_all);
+  for (std::size_t c = 0; c < a.cls.size(); ++c) {
+    EXPECT_EQ(a.cls[c].completed, b.cls[c].completed);
+    EXPECT_DOUBLE_EQ(a.cls[c].mean_slowdown, b.cls[c].mean_slowdown);
+    if (c > 0) {
+      // Settle metric is deterministic too (NaN == NaN counts as equal).
+      if (std::isfinite(a.cls[c].settle_seconds)) {
+        EXPECT_DOUBLE_EQ(a.cls[c].settle_seconds, b.cls[c].settle_seconds);
+      } else {
+        EXPECT_TRUE(std::isnan(b.cls[c].settle_seconds));
+      }
+    }
+  }
+}
+
+TEST(ProfiledRt, SimTraceReplaysThroughRtUnderRamp) {
+  // One recorded profiled arrival set drives both stacks: record a ramped
+  // scenario in the simulator, replay the trace through the rt runtime on a
+  // ManualClock, and the rt side must consume every recorded arrival and
+  // complete the same per-class workload.
+  ScenarioConfig sim_cfg = spike_scenario();
+  sim_cfg.profile = LoadProfile::ramp(1000.0, 4000.0, 0.7, 1.3);
+  sim_cfg.warmup_tu = 0.0;
+  sim_cfg.measure_tu = 5000.0;
+  Trace trace;
+  const RunResult sim_r = run_scenario_recorded(sim_cfg, trace);
+  ASSERT_GT(trace.size(), 1000u);
+  EXPECT_EQ(sim_r.submitted, trace.size());
+
+  rt::RtConfig cfg;
+  cfg.delta = sim_cfg.delta;
+  cfg.load = sim_cfg.load;
+  cfg.size_dist = sim_cfg.size_dist;
+  cfg.mean_service_seconds = 1e-3;
+  cfg.controller_period = 0.1;
+  cfg.warmup = 0.0;
+  // Replay at native speed: mean service seconds per unit of E[X].
+  const double scale = 1e-3 / 1.0;  // E[X] of uniform(0.5,1.5) is 1
+  const double span = (trace.back().time - trace.front().time) * scale;
+  cfg.duration = span + 0.5;
+
+  rt::Runtime runtime(cfg, rt::ManualClock{}, trace, scale);
+  for (Time t = 0.0; t <= cfg.duration + 1e-9; t += 0.05) {
+    runtime.step_to(t);
+  }
+  runtime.quiesce(30.0, 0.05);
+  runtime.finish();
+  const rt::RtReport r = runtime.report();
+  EXPECT_EQ(r.produced, trace.size());
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.completed_all, trace.size());
+  // Same per-class split as the simulator saw.
+  std::vector<std::uint64_t> per_class(cfg.delta.size(), 0);
+  for (const auto& e : trace) per_class[e.cls]++;
+  for (std::size_t c = 0; c < cfg.delta.size(); ++c) {
+    EXPECT_EQ(r.cls[c].completed, per_class[c]);
+  }
+}
+
+}  // namespace
+}  // namespace psd

@@ -9,9 +9,13 @@ the LAST one wins, the files being append-only logs — and gated by
 (suite, bench): a gated bench is expected to have one impl per file.
 
 By default the gate covers the simulator suite's full_server_* benches
-(BENCH_hot_path.json).  `--suite rt` gates the real-time runtime's records
-instead (BENCH_rt.json): every bench present in the baseline for that suite
-is gated, so committing a baseline record is what arms its gate.
+(BENCH_hot_path.json).  `--suite rt` / `--suite workload` gate the
+real-time runtime's (BENCH_rt.json) and arrival-layer's
+(BENCH_workload.json) records instead: every bench present in the baseline
+for that suite is gated, so committing a baseline record is what arms its
+gate.  A bench present only in the fresh records (a new bench measured
+against an older baseline) is reported as "new record" and skipped rather
+than crashing or failing — commit the refreshed baseline to arm it.
 
 Usage:
   tools/bench_gate.py fresh.json baseline.json \
@@ -92,10 +96,16 @@ def main():
             {k[1] for k in base if in_suite(k) and k[1].startswith("full_server")}
         )
     else:
-        gated = sorted({k[1] for k in base if in_suite(k)})
+        # Union of baseline and fresh: baseline-only benches fail (a gated
+        # bench vanished), fresh-only benches are announced and skipped (a
+        # new bench vs an old baseline must not crash the gate).
+        gated = sorted(
+            {k[1] for k in base if in_suite(k)}
+            | {k[1] for k in fresh if in_suite(k)}
+        )
     if not gated:
         raise SystemExit(
-            f"no benches to gate (baseline has no {args.suite} records)"
+            f"no benches to gate (no {args.suite} records in either file)"
         )
 
     failures = []
@@ -109,13 +119,17 @@ def main():
             None,
         )
         if base_rec is None:
-            print(f"[gate] {bench}: no baseline record — skipping")
+            print(f"[gate] {bench}: new record, skipping (no baseline yet)")
             continue
         if fresh_rec is None:
             failures.append(f"{bench}: missing from fresh records")
             continue
-        fresh_ns = float(fresh_rec["ns_per_op"])
-        base_ns = float(base_rec["ns_per_op"])
+        try:
+            fresh_ns = float(fresh_rec["ns_per_op"])
+            base_ns = float(base_rec["ns_per_op"])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{bench}: record lacks a numeric ns_per_op")
+            continue
         ratio = fresh_ns / base_ns
         verdict = "OK" if ratio <= 1.0 + allowed else "REGRESSED"
         print(

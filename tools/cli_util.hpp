@@ -141,6 +141,62 @@ inline RateChangePolicy parse_rate_change(const std::string& opt,
   fail(opt + ": unknown rate-change policy", s, "rescale | finish");
 }
 
+/// Load-profile spec -> LoadProfile (library grammar, CliError on typos).
+inline LoadProfile parse_profile(const std::string& opt,
+                                 const std::string& s) {
+  try {
+    return LoadProfile::parse(s);
+  } catch (const std::exception& e) {
+    // Strip the PSD_REQUIRE "precondition failed: (...) at file:line — "
+    // prefix; the CLI surface wants the human half of the message only.
+    const std::string what = e.what();
+    const auto dash = what.rfind(" — ");
+    fail(opt + ": " +
+             (dash == std::string::npos ? what
+                                        : what.substr(dash + sizeof(" — ") -
+                                                      sizeof(""))),
+         s, "ramp:t0,t1,f0,f1 | sin:period,amp | spike:t0,dur,mag | none");
+  }
+}
+
+/// Arrival-process spec: poisson | det | mmpp:burst[,sojourn[,duty]].
+/// `burst` = high-phase rate over the mean (>= 1), `sojourn` = mean
+/// high-phase length in mean interarrivals, `duty` = high-phase time
+/// fraction (small duty -> ON-OFF).
+inline ArrivalSpec parse_arrival_spec(const std::string& opt,
+                                      const std::string& s) {
+  const std::string hint = "poisson | det | mmpp:4 | mmpp:8,20,0.2";
+  const auto colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  ArrivalSpec spec;
+  if (kind == "poisson" || kind == "det" || kind == "deterministic") {
+    if (colon != std::string::npos) {
+      fail(opt + ": '" + kind + "' takes no parameters", s, hint);
+    }
+    spec.kind = kind == "poisson" ? ArrivalKind::kPoisson
+                                  : ArrivalKind::kDeterministic;
+    return spec;
+  }
+  if (kind != "mmpp") fail(opt + ": unknown arrival process", s, hint);
+  const auto args = colon == std::string::npos
+                        ? std::vector<double>{}
+                        : parse_list(opt, s.substr(colon + 1), hint);
+  if (args.empty() || args.size() > 3) {
+    fail(opt + ": mmpp needs 1-3 parameters (burst[,sojourn[,duty]])", s,
+         hint);
+  }
+  spec.kind = ArrivalKind::kBursty;
+  spec.burstiness = args[0];
+  if (args.size() >= 2) spec.sojourn = args[1];
+  if (args.size() >= 3) spec.duty = args[2];
+  if (spec.burstiness < 1.0 || spec.sojourn <= 0.0 || spec.duty <= 0.0 ||
+      spec.duty >= 1.0) {
+    fail(opt + ": mmpp needs burst >= 1, sojourn > 0, duty in (0,1)", s,
+         hint);
+  }
+  return spec;
+}
+
 inline AssignmentPolicy parse_assignment(const std::string& opt,
                                          const std::string& s) {
   for (auto p : {AssignmentPolicy::kRandom, AssignmentPolicy::kRoundRobin,

@@ -36,6 +36,14 @@ options:
                           (default 0.6)
   --shares S1,S2[,...]    per-class load shares, sum 1       (default equal)
   --dist SPEC             service-time distribution  (default bp:1.5,0.1,100)
+  --arrivals SPEC         poisson | det | mmpp:burst[,sojourn[,duty]]
+                          (default poisson)
+  --profile SPEC          nonstationary load modulation, times in SECONDS:
+                          ramp:t0,t1,f0,f1 | sin:period,amp | spike:t0,dur,mag
+                          (the loadgen threads thin their arrival streams to
+                           follow it on the wall clock)
+  --converge-tol F        settle-band half-width for the re-convergence
+                          metric                             (default 0.25)
   --shards N              worker shards (threads)            (default 1)
   --loadgens N            load-generator threads             (default 1)
   --duration SEC          total run length                   (default 3)
@@ -90,6 +98,13 @@ int main(int argc, char** argv) {
       else if (arg == "--shares")
         cfg.load_share = cli::parse_list(arg, value(), "--shares 0.7,0.3");
       else if (arg == "--dist") cfg.size_dist = cli::parse_dist(arg, value());
+      else if (arg == "--arrivals")
+        cfg.arrivals = cli::parse_arrival_spec(arg, value());
+      else if (arg == "--profile")
+        cfg.profile = cli::parse_profile(arg, value());
+      else if (arg == "--converge-tol")
+        cfg.converge_tol =
+            cli::parse_double(arg, value(), "--converge-tol 0.25");
       else if (arg == "--shards")
         cfg.shards = static_cast<std::size_t>(
             cli::parse_uint(arg, value(), "--shards 2"));
@@ -202,6 +217,17 @@ int main(int argc, char** argv) {
               << "% (of means), "
               << Table::fmt(r.max_window_ratio_error * 100, 1)
               << "% (windowed median)\n";
+    if (cfg.profile.active()) {
+      std::cout << "profile " << cfg.profile.name() << ": ";
+      if (std::isfinite(cfg.profile.step_time())) {
+        std::cout << "max ratio settle after t="
+                  << Table::fmt(cfg.profile.step_time(), 2) << "s: "
+                  << Table::fmt(r.max_settle_seconds, 2) << "s (band +-"
+                  << Table::fmt(cfg.converge_tol * 100, 0) << "%)\n";
+      } else {
+        std::cout << "periodic modulation (no settling point)\n";
+      }
+    }
 
     if (!bench_out.empty()) {
       // json_num: a single-class run has no ratio to report (NaN) and a

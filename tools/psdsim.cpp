@@ -35,6 +35,21 @@ options:
                             bexp:m,lo,hi     bounded exponential
                             lognormal:m,scv  lognormal
                             uniform:a,b      uniform
+  --arrivals SPEC         arrival process                       (default poisson)
+                            poisson | det | mmpp:burst[,sojourn[,duty]]
+                            (mmpp: two-phase modulated Poisson; burst =
+                             high-phase rate / mean rate, sojourn = mean
+                             high-phase length in mean interarrivals,
+                             duty = high-phase time fraction)
+  --profile SPEC          nonstationary load modulation (times in tu):
+                            ramp:t0,t1,f0,f1   piecewise-linear rate ramp
+                            sin:period,amp     sinusoidal "diurnal" cycle
+                            spike:t0,dur,mag   flash crowd (mag x rate)
+  --converge-tol F        settle-band half-width for the re-convergence
+                          metric                                (default 0.25)
+  --check-converge TU     exit 1 unless, after the profile's settling point,
+                          every class's windowed slowdown ratio re-enters
+                          the band within TU time units in >= 75% of runs
   --backend NAME          dedicated | sfq | lottery | wtp | pad | hpd | strict
                           (default dedicated)
   --allocator NAME        psd | adaptive | equal | loadprop     (default psd)
@@ -81,6 +96,11 @@ void print_single_run(const ScenarioConfig& cfg, const RunResult& r,
   std::cout << "\nsystem slowdown: " << Table::fmt(r.system_slowdown, 3)
             << "   submitted=" << r.submitted
             << " reallocations=" << r.reallocations << "\n";
+  for (std::size_t j = 0; j < r.settle_tu.size(); ++j) {
+    std::cout << "class " << j + 2 << " ratio settle after "
+              << cfg.profile.name() << ": " << Table::fmt(r.settle_tu[j], 0)
+              << " tu\n";
+  }
 }
 
 }  // namespace
@@ -92,6 +112,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string record_path;
   std::string replay_path;
+  double check_converge_tu = -1.0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -110,6 +131,20 @@ int main(int argc, char** argv) {
       else if (arg == "--shares")
         cfg.load_share = cli::parse_list(arg, value(), "--shares 0.7,0.3");
       else if (arg == "--dist") cfg.size_dist = cli::parse_dist(arg, value());
+      else if (arg == "--arrivals") {
+        const ArrivalSpec a = cli::parse_arrival_spec(arg, value());
+        cfg.arrivals = a.kind;
+        cfg.burstiness = a.burstiness;
+        cfg.mmpp_sojourn = a.sojourn;
+        cfg.mmpp_duty = a.duty;
+      }
+      else if (arg == "--profile") cfg.profile = cli::parse_profile(arg, value());
+      else if (arg == "--converge-tol")
+        cfg.converge_tol =
+            cli::parse_double(arg, value(), "--converge-tol 0.25");
+      else if (arg == "--check-converge")
+        check_converge_tu =
+            cli::parse_double(arg, value(), "--check-converge 8000");
       else if (arg == "--backend") cfg.backend = cli::parse_backend(arg, value());
       else if (arg == "--allocator")
         cfg.allocator = cli::parse_allocator(arg, value());
@@ -214,6 +249,12 @@ int main(int argc, char** argv) {
       std::cout << ", " << cfg.cluster_nodes << " nodes, "
                 << assignment_policy_name(cfg.cluster_policy);
     }
+    if (cfg.arrivals == ArrivalKind::kBursty) {
+      std::cout << ", mmpp burst=" << cfg.burstiness;
+    }
+    if (cfg.profile.active()) {
+      std::cout << ", profile " << cfg.profile.name();
+    }
     std::cout << ")...\n\n";
     const auto r = run_replications(cfg, runs);
 
@@ -238,10 +279,51 @@ int main(int argc, char** argv) {
       }
       csv ? rt.print_csv(std::cout) : rt.print(std::cout);
     }
+    // Transient response: how fast the windowed ratios re-entered the band
+    // after the profile's settling point (the adaptive-vs-static statistic
+    // for nonstationary scenarios).
+    if (!r.settle_mean_tu.empty()) {
+      std::cout << "\nratio re-convergence after " << cfg.profile.name()
+                << " settles at t=" << Table::fmt(cfg.profile.step_time(), 0)
+                << " tu (band +-"
+                << Table::fmt(cfg.converge_tol * 100.0, 0) << "%):\n";
+      Table ct({"class", "settled runs", "mean settle tu", "p75 settle tu"});
+      for (std::size_t j = 0; j < r.settle_mean_tu.size(); ++j) {
+        ct.add_row({std::to_string(j + 2),
+                    Table::fmt(r.settle_rate[j] * 100.0, 0) + "%",
+                    Table::fmt(r.settle_mean_tu[j], 0),
+                    Table::fmt(r.settle_p75_tu[j], 0)});
+      }
+      csv ? ct.print_csv(std::cout) : ct.print(std::cout);
+    }
+
     std::cout << "\nsystem slowdown: simulated="
               << Table::fmt(r.system_slowdown, 3)
               << " expected=" << Table::fmt(r.expected_system, 3)
               << "   completions=" << r.completed_total << "\n";
+
+    if (check_converge_tu >= 0.0) {
+      if (r.settle_mean_tu.empty()) {
+        std::cerr << "error: --check-converge needs a --profile with a "
+                     "settling point (ramp or spike) and >= 2 classes\n";
+        return 2;
+      }
+      // The documented contract: 75% of runs re-entered the band within the
+      // bound, i.e. the p75 settle time (never-settled = infinite) is under
+      // it.  A mean-based check would let fast runs mask a slow tail.
+      for (std::size_t j = 0; j < r.settle_p75_tu.size(); ++j) {
+        if (!(r.settle_p75_tu[j] <= check_converge_tu)) {
+          std::cerr << "CONVERGENCE CHECK FAILED: class " << j + 2
+                    << " settled in " << Table::fmt(r.settle_rate[j] * 100, 0)
+                    << "% of runs, p75 "
+                    << Table::fmt(r.settle_p75_tu[j], 0) << " tu (need >=75%"
+                    << " within " << check_converge_tu << " tu)\n";
+          return 1;
+        }
+      }
+      std::cout << "convergence check passed (<= " << check_converge_tu
+                << " tu in >= 75% of runs)\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

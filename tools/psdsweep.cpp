@@ -36,6 +36,12 @@ grid axes (comma-separated; every axis defaults to one base value):
   --rate-changes R1,R2     rescale | finish
   --nodes N1,N2,...        cluster sizes (1 = single server)
   --policies P1,P2,...     random | rr | lwl | sita
+  --profiles S1;S2;...     ';'-separated nonstationary load profiles, times
+                           in tu (e.g. 'none;spike:30000,5000,2' compares the
+                           stationary control against a flash crowd)
+
+base workload (not an axis):
+  --arrivals SPEC          poisson | det | mmpp:burst[,sojourn[,duty]]
 
 protocol / execution:
   --runs N                 replications per point              (default 8)
@@ -117,6 +123,17 @@ void apply_option(Options& o, const std::string& key,
     for (const auto& item : cli::split(value, ',')) {
       o.grid.cluster_policies.push_back(cli::parse_assignment(opt, item));
     }
+  } else if (key == "profiles") {
+    o.grid.profiles.clear();
+    for (const auto& item : cli::split(value, ';')) {
+      o.grid.profiles.push_back(cli::parse_profile(opt, item));
+    }
+  } else if (key == "arrivals") {
+    const ArrivalSpec a = cli::parse_arrival_spec(opt, value);
+    o.grid.base.arrivals = a.kind;
+    o.grid.base.burstiness = a.burstiness;
+    o.grid.base.mmpp_sojourn = a.sojourn;
+    o.grid.base.mmpp_duty = a.duty;
   } else if (key == "runs") {
     o.campaign.runs = static_cast<std::size_t>(
         cli::parse_uint(opt, value, "--runs 8"));
