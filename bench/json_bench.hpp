@@ -4,14 +4,20 @@
 // compiler cannot elide, after a warmup pass that faults in caches and
 // brings vectors to their steady-state capacity.
 //
-// Results append as one JSON object per line to a records file (JSONL —
-// trivially machine-readable, and append-mode means the event-queue and
-// simulator binaries can share BENCH_event_core.json without a merge step).
+// Results land as one JSON object per line in a records file (JSONL —
+// trivially machine-readable, and several binaries can share one file
+// without a merge step).  A record REPLACES any earlier record with the
+// same (suite, bench, impl) key — re-running a bench refreshes its line in
+// place instead of appending a duplicate (the committed baselines stay
+// deduplicated by construction; bench_gate.py's last-wins keying remains
+// correct either way).  The rewrite goes through a temp file + rename so a
+// crash mid-write never truncates the shared records file.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -62,8 +68,23 @@ inline std::string json_num(double v) {
   return os.str();
 }
 
+/// Value of a string field in a rendered JSONL record line, or "" when the
+/// field is absent.  Enough JSON for the records this header itself writes
+/// (keys/values without escaped quotes).
+inline std::string record_field(const std::string& line,
+                                const std::string& field) {
+  const std::string needle = "\"" + field + "\":\"";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const auto start = at + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
 /// One benchmark record; `extra` is pre-rendered JSON key/values, e.g.
-/// "\"impl\":\"pooled\",\"backlog\":4096".
+/// "\"impl\":\"pooled\",\"backlog\":4096".  Replaces any existing record
+/// with the same (suite, bench, impl); all other lines are preserved.
 inline void emit_record(const std::string& path, const std::string& suite,
                         const std::string& bench, const std::string& extra,
                         double ns_per_op, std::uint64_t iters) {
@@ -72,15 +93,41 @@ inline void emit_record(const std::string& path, const std::string& suite,
   if (!extra.empty()) os << ',' << extra;
   os << ",\"ns_per_op\":" << json_num(ns_per_op)
      << ",\"ops_per_sec\":" << json_num(1e9 / ns_per_op)
-     << ",\"iters\":" << iters << "}\n";
-  std::ofstream out(path, std::ios::app);
-  if (out) {
-    out << os.str();
+     << ",\"iters\":" << iters << "}";
+  const std::string line = os.str();
+  const std::string impl = record_field(line, "impl");
+
+  std::string kept;  // every line whose key differs from the new record's
+  {
+    std::ifstream in(path);
+    std::string old;
+    while (std::getline(in, old)) {
+      if (old.empty()) continue;
+      if (record_field(old, "suite") == suite &&
+          record_field(old, "bench") == bench &&
+          record_field(old, "impl") == impl) {
+        continue;  // superseded
+      }
+      kept += old;
+      kept += '\n';
+    }
   }
-  if (!out) {
-    std::cerr << "warning: could not append record to " << path << '\n';
+
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      out << kept << line << '\n';
+      out.flush();
+      ok = static_cast<bool>(out);
+    }
   }
-  std::cout << os.str();
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::cerr << "warning: could not write record to " << path << '\n';
+  }
+  std::cout << line << '\n';
 }
 
 }  // namespace psd::bench

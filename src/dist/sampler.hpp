@@ -302,6 +302,14 @@ class MixtureSampler {
   explicit MixtureSampler(std::vector<MixtureComponent> components);
 
   double sample(Rng& rng) const;  // inline below (needs SamplerVariant)
+  /// Batched draw with the component pick hoisted out of the per-draw
+  /// dispatch: alias-pick a block of components first, then draw each
+  /// component's positions in one grouped pass — one inner variant dispatch
+  /// per component per block instead of one per sample.  Consumes the rng
+  /// stream in (picks..., component-0 draws..., component-1 draws...) order
+  /// per block, which differs from n repeated sample() calls; scalar
+  /// sample() is unchanged.
+  void sample_n(Rng& rng, double* out, std::size_t n) const;
   double mean() const;
   double second_moment() const;
   double mean_inverse() const;
@@ -341,10 +349,16 @@ class SamplerVariant {
   }
 
   /// Batch draw: one dispatch for n samples — the generator refill path.
+  /// Alternatives with their own sample_n (the mixture's alias-pick-then-
+  /// grouped-draws block) take it; the rest loop their inlined sample().
   void sample_n(Rng& rng, double* out, std::size_t n) const {
     std::visit(
         [&](const auto& s) {
-          for (std::size_t i = 0; i < n; ++i) out[i] = s.sample(rng);
+          if constexpr (requires { s.sample_n(rng, out, n); }) {
+            s.sample_n(rng, out, n);
+          } else {
+            for (std::size_t i = 0; i < n; ++i) out[i] = s.sample(rng);
+          }
         },
         alt_);
   }
@@ -415,6 +429,30 @@ struct MixtureSampler::Data {
 inline double MixtureSampler::sample(Rng& rng) const {
   const Data& d = *data_;
   return d.comps[d.alias.pick(rng)].dist.sample(rng);
+}
+
+inline void MixtureSampler::sample_n(Rng& rng, double* out,
+                                     std::size_t n) const {
+  const Data& d = *data_;
+  const std::size_t num_comps = d.comps.size();
+  // Fixed-size pick block keeps this allocation-free at any n (the steady
+  // state of a campaign must not touch the heap — see
+  // SteadyStateSamplingIsAllocationFree).
+  constexpr std::size_t kBlock = 256;
+  std::uint32_t pick[kBlock];
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t m = std::min(kBlock, n - base);
+    for (std::size_t i = 0; i < m; ++i) {
+      pick[i] = static_cast<std::uint32_t>(d.alias.pick(rng));
+    }
+    for (std::size_t c = 0; c < num_comps; ++c) {
+      d.comps[c].dist.visit([&](const auto& s) {
+        for (std::size_t i = 0; i < m; ++i) {
+          if (pick[i] == c) out[base + i] = s.sample(rng);
+        }
+      });
+    }
+  }
 }
 
 /// Instantiate the sampler a DistSpec describes (the variant twin of

@@ -15,6 +15,8 @@
 #include "common/error.hpp"
 #include "core/psd_allocation.hpp"
 #include "core/psd_rate_allocator.hpp"
+#include "experiment/lockstep.hpp"
+#include "experiment/scenario_build.hpp"
 #include "sched/lottery.hpp"
 #include "sched/sfq.hpp"
 #include "server/server.hpp"
@@ -24,10 +26,10 @@
 
 namespace psd {
 
-namespace {
+namespace detail {
 
-std::unique_ptr<SchedulerBackend> make_backend(const ScenarioConfig& cfg,
-                                               double unit) {
+std::unique_ptr<SchedulerBackend> make_scenario_backend(
+    const ScenarioConfig& cfg, double unit) {
   switch (cfg.backend) {
     case BackendKind::kDedicated:
       return std::make_unique<DedicatedRateBackend>(cfg.rate_change);
@@ -47,8 +49,8 @@ std::unique_ptr<SchedulerBackend> make_backend(const ScenarioConfig& cfg,
   PSD_UNREACHABLE("unknown backend kind");
 }
 
-std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
-                                              double mean_size) {
+std::unique_ptr<RateAllocator> make_scenario_allocator(
+    const ScenarioConfig& cfg, double mean_size) {
   PsdAllocatorConfig pc;
   pc.delta = cfg.delta;
   pc.capacity = cfg.capacity;
@@ -72,9 +74,7 @@ std::unique_ptr<RateAllocator> make_allocator(const ScenarioConfig& cfg,
   PSD_UNREACHABLE("unknown allocator kind");
 }
 
-/// One class's arrival process in raw simulator time: the configured
-/// stationary shape, modulated by the scenario profile when one is set
-/// (profile times are paper tu, so scale them by `unit` first).
+// Doc comments for the detail functions live in scenario_build.hpp.
 ArrivalVariant scenario_arrivals(const ScenarioConfig& cfg, double lambda,
                                  double unit) {
   if (!cfg.profile.active()) {
@@ -85,8 +85,6 @@ ArrivalVariant scenario_arrivals(const ScenarioConfig& cfg, double lambda,
                        cfg.mmpp_duty, cfg.profile.scaled_time(unit));
 }
 
-/// Per-class settle times (tu) from the per-window slowdown series, when
-/// the profile defines a settling point inside the run.
 std::vector<double> settle_times(const ScenarioConfig& cfg,
                                  const RunResult& r) {
   const double step_tu = cfg.profile.step_time();
@@ -119,6 +117,16 @@ ServerConfig node_server_config(const ScenarioConfig& cfg, double unit) {
   sc.metrics.record_to = cfg.record_to_tu * unit;
   return sc;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::make_scenario_allocator;
+using detail::make_scenario_backend;
+using detail::node_server_config;
+using detail::scenario_arrivals;
+using detail::settle_times;
 
 /// Per-class statistics from one server's metrics into `out`, weighting
 /// means by completion counts so multi-node aggregation is exact.  Window
@@ -170,8 +178,9 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
 
   Cluster cluster(
       sim, nodes, node_server_config(cfg, unit),
-      [&] { return make_backend(cfg, unit); },
-      [&] { return make_allocator(cfg, dist.mean()); }, cfg.cluster_policy,
+      [&] { return make_scenario_backend(cfg, unit); },
+      [&] { return make_scenario_allocator(cfg, dist.mean()); },
+      cfg.cluster_policy,
       run_rng.fork(1000), std::move(cutoffs));
   cluster.start(0.0);
 
@@ -228,8 +237,10 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
   Rng master(cfg.seed);
   Rng run_rng = master.fork(run_index);
 
-  Server server(sim, node_server_config(cfg, unit), make_backend(cfg, unit),
-                make_allocator(cfg, dist.mean()), run_rng.fork(1000));
+  Server server(sim, node_server_config(cfg, unit),
+                make_scenario_backend(cfg, unit),
+                make_scenario_allocator(cfg, dist.mean()),
+                run_rng.fork(1000));
   server.start(0.0);
 
   // --- arrivals: generators (one per class, independent streams), with an
@@ -442,6 +453,47 @@ ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
     for (auto& f : futs) f.get();
   } else {
     for (std::size_t r = 0; r < runs; ++r) results[r] = run_scenario(cfg, r);
+  }
+  return aggregate_replications(cfg, results);
+}
+
+ReplicatedResult run_replications(const ScenarioConfig& cfg, std::size_t runs,
+                                  bool parallel,
+                                  const ReplicationPlan& plan) {
+  PSD_REQUIRE(runs > 0, "need at least one run");
+  if (plan.mode == ReplicationMode::kPerTask || plan.lanes <= 1) {
+    return run_replications(cfg, runs, parallel);
+  }
+  const std::size_t lanes = plan.lanes;
+  const std::size_t groups = (runs + lanes - 1) / lanes;
+  std::vector<RunResult> results(runs);
+  auto run_group = [&](std::size_t g) {
+    const std::size_t first = g * lanes;
+    const std::size_t count = std::min(lanes, runs - first);
+    auto group = run_scenario_lanes(cfg, first, count);
+    for (std::size_t j = 0; j < count; ++j) {
+      results[first + j] = std::move(group[j]);
+    }
+  };
+
+  if (parallel && groups > 1) {
+    const std::size_t workers = std::min<std::size_t>(
+        groups, std::max(1u, std::thread::hardware_concurrency()));
+    std::vector<std::future<void>> futs;
+    futs.reserve(workers);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t w = 0; w < workers; ++w) {
+      futs.push_back(std::async(std::launch::async, [&] {
+        for (;;) {
+          const std::size_t g = next.fetch_add(1);
+          if (g >= groups) return;
+          run_group(g);
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+  } else {
+    for (std::size_t g = 0; g < groups; ++g) run_group(g);
   }
   return aggregate_replications(cfg, results);
 }

@@ -65,6 +65,7 @@
 #include "baselines/static_allocators.hpp"
 
 #include "experiment/figures.hpp"
+#include "experiment/lockstep.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
 

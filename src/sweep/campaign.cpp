@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "experiment/lockstep.hpp"
 #include "sweep/jsonl.hpp"
 
 namespace psd {
@@ -185,15 +186,33 @@ CampaignResult run_campaign(
     state[i].reps.resize(options.runs);
     state[i].remaining.store(options.runs, std::memory_order_relaxed);
 
-    for (std::size_t r = 0; r < options.runs; ++r) {
-      pool->submit([&, i, r] {
+    // Task granularity: one replication per task (per-task mode), or one
+    // lane-group of up to `lockstep_lanes` replications per task (lockstep
+    // mode; the last group of a point takes the ragged tail).  Group tasks
+    // land their lanes in the same reps slots a per-task campaign would
+    // fill, so aggregation — and with it every record byte — is unchanged.
+    const std::size_t group =
+        options.replication_mode == ReplicationMode::kLockstep
+            ? std::max<std::size_t>(std::size_t{1}, options.lockstep_lanes)
+            : std::size_t{1};
+
+    for (std::size_t r0 = 0; r0 < options.runs; r0 += group) {
+      const std::size_t count = std::min(group, options.runs - r0);
+      pool->submit([&, i, r0, count] {
         PointState& st = state[i];
         PointOutcome& outcome = out.points[i];
         const auto rep0 = std::chrono::steady_clock::now();
         try {
           ScenarioConfig cfg = outcome.point.cfg;
           cfg.seed = outcome.point_seed;
-          st.reps[r] = run_scenario(cfg, r);
+          if (count == 1 && group == 1) {
+            st.reps[r0] = run_scenario(cfg, r0);
+          } else {
+            auto lanes = run_scenario_lanes(cfg, r0, count);
+            for (std::size_t j = 0; j < count; ++j) {
+              st.reps[r0 + j] = std::move(lanes[j]);
+            }
+          }
         } catch (const std::exception& e) {
           std::lock_guard<std::mutex> lk(emit_m);
           if (st.error.empty()) {
@@ -206,7 +225,8 @@ CampaignResult run_campaign(
                     std::chrono::steady_clock::now() - rep0)
                     .count()),
             std::memory_order_relaxed);
-        if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (st.remaining.fetch_sub(count, std::memory_order_acq_rel) ==
+            count) {
           // Last replication of this point: aggregate + render + release.
           outcome.wall_ms =
               static_cast<double>(st.rep_ns.load(std::memory_order_relaxed)) *

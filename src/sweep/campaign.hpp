@@ -33,6 +33,14 @@ struct CampaignOptions {
   /// master seed.  false: truncate jsonl_path and run every point.
   bool resume = true;
   bool timing = false;              ///< Add wall_ms (breaks byte-identity).
+  /// Execution mode (experiment/runner.hpp).  kLockstep schedules each
+  /// point's replications as lane-groups of `lockstep_lanes` — one pool
+  /// task per group, run on the lane-stepped batch kernel where the config
+  /// is eligible (per-lane path otherwise).  Pure execution option: keys,
+  /// derived seeds, resume identity and JSONL bytes are identical across
+  /// modes (lockstep lanes are bitwise-equal to per-task replications).
+  ReplicationMode replication_mode = ReplicationMode::kPerTask;
+  std::size_t lockstep_lanes = 8;   ///< Lane-group width K for kLockstep.
 };
 
 struct PointOutcome {

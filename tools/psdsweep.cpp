@@ -45,6 +45,10 @@ base workload (not an axis):
 
 protocol / execution:
   --runs N                 replications per point              (default 8)
+  --lockstep K             run replications in lane-groups of K on the
+                           lockstep batch kernel (same numbers and JSONL
+                           bytes as the default per-task mode, just faster;
+                           0 = per-task)                       (default 0)
   --seed N                 campaign master seed                (default 42)
   --measure TU             measurement length per replication  (default 60000)
   --warmup TU              warmup per replication              (default 10000)
@@ -137,6 +141,12 @@ void apply_option(Options& o, const std::string& key,
   } else if (key == "runs") {
     o.campaign.runs = static_cast<std::size_t>(
         cli::parse_uint(opt, value, "--runs 8"));
+  } else if (key == "lockstep") {
+    const std::size_t lanes = static_cast<std::size_t>(
+        cli::parse_uint(opt, value, "--lockstep 8"));
+    o.campaign.replication_mode =
+        lanes > 1 ? ReplicationMode::kLockstep : ReplicationMode::kPerTask;
+    o.campaign.lockstep_lanes = lanes;
   } else if (key == "seed") {
     o.campaign.master_seed = cli::parse_uint(opt, value, "--seed 42");
   } else if (key == "measure") {
