@@ -3,12 +3,67 @@
 // inverse-moment has no elementary closed form).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 namespace psd {
+
+namespace detail {
+
+/// log2(1 + i/128) at compile time: ln(y) = 2*atanh((y-1)/(y+1)) by series
+/// (z <= 1/3 on [1,2], so 20 odd terms are far past double precision),
+/// scaled by 1/ln2.  Being constexpr keeps the interpolation table in
+/// .rodata with no magic-static guard on the fast_log2 hot path.
+constexpr double log2_of_1p(int i) {
+  const double y = 1.0 + static_cast<double>(i) / 128.0;
+  const double z = (y - 1.0) / (y + 1.0);
+  const double z2 = z * z;
+  double term = z;
+  double sum = 0.0;
+  for (int k = 1; k < 41; k += 2) {
+    sum += term / static_cast<double>(k);
+    term *= z2;
+  }
+  constexpr double kInvLn2 = 1.4426950408889634073599246810019;
+  return 2.0 * sum * kInvLn2;
+}
+
+inline constexpr std::array<double, 129> kLog2Table = [] {
+  std::array<double, 129> t{};
+  for (int i = 0; i <= 128; ++i) {
+    t[static_cast<std::size_t>(i)] = log2_of_1p(i);
+  }
+  return t;
+}();
+
+}  // namespace detail
+
+/// Fast approximate log2 for positive normal doubles: the exponent comes
+/// straight from the IEEE-754 bits and log2 of the mantissa from a
+/// 128-segment linear interpolation (max absolute error ~1.1e-5).  Built
+/// for histogram binning on hot paths, where bin widths are orders of
+/// magnitude wider than the error — not for analysis.  Zero, negative,
+/// subnormal, and non-finite inputs fall back to std::log2, so the result
+/// is always a deterministic pure function of x.
+inline double fast_log2(double x) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const std::uint64_t exp_field = (bits >> 52) & 0x7FFu;
+  if ((bits >> 63) != 0 || exp_field == 0 || exp_field == 0x7FFu) {
+    return std::log2(x);
+  }
+  const auto& table = detail::kLog2Table;
+  const std::uint64_t mant = bits & 0xFFFFFFFFFFFFFull;
+  const std::size_t idx = static_cast<std::size_t>(mant >> 45);  // top 7 bits
+  const double frac =
+      static_cast<double>(mant & ((1ull << 45) - 1)) * (1.0 / (1ull << 45));
+  const double mlog = table[idx] + (table[idx + 1] - table[idx]) * frac;
+  return static_cast<double>(static_cast<int>(exp_field) - 1023) + mlog;
+}
 
 /// Kahan–Babuška compensated accumulator; O(1) state, ~exact for long sums.
 class KahanSum {

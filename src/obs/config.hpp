@@ -1,0 +1,54 @@
+// Observability configuration shared by the rt runtime and its tools.
+//
+// Telemetry is compiled in everywhere but OFF by default: with
+// `enabled == false` the shard hot paths skip every histogram update behind
+// one predictable branch, no exporter exists, and reports are byte-identical
+// to a build that never heard of src/obs.  Flipping `enabled` turns on the
+// per-shard histogram/telemetry snapshots and the controller decision trace;
+// `stats_path` / `metrics_port` additionally start the streaming JSONL
+// exporter and the Prometheus endpoint; `profile` arms the self-profiling
+// timers (obs/prof.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace psd::obs {
+
+struct ObsConfig {
+  /// Master switch for telemetry collection (histograms, telemetry
+  /// snapshots, controller decision trace).
+  bool enabled = false;
+
+  /// Exporter sampling period in (wall or manual) seconds.
+  double stats_interval = 0.5;
+
+  /// JSONL time-series destination; empty = no stream.  Implies `enabled`
+  /// via active() consumers (the tools set `enabled` when they set this).
+  std::string stats_path;
+
+  /// TCP port for the blocking GET /metrics endpoint; 0 = no HTTP server.
+  /// Only meaningful for threaded runs (a ManualClock run has no threads to
+  /// serve from).
+  int metrics_port = 0;
+
+  /// Record every Nth event per class into the live/report histograms;
+  /// counters stay exact.  1 = record everything (exact percentiles,
+  /// measurable per-request cost); the default keeps telemetry within a
+  /// few percent of the telemetry-off throughput.
+  unsigned sample_period = 32;
+
+  /// Arm the scoped rdtsc/steady-clock self-profiling timers.
+  bool profile = false;
+
+  /// Bounded length of the controller decision-trace ring.
+  std::size_t trace_capacity = 512;
+
+  bool active() const { return enabled; }
+  /// True when the runtime should construct a StatsExporter at all.
+  bool wants_exporter() const {
+    return enabled && (!stats_path.empty() || metrics_port > 0);
+  }
+};
+
+}  // namespace psd::obs

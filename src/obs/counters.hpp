@@ -1,0 +1,122 @@
+// Lock-free telemetry primitives: cache-line-aligned counters and a POD
+// log2-bucket histogram.
+//
+// These are the building blocks of the live observability layer (src/obs):
+// a Counter is a single relaxed atomic on its own cache line — safe for any
+// number of concurrent writers (the shard ingress drop path, the campaign
+// engine's replication ticker) with no false sharing between adjacent
+// counters — and Log2Hist is a trivially-copyable histogram whose buckets
+// are powers of two, cheap enough to update per completion on the shard
+// thread and small enough to publish wholesale through the existing seqlock
+// snapshot path (rt/seqlock.hpp).
+//
+// Log2Hist deliberately trades bin resolution for constant layout: every
+// instance has the same bucket grid, so merging across shards (or across
+// samples) is plain element-wise addition with no layout negotiation, and
+// the exporter can render Prometheus cumulative buckets straight from the
+// array.  For fine-grained post-run percentiles the report path uses
+// stats/histogram.hpp (20 bins/decade, see LogHistogram::merge).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace psd::obs {
+
+/// Monotone event counter on its own cache line.  Any thread may add();
+/// reads are relaxed (telemetry tolerates momentary staleness, never tears).
+struct alignas(64) Counter {
+  std::atomic<std::uint64_t> value{0};
+
+  void add(std::uint64_t n = 1) {
+    value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return value.load(std::memory_order_relaxed); }
+};
+
+/// Histogram over powers of two: bucket i counts samples in
+/// [2^(kMinExp+i), 2^(kMinExp+i+1)).  Covers 2^-27 (~7.5 ns as seconds;
+/// slowdowns well below measurable) up to 2^27 (~1.3e8) — everything the
+/// runtime observes (ingress waits, queueing delays, slowdowns) lands
+/// inside, and anything that does not is counted in underflow/overflow so
+/// `count` always equals the number of add() calls.
+///
+/// Single writer, trivially copyable; publish via Seqlock, fold via merge().
+struct Log2Hist {
+  static constexpr int kMinExp = -27;
+  static constexpr int kBuckets = 54;
+
+  std::uint64_t count = 0;
+  std::uint64_t underflow = 0;  ///< x <= 0, NaN, or below 2^kMinExp.
+  std::uint64_t overflow = 0;   ///< x >= 2^(kMinExp+kBuckets).
+  double sum = 0.0;
+  std::uint64_t bucket[kBuckets] = {};
+
+  void add(double x) {
+    ++count;
+    if (!(x > 0.0)) {  // also catches NaN
+      ++underflow;
+      return;
+    }
+    sum += x;
+    // Bucket index straight from the IEEE-754 exponent field (x > 0 here,
+    // so the sign bit is clear): for a normal double the biased exponent
+    // minus 1023 is exactly the frexp exponent minus one.  Subnormals read
+    // as biased 0 and land far below kMinExp (underflow); +inf reads as
+    // 2047 and lands past kBuckets (overflow).  No libm call on this path.
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+    const int idx =
+        static_cast<int>((bits >> 52) & 0x7FFu) - 1023 - kMinExp;
+    if (idx < 0) {
+      ++underflow;
+    } else if (idx >= kBuckets) {
+      ++overflow;
+    } else {
+      ++bucket[idx];
+    }
+  }
+
+  /// Element-wise fold: same fixed grid by construction.
+  void merge(const Log2Hist& other) {
+    count += other.count;
+    underflow += other.underflow;
+    overflow += other.overflow;
+    sum += other.sum;
+    for (int i = 0; i < kBuckets; ++i) bucket[i] += other.bucket[i];
+  }
+
+  static double bucket_lower(int i) {
+    return std::ldexp(1.0, kMinExp + i);
+  }
+  static double bucket_upper(int i) {
+    return std::ldexp(1.0, kMinExp + i + 1);
+  }
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count)
+                     : std::nan("");
+  }
+
+  /// Log-linear interpolated quantile; the underflow mass reads as 0 and
+  /// the overflow mass as the top bucket bound.  NaN when empty.
+  double quantile(double q) const {
+    if (count == 0) return std::nan("");
+    const double target = q * static_cast<double>(count);
+    double cum = static_cast<double>(underflow);
+    if (target <= cum && underflow > 0) return 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const double next = cum + static_cast<double>(bucket[i]);
+      if (target <= next && bucket[i] > 0) {
+        const double frac =
+            (target - cum) / static_cast<double>(bucket[i]);
+        return bucket_lower(i) * std::exp2(frac);
+      }
+      cum = next;
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+};
+
+}  // namespace psd::obs

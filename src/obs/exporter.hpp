@@ -1,0 +1,89 @@
+// Streaming stats exporter: the read side of the obs layer.
+//
+// A StatsExporter borrows the runtime's shards, controller, and load
+// sources and, on each sample(now), scrapes their seqlock snapshots +
+// telemetry + the controller decision trace into one self-describing JSONL
+// line (schema "psd.rt.stats.v1" — field reference in src/obs/README.md).
+// Scraping never blocks the scraped components: every read is a seqlock
+// copy or a relaxed counter load, except the decision trace (a mutex the
+// controller holds for microseconds per tick).
+//
+// Determinism contract: under a ManualClock the runtime drives sample() on
+// a fixed interval grid from step_to(), every timestamp comes from the
+// manual clock, and the (wall-clock) self-profiling block is omitted — so a
+// fixed seed + step sequence yields bit-identical JSONL across repeats
+// (doubles render via json_number's "%.17g").  Threaded runs drive
+// sample() from a dedicated exporter thread instead, and may additionally
+// serve Prometheus text exposition (format 0.0.4) from a minimal blocking
+// HTTP listener: GET /metrics renders a fresh scrape on demand.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "obs/prof.hpp"
+#include "rt/controller.hpp"
+#include "rt/loadgen.hpp"
+#include "rt/shard.hpp"
+
+namespace psd::obs {
+
+class StatsExporter {
+ public:
+  /// All pointers are borrowed and must outlive the exporter.
+  /// `deterministic` marks a ManualClock drive: the self-profiling block
+  /// (wall-clock timings) is then excluded from the stream.
+  StatsExporter(ObsConfig cfg, std::vector<rt::Shard*> shards,
+                rt::Controller* controller,
+                std::vector<rt::LoadSource*> gens, bool deterministic);
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  ~StatsExporter();
+
+  /// True when a JSONL destination is configured (sample() writes a line).
+  bool streaming() const { return out_.is_open(); }
+
+  /// Scrape everything and append one JSONL line stamped `now`.  One caller
+  /// at a time (the deterministic driver or the exporter thread).
+  void sample(double now);
+
+  /// Render a full Prometheus text exposition scrape (any thread).
+  std::string prometheus_text() const;
+
+  /// Start/stop the blocking HTTP listener on cfg.metrics_port (threaded
+  /// runs only; throws on bind failure).  stop_http() is idempotent and
+  /// also runs from the destructor.
+  void start_http();
+  void stop_http();
+
+  std::uint64_t samples() const { return samples_; }
+  const ObsConfig& config() const { return cfg_; }
+
+ private:
+  std::string render_line(double now);
+  void http_loop();
+
+  ObsConfig cfg_;
+  std::vector<rt::Shard*> shards_;
+  rt::Controller* controller_;
+  std::vector<rt::LoadSource*> gens_;
+  bool deterministic_;
+
+  std::ofstream out_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t trace_cursor_ = 0;
+  ProfTable prof_;  ///< Self-timing of sample() itself (kProfExportSample).
+
+  int listen_fd_ = -1;
+  std::thread http_thread_;
+  std::atomic<bool> http_stop_{false};
+};
+
+}  // namespace psd::obs

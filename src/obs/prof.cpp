@@ -1,0 +1,51 @@
+#include "obs/prof.hpp"
+
+#include <thread>
+
+namespace psd::obs {
+
+const char* prof_slot_name(ProfSlot slot) {
+  switch (slot) {
+    case kProfRingPush: return "ring_push";
+    case kProfRingPop: return "ring_pop";
+    case kProfDrain: return "drain";
+    case kProfBucketRelease: return "bucket_release";
+    case kProfPublish: return "publish";
+    case kProfControllerTick: return "controller_tick";
+    case kProfAllocate: return "allocate";
+    case kProfExportSample: return "export_sample";
+    case kProfSlotCount: break;
+  }
+  return "unknown";
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+namespace {
+
+// One short sleep bounded by two (rdtsc, steady_clock) pairs.  10ms keeps
+// the relative error of the sleep jitter under ~1% — profiling numbers are
+// for ranking hot paths, not cycle accounting.
+double calibrate_tsc() {
+  const auto w0 = std::chrono::steady_clock::now();
+  const std::uint64_t t0 = now_ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto w1 = std::chrono::steady_clock::now();
+  const std::uint64_t t1 = now_ticks();
+  const double secs = std::chrono::duration<double>(w1 - w0).count();
+  if (secs <= 0.0 || t1 <= t0) return 1e9;  // defensive: pretend ns clock
+  return static_cast<double>(t1 - t0) / secs;
+}
+
+}  // namespace
+#endif
+
+double ticks_per_second() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const double rate = calibrate_tsc();
+  return rate;
+#else
+  return 1e9;
+#endif
+}
+
+}  // namespace psd::obs

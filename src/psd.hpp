@@ -74,6 +74,11 @@
 #include "sweep/jsonl.hpp"
 #include "sweep/thread_pool.hpp"
 
+#include "obs/config.hpp"
+#include "obs/counters.hpp"
+#include "obs/exporter.hpp"
+#include "obs/prof.hpp"
+
 #include "rt/clock.hpp"
 #include "rt/controller.hpp"
 #include "rt/loadgen.hpp"

@@ -47,6 +47,18 @@ Controller::Controller(ControllerConfig cfg, std::vector<Shard*> shards)
   // Until the first warm tick, every shard runs its initial (equal) split.
   rates_.assign(cfg_.delta.size(),
                 cfg_.total_capacity / static_cast<double>(cfg_.delta.size()));
+  prof_.set_enabled(cfg_.profile);
+}
+
+std::vector<ControllerTraceEntry> Controller::trace_since(
+    std::uint64_t* cursor) const {
+  std::vector<ControllerTraceEntry> out;
+  std::lock_guard<std::mutex> lock(trace_m_);
+  for (const auto& e : trace_) {
+    if (e.tick > *cursor) out.push_back(e);
+  }
+  if (!out.empty()) *cursor = out.back().tick;
+  return out;
 }
 
 std::string Controller::allocator_name() const {
@@ -54,6 +66,7 @@ std::string Controller::allocator_name() const {
 }
 
 void Controller::tick(Time now) {
+  obs::ScopedProfTimer prof_tick(&prof_, obs::kProfControllerTick);
   const std::size_t n = cfg_.delta.size();
   std::vector<double> lambda(n, 0.0);
   std::vector<double> sd_sum(n, 0.0);
@@ -85,18 +98,40 @@ void Controller::tick(Time now) {
   }
 
   ++ticks_;
+  ControllerTraceEntry trace_entry;
+  if (cfg_.trace) {
+    trace_entry.time = now;
+    trace_entry.tick = ticks_;
+    trace_entry.fresh_window = fresh_window;
+    trace_entry.num_classes = static_cast<std::uint32_t>(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      trace_entry.lambda[c] = lambda[c];
+      trace_entry.window_slowdown[c] = mean_sd[c];
+      trace_entry.rate_in[c] = rates_[c];
+    }
+  }
   const double total =
       std::accumulate(lambda.begin(), lambda.end(), 0.0);
   // Cold start (estimators have not closed a window yet) keeps the initial
   // equal split; eq. 17 needs at least one positive lambda.
   if (allocator_ != nullptr && total > 0.0) {
     if (fresh_window) allocator_->observe_slowdowns(mean_sd);
-    rates_ = allocator_->allocate(lambda);
+    {
+      obs::ScopedProfTimer prof_alloc(&prof_, obs::kProfAllocate);
+      rates_ = allocator_->allocate(lambda);
+    }
     ++allocations_;
+    trace_entry.reallocated = true;
     const double inv_shards = 1.0 / static_cast<double>(shards_.size());
     std::vector<double> slice(n);
     for (std::size_t c = 0; c < n; ++c) slice[c] = rates_[c] * inv_shards;
     for (Shard* shard : shards_) shard->apply_rates(slice);
+  }
+  if (cfg_.trace) {
+    for (std::size_t c = 0; c < n; ++c) trace_entry.rate_out[c] = rates_[c];
+    std::lock_guard<std::mutex> lock(trace_m_);
+    trace_.push_back(trace_entry);
+    while (trace_.size() > cfg_.trace_capacity) trace_.pop_front();
   }
 
   ControllerSnapshot s;

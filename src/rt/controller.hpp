@@ -14,7 +14,9 @@
 // periodic thread, deterministic tests call it directly under a ManualClock.
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/adaptive_psd.hpp"
@@ -31,6 +33,27 @@ struct ControllerConfig {
   AdaptiveConfig adaptive;
   double rho_max = 0.98;
   double min_residual_share = 1e-3;
+  /// Record a per-tick decision trace (obs layer); bounded ring below.
+  bool trace = false;
+  std::size_t trace_capacity = 512;
+  /// Arm the tick/allocate self-profiling timers.
+  bool profile = false;
+};
+
+/// One reallocation decision: everything the allocator saw and produced.
+/// With these, convergence and rebalance transients replay offline — the
+/// exporter streams the ring into the stats JSONL.
+struct ControllerTraceEntry {
+  double time = 0.0;
+  std::uint64_t tick = 0;       ///< Monotone; doubles as the trace cursor.
+  bool reallocated = false;     ///< False on cold-start ticks (no lambda).
+  bool fresh_window = false;    ///< Slowdown feedback was integrated.
+  std::uint32_t num_classes = 0;
+  double lambda[kMaxRtClasses] = {};           ///< Aggregated arrivals/sec.
+  double window_slowdown[kMaxRtClasses] = {};  ///< Cross-shard window mean.
+  double rate_in[kMaxRtClasses] = {};          ///< Rates before allocate().
+  double rate_out[kMaxRtClasses] = {};         ///< Rates after (== in when
+                                               ///< not reallocated).
 };
 
 struct ControllerSnapshot {
@@ -56,7 +79,15 @@ class Controller {
   /// Any thread.
   ControllerSnapshot snapshot() const { return snap_.read(); }
 
+  /// Drain trace entries with tick > `*cursor` (any thread; the ring is
+  /// mutex-guarded — tick() appends at ~20 Hz, readers poll slower).
+  /// Advances `*cursor` to the newest tick returned.  Empty unless
+  /// cfg.trace.
+  std::vector<ControllerTraceEntry> trace_since(std::uint64_t* cursor) const;
+
   std::string allocator_name() const;
+
+  obs::ProfTable& prof() { return prof_; }
 
  private:
   ControllerConfig cfg_;
@@ -69,6 +100,13 @@ class Controller {
   std::uint64_t ticks_ = 0;
   std::uint64_t allocations_ = 0;
   Seqlock<ControllerSnapshot> snap_;
+
+  // Decision trace: bounded ring, oldest entries evicted.  A mutex (not a
+  // seqlock) because the payload is a variable-length backlog and the
+  // exchange is off every hot path.
+  mutable std::mutex trace_m_;
+  std::deque<ControllerTraceEntry> trace_;
+  obs::ProfTable prof_;
 };
 
 }  // namespace psd::rt

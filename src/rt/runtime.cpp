@@ -93,6 +93,13 @@ void Runtime::build_shards(double shard_capacity) {
   sc.warmup = cfg_.warmup;
   sc.bucket_burst_seconds = cfg_.bucket_burst_seconds;
   sc.ingress_capacity = cfg_.ingress_capacity;
+  sc.telemetry = cfg_.obs.enabled;
+  sc.profile = cfg_.obs.profile;
+  sc.telemetry_sample_period = cfg_.obs.sample_period;
+  // Publish at least as often as the exporter samples, so a fast
+  // --stats-interval never reads a stale snapshot twice.
+  sc.telemetry_publish_interval =
+      std::min(sc.telemetry_publish_interval, cfg_.obs.stats_interval);
   shards_.reserve(cfg_.shards);
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(sc, master.fork(9000 + i)));
@@ -120,8 +127,22 @@ SamplerVariant Runtime::init_topology() {
   cc.adaptive = cfg_.adaptive;
   cc.rho_max = cfg_.rho_max;
   cc.min_residual_share = cfg_.min_residual_share;
+  cc.trace = cfg_.obs.enabled;
+  cc.trace_capacity = cfg_.obs.trace_capacity;
+  cc.profile = cfg_.obs.profile;
   controller_ = std::make_unique<Controller>(std::move(cc), shard_ptrs());
   return sampler;
+}
+
+void Runtime::init_exporter() {
+  if (!cfg_.obs.wants_exporter()) return;
+  std::vector<LoadSource*> gen_ptrs;
+  gen_ptrs.reserve(gens_.size());
+  for (auto& g : gens_) gen_ptrs.push_back(g.get());
+  exporter_ = std::make_unique<obs::StatsExporter>(
+      cfg_.obs, shard_ptrs(), controller_.get(), std::move(gen_ptrs),
+      clock_.is_manual());
+  next_sample_ = cfg_.obs.stats_interval;
 }
 
 Runtime::Runtime(RtConfig cfg, ClockVariant clock)
@@ -156,6 +177,7 @@ Runtime::Runtime(RtConfig cfg, ClockVariant clock)
         static_cast<std::uint32_t>(g), master.fork(100 + g),
         std::move(classes), shard_ptrs(), 0.0));
   }
+  init_exporter();
 }
 
 Runtime::Runtime(RtConfig cfg, ClockVariant clock, Trace trace,
@@ -166,6 +188,7 @@ Runtime::Runtime(RtConfig cfg, ClockVariant clock, Trace trace,
   init_topology();
   gens_.push_back(std::make_unique<TraceLoadGen>(
       std::move(trace), time_scale, cfg_.num_classes(), shard_ptrs()));
+  init_exporter();
 }
 
 std::uint64_t Runtime::total_outstanding() const {
@@ -187,6 +210,14 @@ void Runtime::step_to(Time t) {
   while (next_tick_ <= t) {
     controller_->tick(next_tick_);
     next_tick_ += cfg_.controller_period;
+  }
+  // Deterministic exporter drive: samples land on the fixed interval grid
+  // with manual-clock timestamps, so repeated runs emit identical bytes.
+  if (exporter_ != nullptr && exporter_->streaming()) {
+    while (next_sample_ <= t) {
+      exporter_->sample(next_sample_);
+      next_sample_ += cfg_.obs.stats_interval;
+    }
   }
 }
 
@@ -266,6 +297,29 @@ RtReport Runtime::run() {
       }
     }
   });
+  if (exporter_ != nullptr) {
+    exporter_->start_http();
+    if (exporter_->streaming()) {
+      threads.emplace_back([this, &stop_rest] {
+        Time next = next_sample_;
+        while (!stop_rest.load(std::memory_order_acquire)) {
+          const Time now = clock_.now();
+          if (now >= next) {
+            exporter_->sample(now);
+            next = now + cfg_.obs.stats_interval;
+          }
+          const double dt = next - clock_.now();
+          if (dt > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(std::min(dt, 1e-2)));
+          }
+        }
+        // One closing sample so short runs always stream at least one line
+        // covering the full workload.
+        exporter_->sample(clock_.now());
+      });
+    }
+  }
 
   // Let the workload run its course.
   while (clock_.now() < cfg_.duration) {
@@ -283,6 +337,7 @@ RtReport Runtime::run() {
   }
   stop_rest.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  if (exporter_ != nullptr) exporter_->stop_http();
 
   run_elapsed_ = clock_.now();
   finish();
@@ -313,6 +368,7 @@ RtReport Runtime::report() const {
                        static_cast<double>(snap.accepted[c]);
         wait_n[c] += snap.accepted[c];
       }
+      r.cls[c].dropped += shard->dropped(static_cast<ClassId>(c));
     }
     r.dropped += shard->dropped();
     r.completed_all += shard->completed_all();
@@ -344,6 +400,23 @@ RtReport Runtime::report() const {
     }
   }
   r.max_ratio_error = worst;
+
+  // Telemetry-only extras: fold the per-shard post-warmup slowdown
+  // histograms (identical layout by construction) into per-class
+  // percentiles.  Reads shard-thread-private state, so after finish() only.
+  if (finalized_ && cfg_.obs.enabled) {
+    for (std::size_t c = 0; c < n; ++c) {
+      LogHistogram merged = shards_[0]->slowdown_hists()[c];
+      for (std::size_t i = 1; i < shards_.size(); ++i) {
+        merged.merge(shards_[i]->slowdown_hists()[c]);
+      }
+      if (merged.count() > 0) {
+        r.cls[c].slowdown_p50 = merged.quantile(0.50);
+        r.cls[c].slowdown_p95 = merged.quantile(0.95);
+        r.cls[c].slowdown_p99 = merged.quantile(0.99);
+      }
+    }
+  }
 
   // Windowed medians: pool per-window slowdown ratios (class c vs class 0,
   // index-aligned — every shard rolls the same warmup/window grid) across

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "dist/factory.hpp"
+#include "obs/config.hpp"
+#include "obs/exporter.hpp"
 #include "rt/clock.hpp"
 #include "rt/controller.hpp"
 #include "rt/loadgen.hpp"
@@ -68,6 +70,9 @@ struct RtConfig {
   std::size_t ingress_capacity = 1 << 14;
   std::uint64_t seed = 0x5EEDBA5EULL;
 
+  // --- observability (src/obs; off by default, zero behavior change) ---
+  obs::ObsConfig obs;
+
   std::size_t num_classes() const { return delta.size(); }
   /// Work units per second per shard.
   double shard_capacity() const;
@@ -79,7 +84,14 @@ struct RtConfig {
 struct RtClassReport {
   double delta = 0.0;
   std::uint64_t completed = 0;   ///< Post-warmup completions.
+  std::uint64_t dropped = 0;     ///< Ingress-full rejections (all shards).
   double mean_slowdown = kNaN;
+  /// Post-warmup slowdown percentiles, folded across shards from the
+  /// per-shard LogHistograms (stats/histogram.hpp merge()).  NaN unless
+  /// telemetry was enabled for the run.
+  double slowdown_p50 = kNaN;
+  double slowdown_p95 = kNaN;
+  double slowdown_p99 = kNaN;
   double achieved_ratio = kNaN;  ///< Of cumulative means, vs class 0.
   /// Median over measurement windows of the per-window slowdown ratio vs
   /// class 0.  Robust against single Bounded-Pareto giants that can swing a
@@ -149,14 +161,18 @@ class Runtime {
   std::size_t num_shards() const { return shards_.size(); }
   Shard& shard(std::size_t i) { return *shards_[i]; }
   const Controller& controller() const { return *controller_; }
+  Controller& controller_mut() { return *controller_; }
   const RtConfig& config() const { return cfg_; }
   ClockVariant& clock() { return clock_; }
+  /// Null unless cfg.obs requested a stream or a metrics port.
+  obs::StatsExporter* exporter() { return exporter_.get(); }
 
  private:
   /// Shared constructor core: validate, build shards + controller.  Returns
   /// the sampler so the synthetic path can reuse it for size draws.
   SamplerVariant init_topology();
   void build_shards(double shard_capacity);
+  void init_exporter();
   std::vector<Shard*> shard_ptrs();
 
   RtConfig cfg_;
@@ -164,7 +180,9 @@ class Runtime {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<LoadSource>> gens_;
   std::unique_ptr<Controller> controller_;
+  std::unique_ptr<obs::StatsExporter> exporter_;
   Time next_tick_;
+  Time next_sample_ = 0.0;
   double run_elapsed_ = -1.0;  ///< Set once a threaded run completes.
   bool ran_ = false;
   bool finalized_ = false;

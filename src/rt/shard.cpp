@@ -23,6 +23,19 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
               "shard supports 1..kMaxRtClasses classes");
   PSD_REQUIRE(cfg.window > 0.0, "window must be positive");
   PSD_REQUIRE(cfg.bucket_burst_seconds > 0.0, "burst must be positive");
+  PSD_REQUIRE(cfg.telemetry_sample_period >= 1 &&
+                  (cfg.telemetry_sample_period &
+                   (cfg.telemetry_sample_period - 1)) == 0,
+              "telemetry_sample_period must be a power of two");
+
+  telem_.num_classes = static_cast<std::uint32_t>(cfg.num_classes);
+  telem_.sample_period = cfg.telemetry_sample_period;
+  // With telemetry off the mask is all-ones: the per-event sample test
+  // `(ordinal & mask) == 0` is then false for every ordinal >= 1, so the
+  // hot paths pay exactly one AND+branch and never re-read cfg_.telemetry.
+  sample_mask_ = cfg.telemetry
+                     ? std::uint64_t{cfg.telemetry_sample_period} - 1
+                     : ~std::uint64_t{0};
 
   ServerConfig sc;
   sc.num_classes = cfg.num_classes;
@@ -37,6 +50,21 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
       std::move(rng));
   server_->set_completion_observer([this](const Request& req) {
     ++done_cls_[req.cls];
+    // Distribution fills are 1-in-N sampled per class (counters stay
+    // exact): one AND against the completion ordinal just incremented, so
+    // the subsample — and every percentile derived from it — is a
+    // deterministic function of the completion sequence.  The mask is
+    // all-ones when telemetry is off, so this never fires then.
+    if ((done_cls_[req.cls] & sample_mask_) == 0) {
+      // Live histograms include warmup (dashboards want the transient);
+      // the report-grade sd_hist_ honors the same cutoff as metrics.
+      const double sd = req.slowdown();
+      telem_.queue_delay[req.cls].add(req.delay());
+      telem_.slowdown[req.cls].add(sd);
+      if (req.departure >= cfg_.warmup) {
+        sd_hist_[req.cls].add_fast(sd);
+      }
+    }
     done_.fetch_add(1, std::memory_order_release);
   });
 
@@ -46,17 +74,31 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
   for (std::size_t c = 0; c < cfg.num_classes; ++c) {
     buckets_.emplace_back(rates_[c], burst, 0.0);
   }
+
+  // Telemetry allocations come LAST so the heap layout of everything on the
+  // hot path (server, simulator, queues) is identical whether telemetry is
+  // on or off — a layout shift shows up as a phantom cache/TLB "overhead"
+  // that has nothing to do with the telemetry code itself.
+  if (cfg.telemetry) {
+    // Fine-grained slowdown distribution for the report fold; the paper's
+    // slowdowns live in roughly [1e-3, 1e4] on a log axis.
+    sd_hist_.assign(cfg.num_classes, LogHistogram(1e-3, 1e4, 20));
+    prof_.set_enabled(cfg.profile);
+  }
+
   publish(0.0);
+  publish_telemetry(0.0);
 }
 
 bool Shard::submit(const Request& req) {
+  obs::ScopedProfTimer prof(&prof_, obs::kProfRingPush);
   // Count BEFORE the push: once the request is in the ring the shard thread
   // may pop, serve, and complete it before this producer runs another
   // instruction, and done_ passing pushed_ would wrap outstanding().
   pushed_.fetch_add(1, std::memory_order_release);
   if (ingress_.try_push(req)) return true;
   pushed_.fetch_sub(1, std::memory_order_release);
-  drops_.fetch_add(1, std::memory_order_relaxed);
+  drops_cls_[req.cls].add();
   return false;
 }
 
@@ -68,6 +110,7 @@ void Shard::apply_rates(const std::vector<double>& rates) {
 }
 
 std::size_t Shard::drain(Time now) {
+  obs::ScopedProfTimer prof_drain(&prof_, obs::kProfDrain);
   // The wall clock is monotone across calls, but the embedded simulator may
   // already sit exactly at `now` from the previous drain.
   if (now < sim_.now()) now = sim_.now();
@@ -96,25 +139,38 @@ std::size_t Shard::drain(Time now) {
   //    so slowdown measurements stay on the exact simulator time axis.
   Request req;
   std::size_t popped = 0;
-  while (ingress_.try_pop(req)) {
-    ++popped;
-    const ClassId c = req.cls;
-    // Clamped at zero: producers stamp arrival from their own clock reads,
-    // which may postdate this drain's single read of `now`.
-    ingress_wait_[c].add(std::max(0.0, now - req.arrival));
-    req.arrival = now;
-    estimator_.on_arrival(c, req.size);
-    ++accepted_[c];
-    staged_[c].push_back(req);
+  {
+    obs::ScopedProfTimer prof_pop(&prof_, obs::kProfRingPop);
+    // Hoisted: the opaque push_back below would otherwise force a reload
+    // every iteration.  All-ones when telemetry is off (never fires).
+    const std::uint64_t mask = sample_mask_;
+    while (ingress_.try_pop(req)) {
+      ++popped;
+      const ClassId c = req.cls;
+      // Clamped at zero: producers stamp arrival from their own clock
+      // reads, which may postdate this drain's single read of `now`.
+      const double wait = std::max(0.0, now - req.arrival);
+      ingress_wait_[c].add(wait);
+      ++accepted_[c];
+      if ((accepted_[c] & mask) == 0) {
+        telem_.ingress_wait[c].add(wait);
+      }
+      req.arrival = now;
+      estimator_.on_arrival(c, req.size);
+      staged_[c].push_back(req);
+    }
+    if (popped > 0) ingress_.publish_consumed();
   }
-  if (popped > 0) ingress_.publish_consumed();
 
   // 4. Release staged work the token buckets can pay for.
-  for (std::size_t c = 0; c < staged_.size(); ++c) {
-    auto& q = staged_[c];
-    while (!q.empty() && buckets_[c].try_consume(q.front().size, now)) {
-      server_->submit(q.front());
-      q.pop_front();
+  {
+    obs::ScopedProfTimer prof_release(&prof_, obs::kProfBucketRelease);
+    for (std::size_t c = 0; c < staged_.size(); ++c) {
+      auto& q = staged_[c];
+      while (!q.empty() && buckets_[c].try_consume(q.front().size, now)) {
+        server_->submit(q.front());
+        q.pop_front();
+      }
     }
   }
 
@@ -130,6 +186,13 @@ std::size_t Shard::drain(Time now) {
 
   ++drains_;
   publish(now);
+  // Telemetry is KBs of histogram state; republish on window rolls, and
+  // then only once per telemetry_publish_interval — at high request rates
+  // the seqlock copy would otherwise show up in per-request cost.
+  if (rolled && cfg_.telemetry &&
+      now - last_telem_publish_ >= cfg_.telemetry_publish_interval) {
+    publish_telemetry(now);
+  }
   return popped;
 }
 
@@ -145,15 +208,17 @@ void Shard::refresh_estimates() {
 }
 
 void Shard::publish(Time now) {
+  obs::ScopedProfTimer prof_pub(&prof_, obs::kProfPublish);
   ShardSnapshot s;
   s.time = now;
   s.num_classes = static_cast<std::uint32_t>(cfg_.num_classes);
   s.drains = drains_;
-  s.drops = drops_.load(std::memory_order_relaxed);
   s.windows_closed = estimator_.windows_closed();
   const auto& metrics = server_->metrics();
   for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
     const auto cls = static_cast<ClassId>(c);
+    s.drops_cls[c] = drops_cls_[c].get();
+    s.drops += s.drops_cls[c];
     s.accepted[c] = accepted_[c];
     s.completed[c] = metrics.completed(cls);
     s.staged[c] = staged_[c].size();
@@ -168,11 +233,23 @@ void Shard::publish(Time now) {
   snap_.publish(s);
 }
 
+void Shard::publish_telemetry(Time now) {
+  last_telem_publish_ = now;
+  telem_.time = now;
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+    telem_.accepted[c] = accepted_[c];
+    telem_.completions[c] = done_cls_[c];
+  }
+  telem_.prof = prof_.snap();
+  telem_snap_.publish(telem_);
+}
+
 void Shard::finalize(Time now) {
   drain(now);
   server_->finalize();
   refresh_estimates();
   publish(now);
+  if (cfg_.telemetry) publish_telemetry(now);
 }
 
 }  // namespace psd::rt

@@ -23,6 +23,7 @@
 // thread; apply_rates() — the controller; snapshot() — anyone, via seqlock.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -30,11 +31,14 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/prof.hpp"
 #include "rt/mpsc_queue.hpp"
 #include "rt/seqlock.hpp"
 #include "rt/token_bucket.hpp"
 #include "server/load_estimator.hpp"
 #include "server/server.hpp"
+#include "stats/histogram.hpp"
 
 namespace psd::rt {
 
@@ -47,7 +51,7 @@ struct ShardSnapshot {
   std::uint32_t num_classes = 0;
   std::uint32_t pad = 0;
   std::uint64_t drains = 0;
-  std::uint64_t drops = 0;                ///< Ingress-full rejections.
+  std::uint64_t drops = 0;                ///< Ingress-full rejections (total).
   /// Estimator windows rolled so far (lambda_hat freshness).
   std::uint64_t windows_closed = 0;
   /// Per-class count of CLOSED metrics windows behind window_slowdown.
@@ -58,6 +62,7 @@ struct ShardSnapshot {
   /// controller ticks are not phase-locked, and re-integrating a stale
   /// window (e.g. during a completion lull) double-applies its error.
   std::uint64_t window_seq[kMaxRtClasses] = {};
+  std::uint64_t drops_cls[kMaxRtClasses] = {};  ///< Per-class rejections.
   std::uint64_t accepted[kMaxRtClasses] = {};   ///< Popped from ingress.
   std::uint64_t completed[kMaxRtClasses] = {};  ///< Post-warmup completions.
   std::uint64_t staged[kMaxRtClasses] = {};     ///< Waiting behind buckets.
@@ -69,6 +74,31 @@ struct ShardSnapshot {
   double mean_ingress_wait[kMaxRtClasses] = {};  ///< Produce -> pop latency.
 };
 
+/// Live distribution state, published through a second (larger) seqlock on
+/// estimator-window rolls — throttled further by telemetry_publish_interval
+/// because the payload is a few KB of histogram buckets.  All fields are
+/// accumulated by the shard thread only; `accepted`/`completions` are
+/// copied INTO the struct so a single seqlock read yields a coherent
+/// (counter, histogram) pair — the exporter's consistency invariants
+/// (slowdown[c].count == floor(completions[c] / sample_period),
+/// ingress_wait[c].count == floor(accepted[c] / sample_period)) hold within
+/// one snapshot even while the shard keeps running.  Unlike the report
+/// path, these include warmup completions: live dashboards want to see the
+/// warmup transient.
+struct ShardTelemetry {
+  double time = 0.0;
+  std::uint32_t num_classes = 0;
+  /// Distribution sampling period in effect (1 = every event); counters are
+  /// always exact, so hist.count ~= counter / sample_period.
+  std::uint32_t sample_period = 1;
+  std::uint64_t accepted[kMaxRtClasses] = {};     ///< Popped from ingress.
+  std::uint64_t completions[kMaxRtClasses] = {};  ///< Incl. warmup.
+  obs::Log2Hist ingress_wait[kMaxRtClasses];  ///< Produce -> pop (seconds).
+  obs::Log2Hist queue_delay[kMaxRtClasses];   ///< arrival -> service_start.
+  obs::Log2Hist slowdown[kMaxRtClasses];      ///< delay / service time.
+  obs::ProfSnap prof;                         ///< Shard-thread self timings.
+};
+
 struct ShardConfig {
   std::size_t num_classes = 2;
   double capacity = 1.0;       ///< Work units per second.
@@ -78,6 +108,24 @@ struct ShardConfig {
   double bucket_burst_seconds = 0.1;  ///< Burst = rate * this.
   std::size_t ingress_capacity = 1 << 14;
   std::vector<double> initial_rates;  ///< Empty = equal split.
+  /// Collect live histograms + telemetry snapshots (obs layer).  Off by
+  /// default: the hot paths then skip every update behind one branch.
+  bool telemetry = false;
+  /// Minimum seconds between telemetry seqlock publishes (the payload is
+  /// ~11 KB; copying it every estimator window costs real throughput at
+  /// high request rates).  Readers see a snapshot at most this stale.
+  double telemetry_publish_interval = 0.5;
+  /// Record every Nth event per class into the live/report histograms
+  /// (counters stay exact).  Even a division-free histogram update costs a
+  /// few ns per event — several per request blows the telemetry throughput
+  /// budget — and slowdown/delay percentiles converge just as well from a
+  /// deterministic 1-in-N subsample.  Must be a power of two: the sample
+  /// test is then one AND against counters the hot path already
+  /// increments, with no extra countdown state.  1 = record everything.
+  std::uint32_t telemetry_sample_period = 32;
+  /// Arm the scoped self-profiling timers (implies nothing about telemetry;
+  /// only read when telemetry is on).
+  bool profile = false;
 };
 
 class Shard {
@@ -103,6 +151,9 @@ class Shard {
   /// Any thread, any time: consistent copy of the latest published state.
   ShardSnapshot snapshot() const { return snap_.read(); }
 
+  /// Any thread: latest telemetry snapshot (all-zero unless cfg.telemetry).
+  ShardTelemetry telemetry() const { return telem_snap_.read(); }
+
   /// Requests accepted by submit() and not yet completed (any thread).
   std::uint64_t outstanding() const {
     const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
@@ -111,8 +162,14 @@ class Shard {
   }
 
   std::uint64_t dropped() const {
-    return drops_.load(std::memory_order_relaxed);
+    std::uint64_t n = 0;
+    for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+      n += drops_cls_[c].get();
+    }
+    return n;
   }
+
+  std::uint64_t dropped(ClassId cls) const { return drops_cls_[cls].get(); }
 
   /// Total completions including warmup (any thread).
   std::uint64_t completed_all() const {
@@ -127,9 +184,22 @@ class Shard {
   const Server& server() const { return *server_; }
   const ShardConfig& config() const { return cfg_; }
 
+  /// Fine-grained POST-WARMUP slowdown distributions (stats/histogram.hpp
+  /// layout, one per class); empty unless cfg.telemetry.  Shard thread
+  /// mutates them per completion, so read only after threads stopped (the
+  /// report path, post finalize) or under a deterministic drive.
+  const std::vector<LogHistogram>& slowdown_hists() const {
+    return sd_hist_;
+  }
+
+  /// Self-profiling table (any thread may read a snap; the producer-side
+  /// ring-push timer writes from any thread).
+  obs::ProfTable& prof() { return prof_; }
+
  private:
   void refresh_estimates();
   void publish(Time now);
+  void publish_telemetry(Time now);
 
   ShardConfig cfg_;
   Simulator sim_;
@@ -146,10 +216,11 @@ class Shard {
   std::vector<double> pending_rates_;
   bool has_pending_ = false;
 
-  // Cross-thread counters.
+  // Cross-thread counters.  Drops are per class (any producer may reject
+  // any class), each on its own cache line.
   std::atomic<std::uint64_t> pushed_{0};
-  std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> done_{0};
+  std::array<obs::Counter, kMaxRtClasses> drops_cls_;
 
   // Shard-thread-private statistics.
   std::vector<std::uint64_t> accepted_;
@@ -160,7 +231,18 @@ class Shard {
   std::vector<std::uint64_t> window_seq_cache_;  ///< Coherent with the above.
   std::uint64_t drains_ = 0;
 
+  // Telemetry (shard-thread private accumulator + its own seqlock; the
+  // payload is KBs, so it publishes on window rolls, not every drain).
+  ShardTelemetry telem_;
+  std::vector<LogHistogram> sd_hist_;  ///< Post-warmup, for report folds.
+  obs::ProfTable prof_;
+  Time last_telem_publish_ = 0.0;
+  /// telemetry_sample_period - 1; an event is sampled into the histograms
+  /// when (its per-class event ordinal & sample_mask_) == 0.
+  std::uint64_t sample_mask_ = 0;
+
   Seqlock<ShardSnapshot> snap_;
+  Seqlock<ShardTelemetry> telem_snap_;
 };
 
 }  // namespace psd::rt

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/math.hpp"
 #include "common/types.hpp"
 
 namespace psd {
@@ -17,6 +18,9 @@ LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
   const auto bins = static_cast<std::size_t>(
       std::ceil(decades * static_cast<double>(bins_per_decade)));
   log_step_ = decades / static_cast<double>(std::max<std::size_t>(bins, 1));
+  constexpr double kLog10Of2 = 0.30102999566398119521;
+  fast_scale_ = kLog10Of2 / log_step_;
+  fast_offset_ = log_lo_ / log_step_;
   counts_.assign(std::max<std::size_t>(bins, 1), 0);
 }
 
@@ -34,6 +38,41 @@ void LogHistogram::add(double x) {
     return;
   }
   ++counts_[static_cast<std::size_t>(pos)];
+}
+
+void LogHistogram::add_fast(double x) {
+  ++total_;
+  min_seen_ = std::min(min_seen_, x);
+  max_seen_ = std::max(max_seen_, x);
+  if (!(x >= lo_)) {  // also catches NaN -> underflow
+    ++underflow_;
+    return;
+  }
+  // log10(x) = log2(x) * log10(2); fast_log2's error is far below any bin
+  // width (see the header note on add_fast).  The scale/offset pair bakes
+  // the log10(2) factor and the division by log_step_ into the constructor.
+  const double pos = fast_log2(x) * fast_scale_ - fast_offset_;
+  if (pos >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  // x >= lo_ held above, but the approximation can put a boundary sample an
+  // epsilon below bin 0 — clamp instead of casting a negative double.
+  ++counts_[pos > 0.0 ? static_cast<std::size_t>(pos) : 0];
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  PSD_REQUIRE(lo_ == other.lo_ && log_step_ == other.log_step_ &&
+                  counts_.size() == other.counts_.size(),
+              "LogHistogram::merge requires an identical bin layout");
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  min_seen_ = std::min(min_seen_, other.min_seen_);
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
 }
 
 double LogHistogram::bin_lower(std::size_t i) const {
@@ -80,6 +119,20 @@ void LinearHistogram::add(double x) {
     return;
   }
   ++counts_[static_cast<std::size_t>(pos)];
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  PSD_REQUIRE(lo_ == other.lo_ && width_ == other.width_ &&
+                  counts_.size() == other.counts_.size(),
+              "LinearHistogram::merge requires an identical bin layout");
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  min_seen_ = std::min(min_seen_, other.min_seen_);
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
 }
 
 double LinearHistogram::quantile(double q) const {

@@ -101,11 +101,13 @@ std::string render_point_record(const CampaignPoint& point,
 CampaignResult run_campaign(
     const GridSpec& grid, const CampaignOptions& options,
     WorkStealingPool* pool,
-    const std::function<void(const PointOutcome&)>& on_point) {
+    const std::function<void(const PointOutcome&)>& on_point,
+    CampaignGauge* gauge) {
   PSD_REQUIRE(options.runs > 0, "need at least one replication per point");
   const auto t0 = std::chrono::steady_clock::now();
 
   auto points = expand_grid(grid);
+  if (gauge != nullptr) gauge->total.add(points.size());
 
   std::unique_ptr<WorkStealingPool> owned;
   if (pool == nullptr) {
@@ -177,6 +179,7 @@ CampaignResult run_campaign(
     if (done.count(points[i].key) > 0) {
       po.skipped = true;
       ++out.skipped;
+      if (gauge != nullptr) gauge->skipped.add();
       std::lock_guard<std::mutex> lk(emit_m);
       ready.emplace(i, &po);
       release_ready();
@@ -225,9 +228,11 @@ CampaignResult run_campaign(
                     std::chrono::steady_clock::now() - rep0)
                     .count()),
             std::memory_order_relaxed);
+        if (gauge != nullptr) gauge->replications.add(count);
         if (st.remaining.fetch_sub(count, std::memory_order_acq_rel) ==
             count) {
           // Last replication of this point: aggregate + render + release.
+          if (gauge != nullptr) gauge->executed.add();
           outcome.wall_ms =
               static_cast<double>(st.rep_ns.load(std::memory_order_relaxed)) *
               1e-6;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "experiment/runner.hpp"
+#include "obs/counters.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -41,6 +42,20 @@ struct CampaignOptions {
   /// modes (lockstep lanes are bitwise-equal to per-task replications).
   ReplicationMode replication_mode = ReplicationMode::kPerTask;
   std::size_t lockstep_lanes = 8;   ///< Lane-group width K for kLockstep.
+};
+
+/// Live campaign progress, readable from another thread while run_campaign
+/// executes (a ticker thread, a dashboard).  Counters are relaxed and
+/// monotone; a reader sees a slightly stale but internally plausible view.
+/// `total` is set once when the grid expands, so `done() < total.get()`
+/// doubles as "still running" once the campaign has started.
+struct CampaignGauge {
+  obs::Counter total;         ///< Grid points (set when the grid expands).
+  obs::Counter executed;      ///< Points fully aggregated this run.
+  obs::Counter skipped;       ///< Points resumed from a previous artifact.
+  obs::Counter replications;  ///< Individual replications finished.
+
+  std::uint64_t done() const { return executed.get() + skipped.get(); }
 };
 
 struct PointOutcome {
@@ -78,11 +93,14 @@ struct CampaignResult {
 /// creates a pool with options.threads workers for the duration of the call;
 /// passing a pool lets several campaigns share one set of workers.
 /// `on_point` (may be null) fires in expansion order as records are
-/// released, including for skipped points.
+/// released, including for skipped points.  `gauge` (may be null) is bumped
+/// live as replications and points finish — pass one and read it from a
+/// ticker thread for points/s and ETA without touching the emit path.
 CampaignResult run_campaign(
     const GridSpec& grid, const CampaignOptions& options,
     WorkStealingPool* pool = nullptr,
-    const std::function<void(const PointOutcome&)>& on_point = nullptr);
+    const std::function<void(const PointOutcome&)>& on_point = nullptr,
+    CampaignGauge* gauge = nullptr);
 
 /// Render one point's JSONL record (schema v1; see README "Running
 /// campaigns" for the field list).

@@ -57,6 +57,67 @@ TEST(LogHistogram, BinLowerIsMonotone) {
   EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-12);
 }
 
+TEST(LogHistogram, MergeMatchesSingleCollectorExactly) {
+  // Shards collect disjoint streams; the fold must be bit-identical to one
+  // histogram that saw every sample (this is what the rt report relies on).
+  Rng rng(11);
+  LogHistogram ground(0.1, 1000.0, 20);
+  LogHistogram shard_a(0.1, 1000.0, 20);
+  LogHistogram shard_b(0.1, 1000.0, 20);
+  LogHistogram shard_c(0.1, 1000.0, 20);  // stays empty
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-2.0, 4.0));  // spills both ends
+    ground.add(x);
+    (i % 2 == 0 ? shard_a : shard_b).add(x);
+  }
+  LogHistogram merged = shard_a;
+  merged.merge(shard_b);
+  merged.merge(shard_c);
+  ASSERT_EQ(merged.count(), ground.count());
+  ASSERT_EQ(merged.bin_count(), ground.bin_count());
+  for (std::size_t i = 0; i < ground.bin_count(); ++i) {
+    EXPECT_EQ(merged.bin(i), ground.bin(i)) << "bin " << i;
+  }
+  for (double q : {0.0, 0.05, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), ground.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeRejectsLayoutMismatch) {
+  LogHistogram a(0.1, 1000.0, 20);
+  LogHistogram b(0.1, 1000.0, 10);   // different bin count
+  LogHistogram c(1.0, 1000.0, 20);   // different lower bound
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(LinearHistogram, MergeMatchesSingleCollectorExactly) {
+  Rng rng(12);
+  LinearHistogram ground(0.0, 1.0, 50);
+  LinearHistogram lo(0.0, 1.0, 50);
+  LinearHistogram hi(0.0, 1.0, 50);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(-0.1, 1.1);  // spills both ends
+    ground.add(x);
+    (x < 0.5 ? lo : hi).add(x);
+  }
+  LinearHistogram merged = lo;
+  merged.merge(hi);
+  ASSERT_EQ(merged.count(), ground.count());
+  for (std::size_t i = 0; i < ground.bin_count(); ++i) {
+    EXPECT_EQ(merged.bin(i), ground.bin(i)) << "bin " << i;
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), ground.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LinearHistogram, MergeRejectsLayoutMismatch) {
+  LinearHistogram a(0.0, 1.0, 10);
+  LinearHistogram b(0.0, 2.0, 10);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
 TEST(LinearHistogram, RejectsBadConfig) {
   EXPECT_THROW(LinearHistogram(1.0, 1.0, 10), std::invalid_argument);
   EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);

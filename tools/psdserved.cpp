@@ -63,6 +63,17 @@ options:
   --check-ratio-tol F     exit 1 unless max achieved-vs-target slowdown
                           ratio error <= F
   --bench-out FILE        append a JSONL perf record (suite "rt")
+
+observability (src/obs; all imply --telemetry):
+  --telemetry             collect live per-shard histograms + controller
+                          decision trace; report gains slowdown percentiles
+  --stats-out FILE        stream timestamped stats JSONL while running
+                          (schema psd.rt.stats.v1, see src/obs/README.md)
+  --stats-interval SEC    sampling period of the stream     (default 0.5)
+  --metrics-port N        serve Prometheus text on GET
+                          http://127.0.0.1:N/metrics while running
+  --obs-profile           arm rdtsc self-profiling timers (drain, ring ops,
+                          allocator tick) aggregated into the stream
   --help                  this text
 )";
 
@@ -135,7 +146,21 @@ int main(int argc, char** argv) {
       else if (arg == "--check-ratio-tol")
         check_tol = cli::parse_double(arg, value(), "--check-ratio-tol 0.15");
       else if (arg == "--bench-out") bench_out = value();
-      else {
+      else if (arg == "--telemetry") cfg.obs.enabled = true;
+      else if (arg == "--stats-out") {
+        cfg.obs.stats_path = value();
+        cfg.obs.enabled = true;
+      } else if (arg == "--stats-interval")
+        cfg.obs.stats_interval =
+            cli::parse_double(arg, value(), "--stats-interval 0.5");
+      else if (arg == "--metrics-port") {
+        cfg.obs.metrics_port = static_cast<int>(
+            cli::parse_uint(arg, value(), "--metrics-port 9464"));
+        cfg.obs.enabled = true;
+      } else if (arg == "--obs-profile") {
+        cfg.obs.profile = true;
+        cfg.obs.enabled = true;
+      } else {
         std::cerr << "error: unknown option '" << arg << "'\n";
         usage(2);
       }
@@ -189,20 +214,32 @@ int main(int argc, char** argv) {
 
     const rt::RtReport r = runtime->run();
 
-    Table t({"class", "delta", "completed", "S measured", "ratio",
-             "ratio p50", "target", "err%", "ingress us"});
+    std::vector<std::string> cols = {"class", "delta", "completed", "dropped",
+                                     "S measured", "ratio", "ratio p50",
+                                     "target", "err%", "ingress us"};
+    if (cfg.obs.enabled) {
+      cols.insert(cols.end(), {"S p50", "S p95", "S p99"});
+    }
+    Table t(cols);
     for (std::size_t c = 0; c < r.cls.size(); ++c) {
       const auto& cl = r.cls[c];
       const double err =
           c > 0 ? (cl.window_ratio_p50 / cl.target_ratio - 1.0) * 100.0 : 0.0;
-      t.add_row({std::to_string(c + 1), Table::fmt(cl.delta, 2),
-                 std::to_string(cl.completed),
-                 Table::fmt(cl.mean_slowdown, 3),
-                 Table::fmt(cl.achieved_ratio, 3),
-                 c > 0 ? Table::fmt(cl.window_ratio_p50, 3) : "1.000",
-                 Table::fmt(cl.target_ratio, 2),
-                 c > 0 ? Table::fmt(err, 1) : "-",
-                 Table::fmt(cl.mean_ingress_wait * 1e6, 1)});
+      std::vector<std::string> row = {
+          std::to_string(c + 1), Table::fmt(cl.delta, 2),
+          std::to_string(cl.completed), std::to_string(cl.dropped),
+          Table::fmt(cl.mean_slowdown, 3),
+          Table::fmt(cl.achieved_ratio, 3),
+          c > 0 ? Table::fmt(cl.window_ratio_p50, 3) : "1.000",
+          Table::fmt(cl.target_ratio, 2),
+          c > 0 ? Table::fmt(err, 1) : "-",
+          Table::fmt(cl.mean_ingress_wait * 1e6, 1)};
+      if (cfg.obs.enabled) {
+        row.insert(row.end(), {Table::fmt(cl.slowdown_p50, 3),
+                               Table::fmt(cl.slowdown_p95, 3),
+                               Table::fmt(cl.slowdown_p99, 3)});
+      }
+      t.add_row(row);
     }
     t.print(std::cout);
 
@@ -213,6 +250,18 @@ int main(int argc, char** argv) {
     std::cout << "controller: " << r.controller_ticks << " ticks, "
               << r.reallocations << " reallocations; " << r.drains
               << " shard drains over " << Table::fmt(r.elapsed, 2) << "s\n";
+    if (runtime->exporter() != nullptr) {
+      std::cout << "telemetry: " << runtime->exporter()->samples()
+                << " stats samples";
+      if (!cfg.obs.stats_path.empty()) {
+        std::cout << " -> " << cfg.obs.stats_path;
+      }
+      if (cfg.obs.metrics_port > 0) {
+        std::cout << " (served /metrics on port " << cfg.obs.metrics_port
+                  << ")";
+      }
+      std::cout << "\n";
+    }
     std::cout << "max ratio error: " << Table::fmt(r.max_ratio_error * 100, 1)
               << "% (of means), "
               << Table::fmt(r.max_window_ratio_error * 100, 1)

@@ -65,6 +65,9 @@ options:
   --replay-trace FILE     drive ONE replication from a recorded trace
                           instead of synthetic generators (the same trace
                           also feeds psdserved --replay-trace)
+  --summary-json FILE     also write the results as one machine-readable
+                          JSON object (schema psd.sim.summary.v1) — tooling
+                          parity with psdsweep JSONL without a campaign
   --csv                   CSV instead of aligned table
   --help                  this text
 )";
@@ -77,6 +80,115 @@ options:
 }  // namespace
 
 namespace {
+
+/// Config fields every summary variant shares.
+void summary_header(JsonObject& o, const char* mode,
+                    const ScenarioConfig& cfg, const std::string& dist_name,
+                    const std::vector<double>& lambdas) {
+  o.field("schema", "psd.sim.summary.v1")
+      .field("mode", mode)
+      .field("classes", cfg.delta.size())
+      .raw("delta", json_array(cfg.delta))
+      .field("load", cfg.load)
+      .raw("lambda", json_array(lambdas))
+      .field("dist", dist_name)
+      .field("backend", backend_name(cfg.backend))
+      .field("allocator", allocator_name(cfg.allocator))
+      .field("nodes", cfg.cluster_nodes)
+      .field("measure_tu", cfg.measure_tu)
+      .field("warmup_tu", cfg.warmup_tu)
+      .field("seed", cfg.seed);
+  if (cfg.profile.active()) o.field("profile", cfg.profile.name());
+}
+
+bool write_summary(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot write '" << path << "'\n";
+    return false;
+  }
+  out << body << "\n";
+  std::cout << "wrote summary to " << path << "\n";
+  return true;
+}
+
+/// One-replication summary (the record/replay paths).
+std::string single_run_summary(const ScenarioConfig& cfg, const RunResult& r,
+                               const std::vector<double>& expected,
+                               const std::string& dist_name,
+                               const std::vector<double>& lambdas) {
+  JsonObject o;
+  summary_header(o, "single", cfg, dist_name, lambdas);
+  const double s0 = r.cls[0].mean_slowdown;
+  std::string cls = "[";
+  for (std::size_t i = 0; i < cfg.delta.size(); ++i) {
+    JsonObject c;
+    c.field("delta", cfg.delta[i])
+        .field("mean_slowdown", r.cls[i].mean_slowdown)
+        .field("mean_delay", r.cls[i].mean_delay)
+        .field("expected", expected[i])
+        .field("ratio", s0 > 0.0 ? r.cls[i].mean_slowdown / s0 : kNaN)
+        .field("completed", r.cls[i].completed);
+    if (i > 0) cls += ',';
+    cls += c.str();
+  }
+  cls += ']';
+  o.raw("cls", cls)
+      .field("system_slowdown", r.system_slowdown)
+      .field("submitted", r.submitted)
+      .field("reallocations", r.reallocations);
+  if (!r.settle_tu.empty()) o.raw("settle_tu", json_array(r.settle_tu));
+  return o.str();
+}
+
+/// Cross-replication summary (the default path).
+std::string replicated_summary(const ScenarioConfig& cfg, std::size_t runs,
+                               const ReplicatedResult& r,
+                               const std::string& dist_name,
+                               const std::vector<double>& lambdas) {
+  JsonObject o;
+  summary_header(o, "replications", cfg, dist_name, lambdas);
+  o.field("runs", runs);
+  std::string cls = "[";
+  for (std::size_t i = 0; i < cfg.delta.size(); ++i) {
+    JsonObject c;
+    c.field("delta", cfg.delta[i])
+        .field("mean_slowdown", r.slowdown[i].mean)
+        .field("ci95", r.slowdown[i].half_width)
+        .field("expected", r.expected[i])
+        .field("mean_ratio", r.mean_ratio[i]);
+    if (i > 0) cls += ',';
+    cls += c.str();
+  }
+  cls += ']';
+  o.raw("cls", cls);
+  if (!r.ratio.empty()) {
+    std::string rp = "[";
+    for (std::size_t j = 0; j < r.ratio.size(); ++j) {
+      JsonObject c;
+      c.field("p5", r.ratio[j].p5)
+          .field("p50", r.ratio[j].p50)
+          .field("p95", r.ratio[j].p95)
+          .field("mean", r.ratio[j].mean)
+          .field("windows", r.ratio[j].windows);
+      if (j > 0) rp += ',';
+      rp += c.str();
+    }
+    rp += ']';
+    o.raw("ratio_percentiles", rp);
+  }
+  if (!r.settle_mean_tu.empty()) {
+    JsonObject s;
+    s.raw("mean_tu", json_array(r.settle_mean_tu))
+        .raw("rate", json_array(r.settle_rate))
+        .raw("p75_tu", json_array(r.settle_p75_tu));
+    o.raw("settle", s.str());
+  }
+  o.field("system_slowdown", r.system_slowdown)
+      .field("expected_system", r.expected_system)
+      .field("completed_total", r.completed_total);
+  return o.str();
+}
 
 /// Per-class table for one replication (the record/replay paths run exactly
 /// one, so there are no cross-run confidence intervals to show).
@@ -112,6 +224,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string record_path;
   std::string replay_path;
+  std::string summary_path;
   double check_converge_tu = -1.0;
 
   try {
@@ -165,6 +278,7 @@ int main(int argc, char** argv) {
       else if (arg == "--analytic") analytic_only = true;
       else if (arg == "--record-trace") record_path = value();
       else if (arg == "--replay-trace") replay_path = value();
+      else if (arg == "--summary-json") summary_path = value();
       else if (arg == "--csv") csv = true;
       else {
         std::cerr << "error: unknown option '" << arg << "'\n";
@@ -225,6 +339,11 @@ int main(int argc, char** argv) {
       print_single_run(cfg, r, expected, csv);
       std::cout << "wrote " << trace.size() << " arrivals to " << record_path
                 << "\n";
+      if (!summary_path.empty() &&
+          !write_summary(summary_path, single_run_summary(
+                             cfg, r, expected, dist.name(), lambdas))) {
+        return 1;
+      }
       return 0;
     }
     if (!replay_path.empty()) {
@@ -239,6 +358,11 @@ int main(int argc, char** argv) {
                 << cfg.warmup_tu << " tu)...\n\n";
       const RunResult r = run_scenario_replayed(cfg, trace);
       print_single_run(cfg, r, expected, csv);
+      if (!summary_path.empty() &&
+          !write_summary(summary_path, single_run_summary(
+                             cfg, r, expected, dist.name(), lambdas))) {
+        return 1;
+      }
       return 0;
     }
 
@@ -301,6 +425,13 @@ int main(int argc, char** argv) {
               << Table::fmt(r.system_slowdown, 3)
               << " expected=" << Table::fmt(r.expected_system, 3)
               << "   completions=" << r.completed_total << "\n";
+
+    if (!summary_path.empty() &&
+        !write_summary(summary_path,
+                       replicated_summary(cfg, runs, r, dist.name(),
+                                          lambdas))) {
+      return 1;
+    }
 
     if (check_converge_tu >= 0.0) {
       if (r.settle_mean_tu.empty()) {

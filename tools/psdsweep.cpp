@@ -10,12 +10,15 @@
 // record per grid point.  Re-running with the same --out skips points whose
 // key (config content hash) is already present for the same master seed.
 // Fixed seed => byte-identical records, regardless of --threads.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "psd.hpp"
 #include "cli_util.hpp"
@@ -64,6 +67,9 @@ artifacts:
                            command-line flags override the spec)
   --dry-run                print the expanded points and exit
   --quiet                  suppress per-point progress lines
+  --progress               live ticker on stderr: done/total points,
+                           points/s, replication count, ETA (reads the
+                           campaign gauge; does not touch the JSONL)
   --help                   this text
 )";
 
@@ -78,6 +84,7 @@ struct Options {
   std::string csv_path;
   bool dry_run = false;
   bool quiet = false;
+  bool progress = false;
 };
 
 void apply_option(Options& o, const std::string& key,
@@ -270,6 +277,7 @@ int main(int argc, char** argv) {
       else if (arg == "--timing") o.campaign.timing = true;
       else if (arg == "--dry-run") o.dry_run = true;
       else if (arg == "--quiet") o.quiet = true;
+      else if (arg == "--progress") o.progress = true;
       else if (arg.rfind("--", 0) == 0) apply_option(o, arg.substr(2), value());
       else cli::fail("unknown argument", arg, "see --help");
     }
@@ -302,7 +310,60 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     };
 
-    const auto result = run_campaign(o.grid, o.campaign, nullptr, on_point);
+    // The gauge is bumped by pool workers inside run_campaign; the ticker
+    // reads it from this side on a fixed cadence.  ETA extrapolates from
+    // executed points only (resumed points land instantly).
+    CampaignGauge gauge;
+    std::atomic<bool> ticker_stop{false};
+    std::thread ticker;
+    if (o.progress) {
+      ticker = std::thread([&] {
+        const auto start = std::chrono::steady_clock::now();
+        while (!ticker_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::seconds(1));
+          const double elapsed =
+              std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          const std::uint64_t total = gauge.total.get();
+          const std::uint64_t done = gauge.done();
+          const std::uint64_t executed = gauge.executed.get();
+          const double rate =
+              elapsed > 0.0 ? static_cast<double>(executed) / elapsed : 0.0;
+          if (rate > 0.0 && total > done) {
+            std::fprintf(stderr,
+                         "progress: %llu/%llu points, %llu reps, "
+                         "%.2f points/s, ETA %.0fs\n",
+                         static_cast<unsigned long long>(done),
+                         static_cast<unsigned long long>(total),
+                         static_cast<unsigned long long>(
+                             gauge.replications.get()),
+                         rate, static_cast<double>(total - done) / rate);
+          } else {
+            std::fprintf(stderr, "progress: %llu/%llu points, %llu reps\n",
+                         static_cast<unsigned long long>(done),
+                         static_cast<unsigned long long>(total),
+                         static_cast<unsigned long long>(
+                             gauge.replications.get()));
+          }
+        }
+      });
+    }
+
+    CampaignResult result;
+    try {
+      result = run_campaign(o.grid, o.campaign, nullptr, on_point, &gauge);
+    } catch (...) {
+      if (ticker.joinable()) {
+        ticker_stop.store(true, std::memory_order_relaxed);
+        ticker.join();
+      }
+      throw;
+    }
+    if (ticker.joinable()) {
+      ticker_stop.store(true, std::memory_order_relaxed);
+      ticker.join();
+    }
 
     if (!o.csv_path.empty()) write_csv_pivot(o.csv_path, result);
 
