@@ -12,15 +12,25 @@
 //                           stays within its budget delta_i * S_max at the
 //                           current estimated loads.  Uses the closed form,
 //                           so the gate is O(N) per decision window.
+//   * ProportionalShedGate — delta-aware graceful degradation: thin *every*
+//                           class (deterministic error-diffusion thinning)
+//                           so the admitted lambdas stay under the target
+//                           utilization while all classes survive — the
+//                           eq.-17 allocator then still holds every ratio.
+//   * TokenBucketGate     — per-class work-rate caps (rt/token_bucket.hpp
+//                           deficit buckets): each class banks an equal
+//                           share of threshold * capacity.
 // Controllers are evaluated per estimation window (decisions latch between
 // reallocations, mirroring the rate allocator's cadence).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "dist/sampler.hpp"
+#include "rt/token_bucket.hpp"
 
 namespace psd {
 
@@ -34,6 +44,16 @@ class AdmissionController {
 
   /// Decide for one arriving request of class `cls` (must be O(1)).
   virtual bool admit(ClassId cls) const = 0;
+
+  /// Per-request decision hook: policies that thin within a class (error
+  /// diffusion) or meter work (token buckets) need the arrival time and
+  /// size; the latched-mask gates ignore both.  `now` must be monotone
+  /// across calls.  Default forwards to the latched admit().
+  virtual bool admit_request(ClassId cls, Time now, double size) {
+    (void)now;
+    (void)size;
+    return admit(cls);
+  }
 
   virtual std::string name() const = 0;
 };
@@ -90,5 +110,103 @@ class SlowdownBudgetGate final : public AdmissionController {
   double capacity_, budget_;
   std::vector<bool> admit_;
 };
+
+/// Delta-aware proportional shedding: when estimated demand exceeds
+/// threshold * capacity, thin every class — shedding work in proportion to
+/// delta_c * lambda_c * E[X], so lower classes (larger delta) shed more —
+/// instead of cutting whole classes.  All classes stay alive, the admitted
+/// demand fits under the target, and the eq.-17 allocator keeps *all*
+/// slowdown ratios among the survivors (which is every class).
+///
+/// Per-request thinning is deterministic error diffusion: class c banks
+/// keep_[c] of credit per arrival and admits whenever the bank reaches one
+/// whole request — so an admitted fraction of exactly keep_[c] with no RNG,
+/// preserving replay/bitwise determinism.
+class ProportionalShedGate final : public AdmissionController {
+ public:
+  ProportionalShedGate(std::vector<double> delta, double mean_size,
+                       double capacity, double threshold = 0.9);
+
+  void update(const std::vector<double>& lambda_hat) override;
+  bool admit(ClassId cls) const override;
+  bool admit_request(ClassId cls, Time now, double size) override;
+  std::string name() const override { return "delta-aware"; }
+
+  /// Admitted fraction per class after the last update (1.0 = no shedding).
+  const std::vector<double>& keep() const { return keep_; }
+
+ private:
+  std::vector<double> delta_;
+  double mean_size_, capacity_, threshold_;
+  std::vector<double> keep_;    ///< Latched admitted fraction per class.
+  std::vector<double> credit_;  ///< Error-diffusion accumulators.
+};
+
+/// Per-class work-rate caps: class c owns a deficit token bucket accruing an
+/// equal share of threshold * capacity work units per time unit; a request
+/// is admitted while its class bucket is non-negative and debits its size.
+/// No latched mask — classes are never cut, just metered.
+class TokenBucketGate final : public AdmissionController {
+ public:
+  /// `burst_tu`: banked allowance per class, measured in mean-request
+  /// service times (paper tu: burst = rate * burst_tu * mean_size /
+  /// capacity work units) so one spec means the same thing in simulator
+  /// raw time and rt wall seconds.
+  TokenBucketGate(std::size_t num_classes, double mean_size, double capacity,
+                  double threshold = 0.9, double burst_tu = 4.0);
+
+  void update(const std::vector<double>& /*lambda_hat*/) override {}
+  bool admit(ClassId /*cls*/) const override { return true; }
+  bool admit_request(ClassId cls, Time now, double size) override;
+  std::string name() const override { return "token-bucket"; }
+
+ private:
+  std::vector<rt::TokenBucket> buckets_;
+};
+
+/// Copyable, comparable, serializable admission-policy spec (DistSpec /
+/// LoadProfile idiom): what ScenarioConfig / RtConfig / the campaign grid
+/// carry; make_admission() turns it into a live controller.
+struct AdmissionSpec {
+  enum class Kind {
+    kNone,            ///< No gate installed (default; zero-cost path).
+    kAdmitAll,        ///< Explicit pass-through (counts offered load).
+    kUtilization,     ///< UtilizationGate at `threshold`.
+    kSlowdownBudget,  ///< SlowdownBudgetGate at `budget` unit slowdown.
+    kDeltaAware,      ///< ProportionalShedGate at `threshold`.
+    kTokenBucket,     ///< TokenBucketGate at `threshold`, `burst_tu`.
+  };
+
+  Kind kind = Kind::kNone;
+  double threshold = 0.9;  ///< Target utilization (util/delta-aware/bucket).
+  double budget = 25.0;    ///< Max unit slowdown (slowdown-budget).
+  double burst_tu = 4.0;   ///< Bucket burst, in time units (token-bucket).
+
+  bool active() const { return kind != Kind::kNone; }
+
+  void validate() const;
+
+  /// Canonical parsable form ("delta-aware:0.9"); "none" when inactive.
+  std::string name() const;
+
+  /// Inverse of name().  Accepted grammar (params optional, defaulted):
+  ///   none | admit-all | util[:threshold] | slowdown-budget[:budget] |
+  ///   delta-aware[:threshold] | token-bucket[:threshold[,burst_tu]]
+  static AdmissionSpec parse(const std::string& spec);
+
+  friend bool operator==(const AdmissionSpec& x, const AdmissionSpec& y) {
+    return x.kind == y.kind && x.threshold == y.threshold &&
+           x.budget == y.budget && x.burst_tu == y.burst_tu;
+  }
+  friend bool operator!=(const AdmissionSpec& x, const AdmissionSpec& y) {
+    return !(x == y);
+  }
+};
+
+/// Build the controller a spec describes, sized for `delta.size()` classes
+/// at `capacity`.  Returns nullptr for Kind::kNone (install no gate).
+std::unique_ptr<AdmissionController> make_admission(
+    const AdmissionSpec& spec, const std::vector<double>& delta,
+    const SamplerVariant& dist, double capacity);
 
 }  // namespace psd

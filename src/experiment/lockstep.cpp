@@ -48,7 +48,11 @@
 namespace psd {
 
 bool lockstep_eligible(const ScenarioConfig& cfg) {
-  return cfg.cluster_nodes == 1 && cfg.backend == BackendKind::kDedicated;
+  // Admission gates hook Server::submit (shed bookkeeping the kernel's
+  // per-class mirrors don't reproduce), so gated configs take the per-lane
+  // fallback path.
+  return cfg.cluster_nodes == 1 && cfg.backend == BackendKind::kDedicated &&
+         !cfg.admission.active();
 }
 
 namespace {

@@ -182,6 +182,14 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
       [&] { return make_scenario_allocator(cfg, dist.mean()); },
       cfg.cluster_policy,
       run_rng.fork(1000), std::move(cutoffs));
+  if (cfg.admission.active()) {
+    // Each node gates its own share of the offered load, mirroring the
+    // per-node allocator: a node-local gate sized at node capacity.
+    for (std::size_t m = 0; m < nodes; ++m) {
+      cluster.node(m).set_admission(
+          make_admission(cfg.admission, cfg.delta, dist, cfg.capacity));
+    }
+  }
   cluster.start(0.0);
 
   // One generator per class; `load` is per-node utilization, so the cluster
@@ -218,6 +226,20 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
   }
   out.system_slowdown = sys_n > 0 ? sys : kNaN;
   out.settle_tu = settle_times(cfg, out);
+  if (cfg.admission.active()) {
+    out.shed.assign(n, 0);
+    out.offered.assign(n, 0);
+    std::uint64_t done = 0;
+    for (std::size_t m = 0; m < nodes; ++m) {
+      const Server& node = cluster.node(m);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.shed[i] += node.rejected(static_cast<ClassId>(i));
+        out.offered[i] += node.offered(static_cast<ClassId>(i));
+      }
+    }
+    for (const auto& c : out.cls) done += c.completed;
+    out.goodput_tu = static_cast<double>(done) / cfg.measure_tu;
+  }
   return out;
 }
 
@@ -241,6 +263,10 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
                 make_scenario_backend(cfg, unit),
                 make_scenario_allocator(cfg, dist.mean()),
                 run_rng.fork(1000));
+  if (cfg.admission.active()) {
+    server.set_admission(
+        make_admission(cfg.admission, cfg.delta, dist, cfg.capacity));
+  }
   server.start(0.0);
 
   // --- arrivals: generators (one per class, independent streams), with an
@@ -289,6 +315,17 @@ RunResult run_single_node_scenario(const ScenarioConfig& cfg,
     out.cls[i].windows = m.windows(static_cast<ClassId>(i));
   }
   out.settle_tu = settle_times(cfg, out);
+  if (cfg.admission.active()) {
+    out.shed.resize(n);
+    out.offered.resize(n);
+    std::uint64_t done = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.shed[i] = server.rejected(static_cast<ClassId>(i));
+      out.offered[i] = server.offered(static_cast<ClassId>(i));
+      done += out.cls[i].completed;
+    }
+    out.goodput_tu = static_cast<double>(done) / cfg.measure_tu;
+  }
   return out;
 }
 
@@ -409,6 +446,43 @@ ReplicatedResult aggregate_replications(const ScenarioConfig& cfg,
         agg.settle_p75_tu[j] = settled_times[rank - 1];
       }
     }
+  }
+
+  // Overload-regime aggregation: pooled per-class shed rates, mean goodput,
+  // and worst windowed-median ratio error over surviving classes.
+  if (cfg.admission.active()) {
+    agg.shed_rate.assign(n, kNaN);
+    std::vector<std::uint64_t> shed(n, 0), offered(n, 0);
+    double good = 0.0;
+    std::size_t good_n = 0;
+    for (const auto& r : results) {
+      for (std::size_t i = 0; i < n && i < r.shed.size(); ++i) {
+        shed[i] += r.shed[i];
+        offered[i] += r.offered[i];
+      }
+      if (std::isfinite(r.goodput_tu)) {
+        good += r.goodput_tu;
+        ++good_n;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      agg.shed_total += shed[i];
+      if (offered[i] > 0) {
+        agg.shed_rate[i] = static_cast<double>(shed[i]) /
+                           static_cast<double>(offered[i]);
+      }
+    }
+    if (good_n > 0) agg.goodput_tu = good / static_cast<double>(good_n);
+    for (std::size_t j = 1; j < n; ++j) {
+      const auto& rp = agg.ratio[j - 1];
+      if (rp.windows == 0) continue;  // class fully shed: not a survivor
+      const double target = cfg.delta[j] / cfg.delta[0];
+      const double err = std::abs(rp.p50 / target - 1.0);
+      if (!(err <= agg.survivor_ratio_err)) {  // NaN-aware max
+        agg.survivor_ratio_err = err;
+      }
+    }
+    if (n == 1) agg.survivor_ratio_err = 0.0;
   }
 
   // eq.-18 predictions (only meaningful for the PSD allocators with a

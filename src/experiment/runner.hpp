@@ -30,6 +30,14 @@ struct RunResult {
   /// (stats/convergence.hpp), in paper tu, for class j = 1..N-1.  Empty
   /// unless cfg.profile has a finite step_time(); NaN = never settled.
   std::vector<double> settle_tu;
+  /// Overload-regime accounting, populated only when cfg.admission is
+  /// active (empty / NaN otherwise — admission-off results are unchanged).
+  std::vector<std::uint64_t> shed;     ///< Rejected at the gate, per class.
+  std::vector<std::uint64_t> offered;  ///< Offered arrivals (incl. shed).
+  /// Goodput: post-warmup completions of admitted work per paper tu; at
+  /// capacity 1 a value of ~1.0 means the server is serving exactly what it
+  /// can.  NaN when no gate is installed.
+  double goodput_tu = kNaN;
 };
 
 /// Execute one replication; `run_index` derives an independent RNG stream
@@ -89,6 +97,16 @@ struct ReplicatedResult {
   std::vector<double> settle_rate;
   std::vector<double> settle_p75_tu;
   std::uint64_t completed_total = 0;
+  /// Overload-regime statistics (admission runs only; empty / NaN / 0
+  /// otherwise).  shed_rate[c] pools shed/offered over all runs; goodput is
+  /// the across-run mean of RunResult::goodput_tu; survivor_ratio_err is
+  /// the worst windowed-median ratio error |p50_j / target_j - 1| over
+  /// classes that actually completed work — ratio integrity among the
+  /// admitted survivors.
+  std::uint64_t shed_total = 0;
+  std::vector<double> shed_rate;
+  double goodput_tu = kNaN;
+  double survivor_ratio_err = kNaN;
 };
 
 /// Deterministically aggregate per-replication results (in vector order)

@@ -1,5 +1,7 @@
 #include "experiment/scenario.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "dist/sampler.hpp"
 
@@ -26,8 +28,22 @@ void ScenarioConfig::validate() const {
                   "deltas must be non-decreasing (class 0 is highest)");
     }
   }
-  PSD_REQUIRE(load > 0.0 && load < 1.0,
-              "load must be in (0,1) for a stable system");
+  if (admission.active()) {
+    // An admission gate makes beyond-capacity offered load a deliberate,
+    // survivable regime; without one the system must stay stable.
+    PSD_REQUIRE(load > 0.0, "load must be positive");
+  } else {
+    PSD_REQUIRE(load > 0.0 && load < 1.0,
+                "load must be in (0,1) for a stable system");
+  }
+  admission.validate();
+  if (!admission.active() && load * profile.peak_factor() > 1.0) {
+    std::fprintf(stderr,
+                 "psd: warning: peak offered utilization %.3g (load %g x "
+                 "profile peak %g) exceeds capacity with admission off; the "
+                 "queues grow without bound during the peak\n",
+                 load * profile.peak_factor(), load, profile.peak_factor());
+  }
   PSD_REQUIRE(capacity > 0.0, "capacity must be positive");
   PSD_REQUIRE(warmup_tu >= 0.0, "warmup must be >= 0");
   PSD_REQUIRE(measure_tu > 0.0, "measurement length must be positive");

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "admission/admission.hpp"
 #include "cluster/assignment.hpp"
 #include "core/adaptive_psd.hpp"
 #include "dist/factory.hpp"
@@ -72,6 +73,11 @@ struct ScenarioConfig {
   RateChangePolicy rate_change = RateChangePolicy::kRescaleRemaining;
   double rho_max = 0.98;
   double min_residual_share = 1e-3;
+  /// Pre-queue admission gate (src/admission).  kNone (default) installs
+  /// nothing and keeps every output byte-identical; any other kind permits
+  /// beyond-capacity loads (load >= 1 = deliberate overload) and surfaces
+  /// per-class shed counts + goodput in RunResult.
+  AdmissionSpec admission;
 
   // --- cluster composition (src/cluster) ---
   /// 1 = the paper's single node.  > 1 builds `cluster_nodes` identical

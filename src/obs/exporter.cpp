@@ -97,12 +97,14 @@ std::string StatsExporter::render_line(double now) {
   for (const auto* g : gens_) produced += g->produced();
 
   std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
   std::string shards_json = "[";
   ProfSnap prof_all;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const rt::ShardSnapshot s = shards_[i]->snapshot();
     const rt::ShardTelemetry t = shards_[i]->telemetry();
     dropped += s.drops;
+    for (std::size_t c = 0; c < n; ++c) shed += s.sheds_cls[c];
     prof_all.merge(t.prof);
 
     JsonObject sh;
@@ -111,6 +113,10 @@ std::string StatsExporter::render_line(double now) {
         .field("drains", s.drains)
         .field("windows", s.windows_closed)
         .raw("drops", uint_array(s.drops_cls, n))
+        // Additive split of the rejection taxonomy: "drops" above stays the
+        // ring-full count it always was; "drops_shed" is the admission
+        // gate's per-class policy sheds (all-zero without a gate).
+        .raw("drops_shed", uint_array(s.sheds_cls, n))
         .raw("accepted", uint_array(s.accepted, n))
         .raw("completed", uint_array(s.completed, n))
         .raw("staged", uint_array(s.staged, n))
@@ -178,6 +184,7 @@ std::string StatsExporter::render_line(double now) {
       .field("classes", static_cast<std::uint64_t>(n))
       .field("produced", produced)
       .field("dropped", dropped)
+      .field("shed", shed)
       .raw("shards", shards_json)
       .raw("controller", ctl.str());
 
@@ -275,6 +282,10 @@ std::string StatsExporter::prometheus_text() const {
   family("psd_rt_dropped_total", "counter",
          [&](const rt::ShardSnapshot& s, std::size_t c) {
            return u64(s.drops_cls[c]);
+         });
+  family("psd_rt_shed_total", "counter",
+         [&](const rt::ShardSnapshot& s, std::size_t c) {
+           return u64(s.sheds_cls[c]);
          });
   family("psd_rt_accepted_total", "counter",
          [&](const rt::ShardSnapshot& s, std::size_t c) {

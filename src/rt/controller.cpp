@@ -69,13 +69,17 @@ void Controller::tick(Time now) {
   obs::ScopedProfTimer prof_tick(&prof_, obs::kProfControllerTick);
   const std::size_t n = cfg_.delta.size();
   std::vector<double> lambda(n, 0.0);
+  std::vector<double> offered(n, 0.0);
+  std::uint64_t windows_total = 0;
   std::vector<double> sd_sum(n, 0.0);
   std::vector<std::uint32_t> sd_cnt(n, 0);
   bool fresh_window = false;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const ShardSnapshot snap = shards_[i]->snapshot();
+    windows_total += snap.windows_closed;
     for (std::size_t c = 0; c < n; ++c) {
       lambda[c] += snap.lambda_hat[c];
+      offered[c] += snap.offered_lambda[c];
       // Slowdown feedback only from classes whose metrics window actually
       // advanced since this controller last looked: ticks and shard window
       // rolls are not phase-locked (and windows close lazily, on the first
@@ -95,6 +99,23 @@ void Controller::tick(Time now) {
   std::vector<double> mean_sd(n, kNaN);
   for (std::size_t c = 0; c < n; ++c) {
     if (sd_cnt[c] > 0) mean_sd[c] = sd_sum[c] / sd_cnt[c];
+  }
+
+  // Admission update cadence: once per estimation window (some shard's
+  // estimator rolled since the last staged update), not once per tick —
+  // gate decisions latch between windows, mirroring the allocator.  Each
+  // shard's gate is sized at shard capacity, so it receives the per-shard
+  // slice of the aggregated offered view.
+  if (cfg_.admission && windows_total > admission_windows_seen_) {
+    admission_windows_seen_ = windows_total;
+    const double inv_shards = 1.0 / static_cast<double>(shards_.size());
+    std::vector<double> offered_slice(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      offered_slice[c] = offered[c] * inv_shards;
+    }
+    for (Shard* shard : shards_) {
+      shard->stage_admission_update(offered_slice);
+    }
   }
 
   ++ticks_;

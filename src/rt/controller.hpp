@@ -33,6 +33,10 @@ struct ControllerConfig {
   AdaptiveConfig adaptive;
   double rho_max = 0.98;
   double min_residual_share = 1e-3;
+  /// Shards carry admission gates: aggregate their OFFERED-load estimates
+  /// each tick and stage a cluster-wide per-shard update (shards call
+  /// gate->update() on their own threads) once per estimation window.
+  bool admission = false;
   /// Record a per-tick decision trace (obs layer); bounded ring below.
   bool trace = false;
   std::size_t trace_capacity = 512;
@@ -96,6 +100,9 @@ class Controller {
   /// Last window_seq seen, per (shard, class) — feedback from a class is
   /// integrated only when its metrics window genuinely advanced.
   std::vector<std::uint64_t> windows_seen_;
+  /// Sum of shard estimator windows_closed at the last staged admission
+  /// update — gate decisions latch per estimation window, not per tick.
+  std::uint64_t admission_windows_seen_ = 0;
   std::vector<double> rates_;                 ///< Global (summed) rates.
   std::uint64_t ticks_ = 0;
   std::uint64_t allocations_ = 0;

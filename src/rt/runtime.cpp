@@ -57,7 +57,13 @@ void RtConfig::validate() const {
       PSD_REQUIRE(delta[i] >= delta[i - 1], "delta must be non-decreasing");
     }
   }
-  PSD_REQUIRE(load > 0.0 && load < 1.0, "load must be in (0,1)");
+  if (admission.active()) {
+    // A gate makes beyond-capacity load a survivable, measured regime.
+    PSD_REQUIRE(load > 0.0, "load must be positive");
+  } else {
+    PSD_REQUIRE(load > 0.0 && load < 1.0, "load must be in (0,1)");
+  }
+  admission.validate();
   if (!load_share.empty()) {
     PSD_REQUIRE(load_share.size() == delta.size(),
                 "load_share size mismatch");
@@ -101,8 +107,15 @@ void Runtime::build_shards(double shard_capacity) {
   sc.telemetry_publish_interval =
       std::min(sc.telemetry_publish_interval, cfg_.obs.stats_interval);
   shards_.reserve(cfg_.shards);
+  const SamplerVariant dist = make_sampler(cfg_.size_dist);
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(sc, master.fork(9000 + i)));
+    if (cfg_.admission.active()) {
+      // One gate per shard, sized at shard capacity — gate state stays
+      // shard-thread-private; the controller only stages estimates.
+      shards_.back()->set_admission(
+          make_admission(cfg_.admission, cfg_.delta, dist, shard_capacity));
+    }
   }
 }
 
@@ -127,6 +140,7 @@ SamplerVariant Runtime::init_topology() {
   cc.adaptive = cfg_.adaptive;
   cc.rho_max = cfg_.rho_max;
   cc.min_residual_share = cfg_.min_residual_share;
+  cc.admission = cfg_.admission.active();
   cc.trace = cfg_.obs.enabled;
   cc.trace_capacity = cfg_.obs.trace_capacity;
   cc.profile = cfg_.obs.profile;
@@ -352,10 +366,13 @@ RtReport Runtime::report() const {
   std::vector<std::uint64_t> sd_n(n, 0);
   std::vector<double> wait_sum(n, 0.0);
   std::vector<std::uint64_t> wait_n(n, 0);
+  std::vector<std::uint64_t> accepted(n, 0);
   for (const auto& shard : shards_) {
     const ShardSnapshot snap = shard->snapshot();
     r.drains += snap.drains;
     for (std::size_t c = 0; c < n; ++c) {
+      r.cls[c].shed += snap.sheds_cls[c];
+      accepted[c] += snap.accepted[c];
       r.cls[c].completed += snap.completed[c];
       if (snap.completed[c] > 0 && std::isfinite(snap.mean_slowdown[c])) {
         sd_sum[c] += snap.mean_slowdown[c] *
@@ -385,6 +402,16 @@ RtReport Runtime::report() const {
     }
     r.cls[c].target_ratio = cfg_.delta[c] / cfg_.delta[0];
     r.completed_total += r.cls[c].completed;
+    r.shed_total += r.cls[c].shed;
+    if (cfg_.admission.active() && accepted[c] + r.cls[c].shed > 0) {
+      r.cls[c].shed_rate =
+          static_cast<double>(r.cls[c].shed) /
+          static_cast<double>(accepted[c] + r.cls[c].shed);
+    }
+  }
+  if (cfg_.admission.active() && cfg_.duration > cfg_.warmup) {
+    r.goodput = static_cast<double>(r.completed_total) /
+                (cfg_.duration - cfg_.warmup);
   }
   const double s0 = r.cls[0].mean_slowdown;
   double worst = kNaN;
@@ -443,6 +470,16 @@ RtReport Runtime::report() const {
       r.cls[c].window_ratio_p50 = p50;
       const double err = std::abs(p50 / r.cls[c].target_ratio - 1.0);
       worst_w = std::isfinite(worst_w) ? std::max(worst_w, err) : err;
+      // Survivor-only ratio integrity: under a gate, a fully-shed class
+      // contributes no windows and drops out of this statistic by
+      // construction — what remains is the differentiation among classes
+      // that kept completing.
+      if (cfg_.admission.active() && r.cls[c].completed > 0) {
+        r.survivor_window_ratio_error =
+            std::isfinite(r.survivor_window_ratio_error)
+                ? std::max(r.survivor_window_ratio_error, err)
+                : err;
+      }
     }
     r.max_window_ratio_error = worst_w;
 

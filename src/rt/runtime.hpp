@@ -60,6 +60,12 @@ struct RtConfig {
   AdaptiveConfig adaptive{0.3, 4.0, 0.3};
   double rho_max = 0.98;
   double min_residual_share = 1e-3;
+  /// Pre-sim admission gate evaluated at ring-pop time (src/admission).
+  /// kNone (default) installs nothing — the shard pop loop pays one null
+  /// check and every report byte is unchanged.  Any other kind permits
+  /// load >= 1 (deliberate overload) and populates the shed/goodput report
+  /// fields.
+  AdmissionSpec admission;
 
   // --- run protocol ---
   double warmup = 0.5;    ///< Seconds excluded from metrics.
@@ -84,7 +90,13 @@ struct RtConfig {
 struct RtClassReport {
   double delta = 0.0;
   std::uint64_t completed = 0;   ///< Post-warmup completions.
-  std::uint64_t dropped = 0;     ///< Ingress-full rejections (all shards).
+  std::uint64_t dropped = 0;     ///< Ingress-ring-full rejections.
+  /// Admission-gate sheds (policy decisions), separate from the ring-full
+  /// drops above; 0 without a gate.
+  std::uint64_t shed = 0;
+  /// shed / (accepted + shed) — the fraction of offered work this class
+  /// lost to the gate.  NaN without a gate or without arrivals.
+  double shed_rate = kNaN;
   double mean_slowdown = kNaN;
   /// Post-warmup slowdown percentiles, folded across shards from the
   /// per-shard LogHistograms (stats/histogram.hpp merge()).  NaN unless
@@ -118,6 +130,16 @@ struct RtReport {
   double max_settle_seconds = kNaN;
   std::uint64_t produced = 0;
   std::uint64_t dropped = 0;
+  /// Admission-gate sheds over all classes/shards; 0 without a gate.
+  std::uint64_t shed_total = 0;
+  /// Goodput: post-warmup completions of ADMITTED work per second of the
+  /// measurement interval (duration - warmup).  NaN without a gate — the
+  /// metric exists to compare against capacity under overload.
+  double goodput = kNaN;
+  /// Worst |window_ratio_p50 / target - 1| over classes that actually
+  /// completed work — ratio integrity among the admitted survivors.  NaN
+  /// without a gate (max_window_ratio_error covers the nominal regime).
+  double survivor_window_ratio_error = kNaN;
   std::uint64_t completed_total = 0;  ///< Post-warmup.
   std::uint64_t completed_all = 0;    ///< Including warmup.
   std::uint64_t outstanding = 0;      ///< Accepted but never completed.

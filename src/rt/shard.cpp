@@ -109,6 +109,25 @@ void Shard::apply_rates(const std::vector<double>& rates) {
   has_pending_ = true;
 }
 
+void Shard::set_admission(std::unique_ptr<AdmissionController> admission) {
+  admission_ = std::move(admission);
+  if (admission_ != nullptr) {
+    offered_est_ = std::make_unique<LoadEstimator>(
+        cfg_.num_classes, cfg_.window, cfg_.estimator_history);
+    sheds_cls_.assign(cfg_.num_classes, 0);
+    offered_cache_.assign(cfg_.num_classes, 0.0);
+  }
+}
+
+void Shard::stage_admission_update(
+    const std::vector<double>& offered_lambda) {
+  PSD_REQUIRE(offered_lambda.size() == cfg_.num_classes,
+              "offered estimate size mismatch");
+  std::lock_guard<std::mutex> lock(pending_m_);
+  pending_offered_ = offered_lambda;
+  has_pending_admission_ = true;
+}
+
 std::size_t Shard::drain(Time now) {
   obs::ScopedProfTimer prof_drain(&prof_, obs::kProfDrain);
   // The wall clock is monotone across calls, but the embedded simulator may
@@ -131,6 +150,13 @@ std::size_t Shard::drain(Time now) {
         buckets_[c].set_rate(rates_[c], now);
       }
     }
+    // Gate decisions latch here, once per staged controller update (i.e.
+    // per estimation window) — the shard thread owns all gate state, the
+    // controller only hands estimates across.
+    if (has_pending_admission_) {
+      has_pending_admission_ = false;
+      if (admission_ != nullptr) admission_->update(pending_offered_);
+    }
   }
 
   // 3. Ingest the ingress backlog into the per-class staging queues.  The
@@ -147,6 +173,18 @@ std::size_t Shard::drain(Time now) {
     while (ingress_.try_pop(req)) {
       ++popped;
       const ClassId c = req.cls;
+      // Admission gate: O(1) decision at pop time, BEFORE the request can
+      // touch the estimator or the embedded simulator — the allocator only
+      // ever sees admitted load, while the offered estimator (feeding the
+      // gate's own update cadence) sees everything.
+      if (admission_ != nullptr) {
+        offered_est_->on_arrival(c, req.size);
+        if (!admission_->admit_request(c, now, req.size)) {
+          ++sheds_cls_[c];
+          shed_n_.fetch_add(1, std::memory_order_release);
+          continue;
+        }
+      }
       // Clamped at zero: producers stamp arrival from their own clock
       // reads, which may postdate this drain's single read of `now`.
       const double wait = std::max(0.0, now - req.arrival);
@@ -179,6 +217,7 @@ std::size_t Shard::drain(Time now) {
   bool rolled = false;
   while (next_roll_ <= now) {
     estimator_.roll(next_roll_);
+    if (offered_est_ != nullptr) offered_est_->roll(next_roll_);
     next_roll_ += cfg_.window;
     rolled = true;
   }
@@ -198,6 +237,9 @@ std::size_t Shard::drain(Time now) {
 
 void Shard::refresh_estimates() {
   lambda_cache_ = estimator_.lambda_estimate();
+  if (offered_est_ != nullptr) {
+    offered_cache_ = offered_est_->lambda_estimate();
+  }
   window_sd_cache_ = server_->metrics().last_window_slowdowns();
   // Captured together with the slowdowns so the published (value, seq)
   // pair is coherent: seq is the number of CLOSED windows behind value.
@@ -229,6 +271,12 @@ void Shard::publish(Time now) {
     s.rate[c] = rates_[c];
     s.mean_ingress_wait[c] = ingress_wait_[c].mean();
     s.window_seq[c] = window_seq_cache_[c];
+  }
+  if (admission_ != nullptr) {
+    for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+      s.sheds_cls[c] = sheds_cls_[c];
+      s.offered_lambda[c] = offered_cache_[c];
+    }
   }
   snap_.publish(s);
 }

@@ -62,12 +62,20 @@ struct ShardSnapshot {
   /// controller ticks are not phase-locked, and re-integrating a stale
   /// window (e.g. during a completion lull) double-applies its error.
   std::uint64_t window_seq[kMaxRtClasses] = {};
-  std::uint64_t drops_cls[kMaxRtClasses] = {};  ///< Per-class rejections.
-  std::uint64_t accepted[kMaxRtClasses] = {};   ///< Popped from ingress.
+  std::uint64_t drops_cls[kMaxRtClasses] = {};  ///< Ring-full, per class.
+  /// Admission-gate sheds per class (policy decisions at ring-pop time),
+  /// counted separately from the ring-full drops above; zero without a
+  /// gate.  `drops`/`drops_cls` keep their historical meaning untouched.
+  std::uint64_t sheds_cls[kMaxRtClasses] = {};
+  std::uint64_t accepted[kMaxRtClasses] = {};   ///< Popped and admitted.
   std::uint64_t completed[kMaxRtClasses] = {};  ///< Post-warmup completions.
   std::uint64_t staged[kMaxRtClasses] = {};     ///< Waiting behind buckets.
   std::uint64_t outstanding[kMaxRtClasses] = {};  ///< In shard, not done.
-  double lambda_hat[kMaxRtClasses] = {};  ///< Estimator arrivals/sec.
+  double lambda_hat[kMaxRtClasses] = {};  ///< ADMITTED arrivals/sec.
+  /// OFFERED arrivals/sec including gate sheds — what the controller feeds
+  /// back into admission update() so gates see true demand.  Zero (and
+  /// never estimated) without a gate.
+  double offered_lambda[kMaxRtClasses] = {};
   double mean_slowdown[kMaxRtClasses] = {};     ///< Cumulative post-warmup.
   double window_slowdown[kMaxRtClasses] = {};   ///< Last closed window.
   double rate[kMaxRtClasses] = {};              ///< Current allocation.
@@ -148,17 +156,37 @@ class Shard {
   /// it at the start of its next drain.
   void apply_rates(const std::vector<double>& rates);
 
+  /// Setup time (before any producer/controller thread runs): install a
+  /// pre-sim admission gate.  Shed requests are counted per class,
+  /// separately from ring-full drops, and never reach the estimator or the
+  /// embedded simulator.
+  void set_admission(std::unique_ptr<AdmissionController> admission);
+
+  /// Controller thread: stage fresh per-class OFFERED arrival-rate
+  /// estimates for the gate; the shard calls admission->update() with them
+  /// at the start of its next drain.  Same single-slot handoff discipline
+  /// as apply_rates, so all gate state stays shard-thread-private.
+  void stage_admission_update(const std::vector<double>& offered_lambda);
+
   /// Any thread, any time: consistent copy of the latest published state.
   ShardSnapshot snapshot() const { return snap_.read(); }
 
   /// Any thread: latest telemetry snapshot (all-zero unless cfg.telemetry).
   ShardTelemetry telemetry() const { return telem_snap_.read(); }
 
-  /// Requests accepted by submit() and not yet completed (any thread).
+  /// Requests accepted by submit() and neither completed nor shed by the
+  /// admission gate (any thread).
   std::uint64_t outstanding() const {
     const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
-    const std::uint64_t done = done_.load(std::memory_order_acquire);
+    const std::uint64_t done = done_.load(std::memory_order_acquire) +
+                               shed_n_.load(std::memory_order_acquire);
     return pushed > done ? pushed - done : 0;
+  }
+
+  /// Admission-gate sheds, all classes (any thread).  Per-class counts are
+  /// shard-thread-private; read them from snapshot().sheds_cls.
+  std::uint64_t shed_total() const {
+    return shed_n_.load(std::memory_order_acquire);
   }
 
   std::uint64_t dropped() const {
@@ -211,15 +239,26 @@ class Shard {
   Time next_roll_;
   std::vector<double> rates_;
 
+  // Admission gate (shard-thread-owned after setup).  The offered-load
+  // estimator exists only alongside a gate, so the admission-off pop loop
+  // pays exactly one null-pointer branch.
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<LoadEstimator> offered_est_;
+  std::vector<std::uint64_t> sheds_cls_;   ///< Shard-thread private.
+  std::vector<double> offered_cache_;
+
   // Controller -> shard handoff (rarely contended; one exchange per tick).
   std::mutex pending_m_;
   std::vector<double> pending_rates_;
   bool has_pending_ = false;
+  std::vector<double> pending_offered_;
+  bool has_pending_admission_ = false;
 
   // Cross-thread counters.  Drops are per class (any producer may reject
   // any class), each on its own cache line.
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> shed_n_{0};  ///< Shard thread writes, any reads.
   std::array<obs::Counter, kMaxRtClasses> drops_cls_;
 
   // Shard-thread-private statistics.

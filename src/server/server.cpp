@@ -15,6 +15,7 @@ Server::Server(Simulator& sim, const ServerConfig& cfg,
       backend_(std::move(backend)),
       allocator_(std::move(allocator)),
       rejected_(cfg.num_classes, 0),
+      offered_count_(cfg.num_classes, 0),
       estimator_(cfg.num_classes,
                  cfg.realloc_period > 0.0 ? cfg.realloc_period : 1.0,
                  cfg.estimator_history),
@@ -95,8 +96,9 @@ void Server::submit(const Request& req) {
   // runtime's shards, which measure load outside the server) nothing would
   // ever roll or read it, so the per-arrival update is skipped too.
   if (admission_ != nullptr) {
+    ++offered_count_[req.cls];
     offered_.on_arrival(req.cls, req.size);
-    if (!admission_->admit(req.cls)) {
+    if (!admission_->admit_request(req.cls, sim_.now(), req.size)) {
       ++rejected_[req.cls];
       return;
     }

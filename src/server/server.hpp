@@ -80,6 +80,10 @@ class Server final : public RequestSink {
   std::uint64_t reallocations() const { return reallocs_; }
   std::uint64_t rejected(ClassId cls) const { return rejected_[cls]; }
   std::uint64_t rejected_total() const;
+  /// Per-class offered arrivals (admitted + rejected).  Counted only while
+  /// an admission controller is installed (0 otherwise) — shed-rate
+  /// denominators, same gating as offered_estimator().
+  std::uint64_t offered(ClassId cls) const { return offered_count_[cls]; }
 
  private:
   void realloc_tick(Time now);
@@ -92,6 +96,7 @@ class Server final : public RequestSink {
   std::unique_ptr<AdmissionController> admission_;
   std::function<void(const Request&)> observer_;
   std::vector<std::uint64_t> rejected_;
+  std::vector<std::uint64_t> offered_count_;
   LoadEstimator estimator_;
   LoadEstimator offered_;
   MetricsCollector metrics_;

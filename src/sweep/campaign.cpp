@@ -93,6 +93,16 @@ std::string render_point_record(const CampaignPoint& point,
     }
   }
 
+  // Gated points carry the overload-survival block; same conditional-append
+  // discipline as the profile block above.
+  if (cfg.admission.active()) {
+    o.field("admission", cfg.admission.name())
+        .field("shed_total", result.shed_total)
+        .raw("shed_rate", json_array(result.shed_rate))
+        .field("goodput_tu", result.goodput_tu)
+        .field("survivor_ratio_err", result.survivor_ratio_err);
+  }
+
   o.field("completed", result.completed_total);
   if (timing) o.field("wall_ms", wall_ms);
   return o.str();

@@ -130,6 +130,7 @@ std::string config_canonical(const ScenarioConfig& in) {
     cfg.mmpp_duty = defaults.mmpp_duty;
   }
   if (!cfg.profile.active()) cfg.converge_tol = defaults.converge_tol;
+  if (!cfg.admission.active()) cfg.admission = AdmissionSpec{};
   if (!cfg.record_requests) {
     cfg.record_from_tu = defaults.record_from_tu;
     cfg.record_to_tu = defaults.record_to_tu;
@@ -180,6 +181,13 @@ std::string config_canonical(const ScenarioConfig& in) {
          ',' + json_number(cfg.profile.c) + ',' + json_number(cfg.profile.d) +
          ");";
     num("converge_tol", cfg.converge_tol);
+  }
+  if (cfg.admission != AdmissionSpec{}) {
+    // name() round-trips through AdmissionSpec::parse and renders params
+    // canonically, so it is safe to hash.
+    s += "admission=";
+    s += cfg.admission.name();
+    s += ';';
   }
   num("capacity", cfg.capacity);
   num("warmup_tu", cfg.warmup_tu);
@@ -266,6 +274,9 @@ std::vector<CampaignPoint> expand_grid(const GridSpec& grid) {
   const auto profiles = grid.profiles.empty()
                             ? std::vector<LoadProfile>{grid.base.profile}
                             : grid.profiles;
+  const auto admissions = grid.admissions.empty()
+                              ? std::vector<AdmissionSpec>{grid.base.admission}
+                              : grid.admissions;
 
   std::vector<CampaignPoint> points;
   std::unordered_set<std::string> seen;
@@ -277,41 +288,50 @@ std::vector<CampaignPoint> expand_grid(const GridSpec& grid) {
             for (const auto node_count : nodes) {
               for (const auto policy : policies) {
                 for (const auto& profile : profiles) {
-                  for (const double load : loads) {
-                    ScenarioConfig cfg = grid.base;
-                    cfg.delta = delta;
-                    cfg.size_dist = dist;
-                    cfg.backend = backend;
-                    cfg.allocator = allocator;
-                    cfg.rate_change = rate_change;
-                    cfg.cluster_nodes = node_count;
-                    cfg.cluster_policy = policy;
-                    cfg.profile = profile;
-                    cfg.load = load;
-                    cfg.validate();
-                    // Dedup on the full canonical form, not the 64-bit key,
-                    // so a hash collision can never silently drop a point.
-                    if (!seen.insert(config_canonical(cfg)).second) continue;
-                    CampaignPoint p;
-                    p.key = config_key(cfg);
-                    p.label = "delta=" + delta_label(delta) +
-                              " load=" + short_num(load) +
-                              " backend=" + backend_name(backend) +
-                              " alloc=" + allocator_name(allocator) +
-                              " dist=" + dist_name(dist);
-                    if (rate_change != RateChangePolicy::kRescaleRemaining) {
-                      p.label += std::string(" rate_change=") +
-                                 rate_change_name(rate_change);
+                  for (const auto& admission : admissions) {
+                    for (const double load : loads) {
+                      ScenarioConfig cfg = grid.base;
+                      cfg.delta = delta;
+                      cfg.size_dist = dist;
+                      cfg.backend = backend;
+                      cfg.allocator = allocator;
+                      cfg.rate_change = rate_change;
+                      cfg.cluster_nodes = node_count;
+                      cfg.cluster_policy = policy;
+                      cfg.profile = profile;
+                      cfg.admission = admission;
+                      cfg.load = load;
+                      cfg.validate();
+                      // Dedup on the full canonical form, not the 64-bit
+                      // key, so a hash collision can never silently drop a
+                      // point.
+                      if (!seen.insert(config_canonical(cfg)).second) {
+                        continue;
+                      }
+                      CampaignPoint p;
+                      p.key = config_key(cfg);
+                      p.label = "delta=" + delta_label(delta) +
+                                " load=" + short_num(load) +
+                                " backend=" + backend_name(backend) +
+                                " alloc=" + allocator_name(allocator) +
+                                " dist=" + dist_name(dist);
+                      if (rate_change != RateChangePolicy::kRescaleRemaining) {
+                        p.label += std::string(" rate_change=") +
+                                   rate_change_name(rate_change);
+                      }
+                      if (node_count > 1) {
+                        p.label += " nodes=" + std::to_string(node_count) +
+                                   " policy=" + assignment_policy_name(policy);
+                      }
+                      if (profile.active()) {
+                        p.label += " profile=" + profile.name();
+                      }
+                      if (admission.active()) {
+                        p.label += " admission=" + admission.name();
+                      }
+                      p.cfg = std::move(cfg);
+                      points.push_back(std::move(p));
                     }
-                    if (node_count > 1) {
-                      p.label += " nodes=" + std::to_string(node_count) +
-                                 " policy=" + assignment_policy_name(policy);
-                    }
-                    if (profile.active()) {
-                      p.label += " profile=" + profile.name();
-                    }
-                    p.cfg = std::move(cfg);
-                    points.push_back(std::move(p));
                   }
                 }
               }

@@ -30,6 +30,10 @@ struct GridSpec {
   /// Nonstationary load profiles (times in paper tu); LoadProfile::none()
   /// as an axis value runs the stationary control alongside the transients.
   std::vector<LoadProfile> profiles;
+  /// Admission policies; AdmissionSpec{} (kNone) as an axis value runs the
+  /// ungated control alongside the gated points.  Any active spec lifts the
+  /// load < 1 restriction, so overload factors belong on the loads axis.
+  std::vector<AdmissionSpec> admissions;
 };
 
 struct CampaignPoint {

@@ -2,7 +2,10 @@
 // and end-to-end overload protection through the server.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "admission/admission.hpp"
 #include "core/psd_allocation.hpp"
@@ -10,6 +13,7 @@
 #include "dist/bounded_pareto.hpp"
 #include "sched/dedicated_rate.hpp"
 #include "server/server.hpp"
+#include "workload/arrival.hpp"
 #include "workload/class_spec.hpp"
 #include "workload/generator.hpp"
 
@@ -105,6 +109,159 @@ TEST(SlowdownBudgetGate, InfeasibleLoadShedsToFeasibility) {
   gate.update(heavy);
   EXPECT_TRUE(gate.admit(0));
   EXPECT_FALSE(gate.admit(2));  // at least the lowest class must go
+}
+
+TEST(ProportionalShedGate, ThinsInDeltaProportionAndLatches) {
+  ProportionalShedGate g({1.0, 2.0}, 1.0, 1.0, 0.8);
+  g.update({1.0, 1.0});  // demand 2.0, excess 1.2 split 1:2 -> shed 0.4/0.8
+  ASSERT_EQ(g.keep().size(), 2u);
+  EXPECT_NEAR(g.keep()[0], 0.6, 1e-12);
+  EXPECT_NEAR(g.keep()[1], 0.2, 1e-12);
+  EXPECT_TRUE(g.admit(0));  // every class survives, just thinned
+  EXPECT_TRUE(g.admit(1));
+  const auto latched = g.keep();
+  for (int i = 0; i < 100; ++i) g.admit_request(1, i * 0.1, 1.0);
+  EXPECT_EQ(g.keep(), latched);  // per-request calls never move the latch
+  g.update({0.3, 0.3});          // demand fits again: full readmission
+  EXPECT_EQ(g.keep()[0], 1.0);
+  EXPECT_EQ(g.keep()[1], 1.0);
+}
+
+TEST(ProportionalShedGate, ErrorDiffusionAdmitsExactFraction) {
+  // Deterministic thinning: over n arrivals class c admits n * keep[c]
+  // requests to within one (credit bank carries the fractional remainder).
+  ProportionalShedGate g({1.0, 2.0}, 1.0, 1.0, 0.8);
+  g.update({1.0, 1.0});  // keep 0.6 / 0.2
+  const int n = 1000;
+  for (ClassId c = 0; c < 2; ++c) {
+    int admitted = 0;
+    for (int i = 0; i < n; ++i) {
+      admitted += g.admit_request(c, i * 0.01, 1.0) ? 1 : 0;
+    }
+    EXPECT_NEAR(admitted, n * g.keep()[c], 1.0) << "class " << c;
+  }
+}
+
+TEST(ProportionalShedGate, HopelessOverloadClampsLowestClassToZero) {
+  ProportionalShedGate g({1.0, 2.0}, 1.0, 1.0, 0.8);
+  g.update({10.0, 10.0});  // demand 20: class 1's shed share exceeds its
+                           // own demand -> zero keep, excess redistributed
+  EXPECT_EQ(g.keep()[1], 0.0);
+  EXPECT_FALSE(g.admit(1));
+  EXPECT_TRUE(g.admit(0));
+  // The surviving class is thinned until admitted demand == target.
+  EXPECT_NEAR(g.keep()[0] * 10.0, 0.8, 1e-9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(g.admit_request(1, i * 1.0, 1.0));  // zero keep banks zero
+  }
+}
+
+TEST(TokenBucketGate, BanksBurstThenMetersToRate) {
+  // 1 class, threshold 0.5, burst 4 tu -> rate 0.5 work/s, 2.0 banked.
+  TokenBucketGate g(1, 1.0, 1.0, 0.5, 4.0);
+  EXPECT_TRUE(g.admit(0));  // no latched mask: classes are metered, not cut
+  // Deficit semantics: the bucket admits while non-negative, so the third
+  // unit request lands on exactly 0 and overdraws; the deficit then gates.
+  EXPECT_TRUE(g.admit_request(0, 0.0, 1.0));
+  EXPECT_TRUE(g.admit_request(0, 0.0, 1.0));
+  EXPECT_TRUE(g.admit_request(0, 0.0, 1.0));
+  EXPECT_FALSE(g.admit_request(0, 0.0, 1.0));
+  // Offered 1 unit/s against the 0.5 rate: the bucket pays off a 1.0
+  // deficit every 2 s, so exactly every other request is admitted.
+  int admitted = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    admitted += g.admit_request(0, static_cast<double>(t), 1.0) ? 1 : 0;
+  }
+  EXPECT_NEAR(admitted, 500, 5);
+}
+
+// Wraps a real gate to observe the latching contract: per-request verdicts
+// may only change after an update() call (the estimation-window boundary),
+// never between two arrivals inside the same window.
+class LatchProbe final : public AdmissionController {
+ public:
+  LatchProbe(Simulator& sim, std::unique_ptr<AdmissionController> inner,
+             std::size_t num_classes)
+      : sim_(sim), inner_(std::move(inner)), seen_(num_classes) {}
+
+  void update(const std::vector<double>& lambda_hat) override {
+    inner_->update(lambda_hat);
+    update_times.push_back(sim_.now());
+  }
+  bool admit(ClassId cls) const override { return inner_->admit(cls); }
+  bool admit_request(ClassId cls, Time now, double size) override {
+    const bool verdict = inner_->admit_request(cls, now, size);
+    Seen& s = seen_[cls];
+    if (s.observed && verdict != s.verdict) {
+      ++flips;
+      if (update_times.size() == s.updates_seen) ++unexplained_flips;
+    }
+    s = {true, verdict, update_times.size()};
+    return verdict;
+  }
+  std::string name() const override { return inner_->name(); }
+
+  std::vector<Time> update_times;
+  std::size_t flips = 0;
+  std::size_t unexplained_flips = 0;
+
+ private:
+  struct Seen {
+    bool observed = false;
+    bool verdict = false;
+    std::size_t updates_seen = 0;
+  };
+  Simulator& sim_;
+  std::unique_ptr<AdmissionController> inner_;
+  std::vector<Seen> seen_;
+};
+
+TEST(ServerAdmission, GateDecisionsLatchOnEstimationWindows) {
+  // MMPP phases swing total demand between 0.18 and 1.62 around the 0.85
+  // threshold, so the gate sheds class 1 during bursts and readmits it in
+  // the lulls — but every verdict change must coincide with an estimator
+  // tick, and every tick must land on a realloc_period boundary.
+  Simulator sim;
+  BoundedPareto bp(1.5, 0.1, 100.0);
+  ServerConfig sc;
+  sc.num_classes = 2;
+  sc.realloc_period = 200.0;
+  sc.estimator_history = 2;  // responsive estimate: phases span ~10 windows
+  sc.metrics.num_classes = 2;
+  sc.metrics.warmup_end = 2000.0;
+  sc.metrics.window = 200.0;
+
+  PsdAllocatorConfig pc;
+  pc.delta = {1.0, 2.0};
+  pc.mean_size = bp.mean();
+  Server server(sim, sc, std::make_unique<DedicatedRateBackend>(),
+                std::make_unique<PsdRateAllocator>(pc), Rng(3));
+  auto probe = std::make_unique<LatchProbe>(
+      sim, std::make_unique<UtilizationGate>(2, bp.mean(), 1.0, 0.85), 2);
+  LatchProbe* latch = probe.get();
+  server.set_admission(std::move(probe));
+  server.start(0.0);
+
+  const auto lam = rates_for_equal_load(0.9, 1.0, bp.mean(), 2);
+  std::vector<std::unique_ptr<RequestGenerator>> gens;
+  for (ClassId c = 0; c < 2; ++c) {
+    // sojourn is denominated in mean interarrivals: 2000 * lam raw-time
+    // high phases, long enough to outlast the estimator smoothing.
+    gens.push_back(std::make_unique<RequestGenerator>(
+        sim, Rng(50 + c), c,
+        make_bursty_arrivals(lam[c], 1.8, 2000.0 * lam[c], 0.5),
+        BoundedParetoSampler(bp), server));
+    gens.back()->start(0.0);
+  }
+  sim.run_until(40000.0);
+
+  EXPECT_GE(latch->flips, 2u);  // shed at least once, readmitted at least once
+  EXPECT_EQ(latch->unexplained_flips, 0u);  // changes only at boundaries
+  ASSERT_GT(latch->update_times.size(), 100u);
+  for (Time t : latch->update_times) {
+    const double k = t / sc.realloc_period;
+    EXPECT_NEAR(k, std::round(k), 1e-9) << "update off-boundary at t=" << t;
+  }
 }
 
 TEST(ServerAdmission, OverloadedServerStaysStableWithGate) {

@@ -159,6 +159,24 @@ inline LoadProfile parse_profile(const std::string& opt,
   }
 }
 
+/// Admission spec -> AdmissionSpec (library grammar, CliError on typos).
+inline AdmissionSpec parse_admission(const std::string& opt,
+                                     const std::string& s) {
+  try {
+    return AdmissionSpec::parse(s);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    const auto dash = what.rfind(" — ");
+    fail(opt + ": " +
+             (dash == std::string::npos ? what
+                                        : what.substr(dash + sizeof(" — ") -
+                                                      sizeof(""))),
+         s,
+         "none | admit-all | util[:thresh] | slowdown-budget[:budget] | "
+         "delta-aware[:thresh] | token-bucket[:thresh[,burst]]");
+  }
+}
+
 /// Arrival-process spec: poisson | det | mmpp:burst[,sojourn[,duty]].
 /// `burst` = high-phase rate over the mean (>= 1), `sojourn` = mean
 /// high-phase length in mean interarrivals, `duty` = high-phase time

@@ -10,6 +10,7 @@
 // class it prints completions, measured mean slowdown, achieved vs target
 // slowdown ratio, and the ingress transit latency; --check-ratio-tol turns
 // the run into a pass/fail differentiation smoke test.
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +45,9 @@ options:
                            follow it on the wall clock)
   --converge-tol F        settle-band half-width for the re-convergence
                           metric                             (default 0.25)
+  --admission SPEC        ring-pop admission gate (lifts the load < 100% cap):
+                          admit-all | util[:thresh] | slowdown-budget[:B] |
+                          delta-aware[:thresh] | token-bucket[:thresh[,burst]]
   --shards N              worker shards (threads)            (default 1)
   --loadgens N            load-generator threads             (default 1)
   --duration SEC          total run length                   (default 3)
@@ -62,6 +66,10 @@ options:
                           trace at the runtime's native speed)
   --check-ratio-tol F     exit 1 unless max achieved-vs-target slowdown
                           ratio error <= F
+  --check-goodput FRAC    exit 1 unless goodput >= FRAC x aggregate capacity
+                          (shards / mean-service; needs --admission)
+  --check-shed-skew TOL   exit 1 unless every class's shed rate is within
+                          TOL of the overall shed rate (needs --admission)
   --bench-out FILE        append a JSONL perf record (suite "rt")
 
 observability (src/obs; all imply --telemetry):
@@ -90,6 +98,8 @@ int main(int argc, char** argv) {
   std::string bench_out;
   double trace_scale = 0.0;  // 0 = derive from mean_service / E[X]
   double check_tol = -1.0;
+  double check_goodput = -1.0;
+  double check_shed_skew = -1.0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -113,6 +123,8 @@ int main(int argc, char** argv) {
         cfg.arrivals = cli::parse_arrival_spec(arg, value());
       else if (arg == "--profile")
         cfg.profile = cli::parse_profile(arg, value());
+      else if (arg == "--admission")
+        cfg.admission = cli::parse_admission(arg, value());
       else if (arg == "--converge-tol")
         cfg.converge_tol =
             cli::parse_double(arg, value(), "--converge-tol 0.25");
@@ -145,6 +157,12 @@ int main(int argc, char** argv) {
         trace_scale = cli::parse_double(arg, value(), "--trace-scale 1e-4");
       else if (arg == "--check-ratio-tol")
         check_tol = cli::parse_double(arg, value(), "--check-ratio-tol 0.15");
+      else if (arg == "--check-goodput")
+        check_goodput =
+            cli::parse_double(arg, value(), "--check-goodput 0.9");
+      else if (arg == "--check-shed-skew")
+        check_shed_skew =
+            cli::parse_double(arg, value(), "--check-shed-skew 0.1");
       else if (arg == "--bench-out") bench_out = value();
       else if (arg == "--telemetry") cfg.obs.enabled = true;
       else if (arg == "--stats-out") {
@@ -210,13 +228,21 @@ int main(int argc, char** argv) {
               << cfg.loadgens << " loadgen(s), allocator "
               << runtime->controller().allocator_name() << ", E[X]="
               << Table::fmt(dist.mean(), 4) << " in "
-              << cfg.mean_service_seconds * 1e6 << "us...\n\n";
+              << cfg.mean_service_seconds * 1e6 << "us";
+    if (cfg.admission.active()) {
+      std::cout << ", admission " << cfg.admission.name();
+    }
+    std::cout << "...\n\n";
 
     const rt::RtReport r = runtime->run();
 
+    const bool gated = cfg.admission.active();
     std::vector<std::string> cols = {"class", "delta", "completed", "dropped",
                                      "S measured", "ratio", "ratio p50",
                                      "target", "err%", "ingress us"};
+    if (gated) {
+      cols.insert(cols.begin() + 4, {"shed", "shed%"});
+    }
     if (cfg.obs.enabled) {
       cols.insert(cols.end(), {"S p50", "S p95", "S p99"});
     }
@@ -234,6 +260,11 @@ int main(int argc, char** argv) {
           Table::fmt(cl.target_ratio, 2),
           c > 0 ? Table::fmt(err, 1) : "-",
           Table::fmt(cl.mean_ingress_wait * 1e6, 1)};
+      if (gated) {
+        row.insert(row.begin() + 4,
+                   {std::to_string(cl.shed),
+                    Table::fmt(cl.shed_rate * 100.0, 1)});
+      }
       if (cfg.obs.enabled) {
         row.insert(row.end(), {Table::fmt(cl.slowdown_p50, 3),
                                Table::fmt(cl.slowdown_p95, 3),
@@ -266,6 +297,18 @@ int main(int argc, char** argv) {
               << "% (of means), "
               << Table::fmt(r.max_window_ratio_error * 100, 1)
               << "% (windowed median)\n";
+    if (gated) {
+      const double capacity_rps =
+          static_cast<double>(cfg.shards) / cfg.mean_service_seconds;
+      std::cout << "admission " << cfg.admission.name() << ": shed "
+                << r.shed_total << " (ring drops " << r.dropped
+                << "), goodput " << Table::fmt(r.goodput, 0) << " req/s of "
+                << Table::fmt(capacity_rps, 0) << " capacity ("
+                << Table::fmt(r.goodput / capacity_rps * 100.0, 1)
+                << "%), survivor ratio error "
+                << Table::fmt(r.survivor_window_ratio_error * 100.0, 1)
+                << "%\n";
+    }
     if (cfg.profile.active()) {
       std::cout << "profile " << cfg.profile.name() << ": ";
       if (std::isfinite(cfg.profile.step_time())) {
@@ -308,6 +351,56 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::cout << "ratio check passed (<= " << check_tol * 100 << "%)\n";
+    }
+
+    if (check_goodput >= 0.0) {
+      if (!cfg.admission.active()) {
+        std::cerr << "error: --check-goodput needs --admission\n";
+        return 2;
+      }
+      const double capacity_rps =
+          static_cast<double>(cfg.shards) / cfg.mean_service_seconds;
+      const double need = check_goodput * capacity_rps;
+      if (!(r.goodput >= need)) {
+        std::cerr << "GOODPUT CHECK FAILED: " << Table::fmt(r.goodput, 0)
+                  << " req/s < " << Table::fmt(need, 0) << " ("
+                  << check_goodput << " x " << Table::fmt(capacity_rps, 0)
+                  << " capacity)\n";
+        return 1;
+      }
+      std::cout << "goodput check passed (>= " << check_goodput
+                << " x capacity)\n";
+    }
+    if (check_shed_skew >= 0.0) {
+      if (!cfg.admission.active()) {
+        std::cerr << "error: --check-shed-skew needs --admission\n";
+        return 2;
+      }
+      // Skew = worst per-class deviation from the mean per-class shed rate;
+      // a fair-by-construction policy (util / admit-all) should show ~0.
+      double rate_sum = 0.0;
+      std::size_t rate_n = 0;
+      for (const auto& cl : r.cls) {
+        if (std::isfinite(cl.shed_rate)) {
+          rate_sum += cl.shed_rate;
+          ++rate_n;
+        }
+      }
+      const double overall = rate_n > 0 ? rate_sum / rate_n : 0.0;
+      double skew = 0.0;
+      for (const auto& cl : r.cls) {
+        if (std::isfinite(cl.shed_rate)) {
+          skew = std::max(skew, std::fabs(cl.shed_rate - overall));
+        }
+      }
+      if (!(skew <= check_shed_skew)) {
+        std::cerr << "SHED SKEW CHECK FAILED: max per-class deviation "
+                  << Table::fmt(skew * 100, 1) << "% > tolerance "
+                  << Table::fmt(check_shed_skew * 100, 1) << "%\n";
+        return 1;
+      }
+      std::cout << "shed skew check passed (<= "
+                << Table::fmt(check_shed_skew * 100, 1) << "%)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

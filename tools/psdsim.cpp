@@ -45,6 +45,12 @@ options:
                             ramp:t0,t1,f0,f1   piecewise-linear rate ramp
                             sin:period,amp     sinusoidal "diurnal" cycle
                             spike:t0,dur,mag   flash crowd (mag x rate)
+  --admission SPEC        overload admission gate (lifts the load < 1 cap):
+                            admit-all              count-only control
+                            util[:thresh]          utilization gate
+                            slowdown-budget[:B]    eq.-18 predicted-slowdown cap
+                            delta-aware[:thresh]   proportional shedding
+                            token-bucket[:thresh[,burst]]  per-class caps
   --converge-tol F        settle-band half-width for the re-convergence
                           metric                                (default 0.25)
   --check-converge TU     exit 1 unless, after the profile's settling point,
@@ -99,6 +105,7 @@ void summary_header(JsonObject& o, const char* mode,
       .field("warmup_tu", cfg.warmup_tu)
       .field("seed", cfg.seed);
   if (cfg.profile.active()) o.field("profile", cfg.profile.name());
+  if (cfg.admission.active()) o.field("admission", cfg.admission.name());
 }
 
 bool write_summary(const std::string& path, const std::string& body) {
@@ -138,6 +145,10 @@ std::string single_run_summary(const ScenarioConfig& cfg, const RunResult& r,
       .field("submitted", r.submitted)
       .field("reallocations", r.reallocations);
   if (!r.settle_tu.empty()) o.raw("settle_tu", json_array(r.settle_tu));
+  if (cfg.admission.active()) {
+    o.raw("shed", json_array(std::vector<double>(r.shed.begin(), r.shed.end())))
+        .field("goodput_tu", r.goodput_tu);
+  }
   return o.str();
 }
 
@@ -187,6 +198,12 @@ std::string replicated_summary(const ScenarioConfig& cfg, std::size_t runs,
   o.field("system_slowdown", r.system_slowdown)
       .field("expected_system", r.expected_system)
       .field("completed_total", r.completed_total);
+  if (cfg.admission.active()) {
+    o.field("shed_total", r.shed_total)
+        .raw("shed_rate", json_array(r.shed_rate))
+        .field("goodput_tu", r.goodput_tu)
+        .field("survivor_ratio_err", r.survivor_ratio_err);
+  }
   return o.str();
 }
 
@@ -212,6 +229,14 @@ void print_single_run(const ScenarioConfig& cfg, const RunResult& r,
     std::cout << "class " << j + 2 << " ratio settle after "
               << cfg.profile.name() << ": " << Table::fmt(r.settle_tu[j], 0)
               << " tu\n";
+  }
+  if (cfg.admission.active() && !r.shed.empty()) {
+    std::uint64_t shed_total = 0;
+    for (const auto v : r.shed) shed_total += v;
+    std::cout << "admission " << cfg.admission.name()
+              << ": shed=" << shed_total
+              << "  goodput=" << Table::fmt(r.goodput_tu, 4)
+              << " completions/tu\n";
   }
 }
 
@@ -252,6 +277,8 @@ int main(int argc, char** argv) {
         cfg.mmpp_duty = a.duty;
       }
       else if (arg == "--profile") cfg.profile = cli::parse_profile(arg, value());
+      else if (arg == "--admission")
+        cfg.admission = cli::parse_admission(arg, value());
       else if (arg == "--converge-tol")
         cfg.converge_tol =
             cli::parse_double(arg, value(), "--converge-tol 0.25");
@@ -300,15 +327,27 @@ int main(int argc, char** argv) {
               << ", E[X^2]=" << Table::fmt(dist.second_moment(), 4)
               << ", E[1/X]=" << Table::fmt(dist.mean_inverse(), 4) << ")\n";
 
-    PsdInput in;
-    in.lambda = lambdas;
-    in.delta = cfg.delta;
-    in.mean_size = dist.mean();
-    in.min_residual_share = 0.0;
-    const auto alloc = allocate_psd_rates(in);
-    const auto expected = expected_psd_slowdowns(lambdas, cfg.delta, dist);
+    // Eq. 17/18 closed forms exist only under capacity; a deliberately
+    // overloaded run (admission active, load >= 1) has no feasible
+    // allocation to predict, so the expected columns go NaN.
+    const bool feasible = cfg.load < 1.0;
+    std::vector<double> expected(cfg.delta.size(), kNaN);
+    if (feasible) {
+      expected = expected_psd_slowdowns(lambdas, cfg.delta, dist);
+    }
 
     if (analytic_only) {
+      if (!feasible) {
+        std::cerr << "error: --analytic needs load < 1 (eq. 17/18 are "
+                     "undefined beyond capacity)\n";
+        return 2;
+      }
+      PsdInput in;
+      in.lambda = lambdas;
+      in.delta = cfg.delta;
+      in.mean_size = dist.mean();
+      in.min_residual_share = 0.0;
+      const auto alloc = allocate_psd_rates(in);
       Table t({"class", "delta", "lambda", "rate (eq.17)", "E[S] (eq.18)"});
       for (std::size_t i = 0; i < cfg.delta.size(); ++i) {
         t.add_row(std::vector<double>{static_cast<double>(i + 1),
@@ -379,6 +418,9 @@ int main(int argc, char** argv) {
     if (cfg.profile.active()) {
       std::cout << ", profile " << cfg.profile.name();
     }
+    if (cfg.admission.active()) {
+      std::cout << ", admission " << cfg.admission.name();
+    }
     std::cout << ")...\n\n";
     const auto r = run_replications(cfg, runs);
 
@@ -425,6 +467,22 @@ int main(int argc, char** argv) {
               << Table::fmt(r.system_slowdown, 3)
               << " expected=" << Table::fmt(r.expected_system, 3)
               << "   completions=" << r.completed_total << "\n";
+
+    // Overload survival: what the gate shed, what got through, and whether
+    // the admitted classes still held their slowdown ratios.
+    if (cfg.admission.active()) {
+      std::cout << "\noverload survival (" << cfg.admission.name() << "):\n";
+      Table at({"class", "shed rate"});
+      for (std::size_t j = 0; j < r.shed_rate.size(); ++j) {
+        at.add_row({std::to_string(j + 1),
+                    Table::fmt(r.shed_rate[j] * 100.0, 1) + "%"});
+      }
+      csv ? at.print_csv(std::cout) : at.print(std::cout);
+      std::cout << "goodput=" << Table::fmt(r.goodput_tu, 4)
+                << " completions/tu   shed_total=" << r.shed_total
+                << "   survivor ratio error="
+                << Table::fmt(r.survivor_ratio_err * 100.0, 1) << "%\n";
+    }
 
     if (!summary_path.empty() &&
         !write_summary(summary_path,

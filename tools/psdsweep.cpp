@@ -42,6 +42,10 @@ grid axes (comma-separated; every axis defaults to one base value):
   --profiles S1;S2;...     ';'-separated nonstationary load profiles, times
                            in tu (e.g. 'none;spike:30000,5000,2' compares the
                            stationary control against a flash crowd)
+  --admissions S1;S2;...   ';'-separated admission gates (e.g.
+                           'admit-all;util;delta-aware' compares shedding
+                           policies; any active gate lifts the load < 100%
+                           cap, so overload factors go on --loads)
 
 base workload (not an axis):
   --arrivals SPEC          poisson | det | mmpp:burst[,sojourn[,duty]]
@@ -138,6 +142,11 @@ void apply_option(Options& o, const std::string& key,
     o.grid.profiles.clear();
     for (const auto& item : cli::split(value, ';')) {
       o.grid.profiles.push_back(cli::parse_profile(opt, item));
+    }
+  } else if (key == "admissions") {
+    o.grid.admissions.clear();
+    for (const auto& item : cli::split(value, ';')) {
+      o.grid.admissions.push_back(cli::parse_admission(opt, item));
     }
   } else if (key == "arrivals") {
     const ArrivalSpec a = cli::parse_arrival_spec(opt, value);
