@@ -23,13 +23,15 @@
 
 namespace {
 
-// Telemetry overhead probe: the submit -> drain -> complete path on one
-// shard, driven in model time on this thread (no open-loop pacing, so the
-// measured ns/request is the actual per-request cost and the telemetry
-// branch + histogram updates show up directly).
+// Telemetry / tracing overhead probe: the submit -> drain -> complete path
+// on one shard, driven in model time on this thread (no open-loop pacing,
+// so the measured ns/request is the actual per-request cost and the
+// telemetry branch + histogram updates — or the trace-sampling branch +
+// span matching + ring pushes — show up directly).
 //
-// One timed rep of identical work, telemetry off or on:
-double shard_drain_rep_ns(bool telemetry, std::uint64_t* requests_out) {
+// One timed rep of identical work, the probed feature off or on:
+double shard_drain_rep_ns(bool telemetry, bool tracing,
+                          std::uint64_t* requests_out) {
   constexpr int kBatch = 512;    // requests per drain cycle
   constexpr int kIters = 400;    // drain cycles per timed rep
   constexpr double kSize = 1e-5;  // work units; 2e-5 s at the 0.5 split
@@ -39,6 +41,12 @@ double shard_drain_rep_ns(bool telemetry, std::uint64_t* requests_out) {
   cfg.window = 0.05;
   cfg.bucket_burst_seconds = 10.0;
   cfg.telemetry = telemetry;
+  cfg.tracing = tracing;
+  cfg.trace_sample_period = 64;
+  // Nothing drains the ring inside a rep; size it past the sampled span
+  // count (kIters * kBatch / 64 = 3200) so every push pays the slot-write
+  // cost, not the cheaper drop path.
+  cfg.span_ring_capacity = 1 << 13;
   psd::rt::Shard shard(cfg, psd::Rng(0xD2A1Bu));
 
   // ~43k requests per MODEL second — production-like density, so costs
@@ -81,7 +89,10 @@ double shard_drain_rep_ns(bool telemetry, std::uint64_t* requests_out) {
 // resulting differential luck is exactly what a <5% gate cannot tolerate.
 // Pairs keep running until the ratio of mins has been stable to 0.3% for
 // eight consecutive pairs (or the cap is hit).
-void shard_drain_ns(double* off_ns, double* on_ns,
+// `tracing_probe` selects what "on" means: the telemetry histograms
+// (false) or the 1-in-64 span sampling path (true); "off" is a bare shard
+// either way.
+void shard_drain_ns(bool tracing_probe, double* off_ns, double* on_ns,
                     std::uint64_t* requests_out) {
   constexpr int kMinReps = 20;
   constexpr int kMaxReps = 64;
@@ -92,8 +103,10 @@ void shard_drain_ns(double* off_ns, double* on_ns,
   double last_ratio = 0.0;
   int stable = 0;
   for (int rep = 0; rep < kMaxReps + 1; ++rep) {  // rep 0 = warmup, untimed
-    const double off = shard_drain_rep_ns(false, requests_out);
-    const double on = shard_drain_rep_ns(true, requests_out);
+    const double off = shard_drain_rep_ns(false, false, requests_out);
+    const double on = tracing_probe
+                          ? shard_drain_rep_ns(false, true, requests_out)
+                          : shard_drain_rep_ns(true, false, requests_out);
     if (rep == 0) continue;
     *off_ns = std::min(*off_ns, off);
     *on_ns = std::min(*on_ns, on);
@@ -113,7 +126,7 @@ int main(int argc, char** argv) {
   std::uint64_t drain_requests = 0;
   double off_ns = 0.0;
   double on_ns = 0.0;
-  shard_drain_ns(&off_ns, &on_ns, &drain_requests);
+  shard_drain_ns(/*tracing_probe=*/false, &off_ns, &on_ns, &drain_requests);
   const double overhead = on_ns / off_ns - 1.0;
   psd::bench::emit_record(path, "rt", "shard_drain_telem_off",
                           "\"impl\":\"drain\"", off_ns, drain_requests);
@@ -129,6 +142,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: telemetry overhead %.1f%% exceeds the 5%% budget\n",
                  overhead * 100.0);
+    return 1;
+  }
+
+  // --- tracing overhead: 1-in-64 span sampling vs a bare shard ---
+  double trace_off_ns = 0.0;
+  double trace_on_ns = 0.0;
+  shard_drain_ns(/*tracing_probe=*/true, &trace_off_ns, &trace_on_ns,
+                 &drain_requests);
+  const double trace_overhead = trace_on_ns / trace_off_ns - 1.0;
+  psd::bench::emit_record(path, "rt", "shard_drain_trace_off",
+                          "\"impl\":\"drain\"", trace_off_ns, drain_requests);
+  std::ostringstream trace_extra;
+  trace_extra << "\"impl\":\"drain\",\"overhead_vs_off\":"
+              << psd::bench::json_num(trace_overhead);
+  psd::bench::emit_record(path, "rt", "shard_drain_trace_on",
+                          trace_extra.str(), trace_on_ns, drain_requests);
+  std::printf(
+      "  shard drain: %.0f ns/req off, %.0f ns/req on (tracing %+.1f%%)\n\n",
+      trace_off_ns, trace_on_ns, trace_overhead * 100.0);
+  if (trace_overhead >= 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: tracing overhead %.1f%% exceeds the 5%% budget\n",
+                 trace_overhead * 100.0);
     return 1;
   }
 

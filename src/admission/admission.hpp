@@ -34,6 +34,17 @@
 
 namespace psd {
 
+/// How a policy sheds, for span/trace annotation (obs/trace.hpp SpanVerdict
+/// is value-aligned with this enum; the shard span hook static_asserts it).
+/// kAdmitted is never returned by shed_verdict(); it exists so the verdict
+/// byte has one shared zero meaning "not shed".
+enum AdmitVerdict : std::uint8_t {
+  kAdmitted = 0,
+  kShedMask = 1,     ///< Latched per-class admit/deny mask said no.
+  kShedThinned = 2,  ///< Within-class proportional thinning said no.
+  kShedBucket = 3,   ///< The class's token bucket was empty.
+};
+
 class AdmissionController {
  public:
   virtual ~AdmissionController() = default;
@@ -54,6 +65,12 @@ class AdmissionController {
     (void)size;
     return admit(cls);
   }
+
+  /// How this policy sheds when admit_request() returns false — a static
+  /// property of the policy, used to annotate shed spans.  Mask-style gates
+  /// (the default) deny whole classes; thinning and metering policies
+  /// override.
+  virtual AdmitVerdict shed_verdict() const { return kShedMask; }
 
   virtual std::string name() const = 0;
 };
@@ -130,6 +147,7 @@ class ProportionalShedGate final : public AdmissionController {
   void update(const std::vector<double>& lambda_hat) override;
   bool admit(ClassId cls) const override;
   bool admit_request(ClassId cls, Time now, double size) override;
+  AdmitVerdict shed_verdict() const override { return kShedThinned; }
   std::string name() const override { return "delta-aware"; }
 
   /// Admitted fraction per class after the last update (1.0 = no shedding).
@@ -158,6 +176,7 @@ class TokenBucketGate final : public AdmissionController {
   void update(const std::vector<double>& /*lambda_hat*/) override {}
   bool admit(ClassId /*cls*/) const override { return true; }
   bool admit_request(ClassId cls, Time now, double size) override;
+  AdmitVerdict shed_verdict() const override { return kShedBucket; }
   std::string name() const override { return "token-bucket"; }
 
  private:

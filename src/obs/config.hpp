@@ -44,10 +44,35 @@ struct ObsConfig {
   /// Bounded length of the controller decision-trace ring.
   std::size_t trace_capacity = 512;
 
+  /// Chrome trace-event span destination (schema psd.rt.trace.v1); empty =
+  /// no request tracing.  Like stats_path, the tools set `enabled` with it.
+  std::string trace_path;
+
+  /// Trace every Nth request per class (power of two, same mask idiom as
+  /// sample_period).  1 = every request.
+  unsigned trace_sample_period = 64;
+
+  /// Per-shard SPSC span-ring capacity (rounded up to a power of two).
+  std::size_t span_ring_capacity = 1 << 12;
+
+  /// SLO watchdog rule string (obs/watchdog.hpp grammar); empty = no
+  /// watchdog.  Rules are evaluated once per stats window.
+  std::string slo_rules;
+
+  /// Flight-recorder bundle path prefix ("<prefix>-t<time>.json").
+  std::string flight_prefix = "psd-flight";
+
+  /// Minimum seconds between flight-recorder dumps.
+  double slo_cooldown = 1.0;
+
   bool active() const { return enabled; }
+  /// True when request-lifecycle spans must be recorded at all: either a
+  /// trace sink or a watchdog (whose flight bundles carry the last-K spans)
+  /// needs them.
+  bool tracing() const { return !trace_path.empty() || !slo_rules.empty(); }
   /// True when the runtime should construct a StatsExporter at all.
   bool wants_exporter() const {
-    return enabled && (!stats_path.empty() || metrics_port > 0);
+    return enabled && (!stats_path.empty() || metrics_port > 0 || tracing());
   }
 };
 

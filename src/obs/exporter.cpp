@@ -1,6 +1,8 @@
 #include "obs/exporter.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <sstream>
 #include <vector>
@@ -83,7 +85,11 @@ StatsExporter::StatsExporter(ObsConfig cfg, std::vector<rt::Shard*> shards,
   PSD_REQUIRE(cfg_.stats_interval > 0.0, "stats interval must be positive");
   if (!cfg_.stats_path.empty()) {
     out_.open(cfg_.stats_path, std::ios::trunc);
-    PSD_REQUIRE(out_.is_open(), "cannot open stats output file");
+    PSD_REQUIRE(out_.is_open(), "cannot open stats output file '" +
+                                    cfg_.stats_path + "'");
+  }
+  if (!cfg_.trace_path.empty()) {
+    trace_writer_ = std::make_unique<TraceWriter>(cfg_.trace_path);
   }
   prof_.set_enabled(cfg_.profile);
 }
@@ -211,12 +217,41 @@ std::string StatsExporter::render_line(double now) {
   return line.str();
 }
 
+void StatsExporter::pump_trace(double now) {
+  if (trace_writer_ == nullptr && watchdog_ == nullptr) return;
+  // One drain serves both sinks: spans flow to the Chrome trace file AND
+  // into the watchdog's flight-recorder retention, in shard order so the
+  // output is a deterministic function of the per-shard event sequences.
+  span_buf_.clear();
+  for (rt::Shard* shard : shards_) shard->drain_spans(span_buf_);
+  if (trace_writer_ != nullptr) {
+    for (const Span& s : span_buf_) trace_writer_->write_span(s);
+    // Controller reallocations as instant events, via a cursor separate
+    // from the JSONL stream's (either sink may run without the other).
+    for (const auto& e : controller_->trace_since(&realloc_cursor_)) {
+      if (!e.reallocated) continue;
+      trace_writer_->write_realloc(e.time, e.tick, e.fresh_window, e.rate_out,
+                                   e.num_classes);
+    }
+  }
+  if (watchdog_ != nullptr) {
+    watchdog_->observe_spans(span_buf_);
+    watchdog_->evaluate(now);
+  }
+}
+
 void StatsExporter::sample(double now) {
   ScopedProfTimer prof_sample(&prof_, kProfExportSample);
   ++samples_;
+  pump_trace(now);
   if (!out_.is_open()) return;
   out_ << render_line(now) << '\n';
   out_.flush();
+}
+
+void StatsExporter::final_flush(double now) {
+  pump_trace(now);
+  if (trace_writer_ != nullptr) trace_writer_->close();
 }
 
 std::string StatsExporter::prometheus_text() const {
@@ -366,8 +401,11 @@ void StatsExporter::start_http() {
       ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
       ::listen(fd, 8) == 0;
   if (!ok) {
+    const int err = errno;
     ::close(fd);
-    PSD_REQUIRE(false, "metrics endpoint: cannot bind/listen on port");
+    PSD_REQUIRE(false, "metrics endpoint: cannot bind/listen on port " +
+                           std::to_string(cfg_.metrics_port) + " (" +
+                           std::strerror(err) + ")");
   }
   listen_fd_ = fd;
   http_stop_.store(false, std::memory_order_release);
@@ -393,6 +431,14 @@ void StatsExporter::http_loop() {
           "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
           "Content-Length: " + std::to_string(body.size()) + "\r\n"
           "Connection: close\r\n\r\n" + body;
+    } else if (head.rfind("GET ", 0) == 0 &&
+               head.find("/healthz") != std::string::npos) {
+      // Liveness probe: reaching this loop at all means the exporter
+      // thread is serving; keep the body trivially parseable.
+      response =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; charset=utf-8\r\n"
+          "Content-Length: 3\r\nConnection: close\r\n\r\nok\n";
     } else {
       response =
           "HTTP/1.1 404 Not Found\r\n"

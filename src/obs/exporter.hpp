@@ -27,6 +27,8 @@
 
 #include "obs/config.hpp"
 #include "obs/prof.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "rt/controller.hpp"
 #include "rt/loadgen.hpp"
 #include "rt/shard.hpp"
@@ -50,9 +52,31 @@ class StatsExporter {
   /// True when a JSONL destination is configured (sample() writes a line).
   bool streaming() const { return out_.is_open(); }
 
+  /// True when sample() does anything at all — streaming JSONL, draining
+  /// span rings into the trace sink, or feeding the SLO watchdog.  The
+  /// deterministic driver gates its interval grid on this.
+  bool sampling_active() const {
+    return streaming() || trace_writer_ != nullptr || watchdog_ != nullptr;
+  }
+
+  /// Attach the SLO watchdog (setup time, before sampling starts); the
+  /// exporter feeds it drained spans and evaluates it once per sample.
+  void attach_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+  Watchdog* watchdog() const { return watchdog_; }
+
   /// Scrape everything and append one JSONL line stamped `now`.  One caller
   /// at a time (the deterministic driver or the exporter thread).
   void sample(double now);
+
+  /// Final drain at shutdown (after shard finalize): pulls the span rings
+  /// dry, evaluates the watchdog once more, and closes the trace file so
+  /// its footer is written even when the run ends mid-interval.
+  void final_flush(double now);
+
+  /// Trace events written so far (0 without a trace sink).
+  std::uint64_t trace_events() const {
+    return trace_writer_ != nullptr ? trace_writer_->events() : 0;
+  }
 
   /// Render a full Prometheus text exposition scrape (any thread).
   std::string prometheus_text() const;
@@ -68,6 +92,7 @@ class StatsExporter {
 
  private:
   std::string render_line(double now);
+  void pump_trace(double now);
   void http_loop();
 
   ObsConfig cfg_;
@@ -80,6 +105,14 @@ class StatsExporter {
   std::uint64_t samples_ = 0;
   std::uint64_t trace_cursor_ = 0;
   ProfTable prof_;  ///< Self-timing of sample() itself (kProfExportSample).
+
+  // Request-trace sink: spans drained from every shard ring each sample,
+  // written as Chrome trace events; controller reallocations ride along as
+  // instant events via their own trace cursor.
+  std::unique_ptr<TraceWriter> trace_writer_;
+  std::uint64_t realloc_cursor_ = 0;
+  std::vector<Span> span_buf_;
+  Watchdog* watchdog_ = nullptr;  ///< Borrowed; evaluated once per sample.
 
   int listen_fd_ = -1;
   std::thread http_thread_;

@@ -1,0 +1,132 @@
+// SLO watchdog + flight recorder.
+//
+// Declarative service-level rules ("ratio_err>0.3,goodput<9000") evaluated
+// once per stats window against the shards' existing seqlock snapshots —
+// the watchdog adds no hot-path state of its own.  On a breach it dumps a
+// flight-recorder bundle (schema "psd.rt.flight.v1"): the breach context,
+// the per-window SLO metrics, every shard snapshot, the controller decision
+// trace backlog, and the last-K traced spans — a self-contained postmortem
+// artifact, written to a timestamped file.
+//
+// Rule grammar (src/obs/README.md): comma- or semicolon-separated
+// `metric(op)value` terms, metrics:
+//   ratio_err  worst |achieved/target - 1| of the cross-shard last-window
+//              slowdown ratios (classes vs class 0)
+//   goodput    post-warmup completions/sec over the last stats window
+//   shed_rate  admission sheds / offered over the last stats window
+//   settle     seconds the windowed ratio error has continuously sat
+//              outside the settle band (0 while in band)
+// op is `>` or `<`; a rule breaches when its metric is finite and compares
+// true.  Rules stay disarmed until `arm_time` (the run's warmup) has passed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "rt/controller.hpp"
+#include "rt/shard.hpp"
+
+namespace psd::obs {
+
+enum class SloMetric { kRatioErr, kGoodput, kShedRate, kSettle };
+
+struct SloRule {
+  SloMetric metric = SloMetric::kRatioErr;
+  bool greater = true;  ///< Breach when value > threshold (else <).
+  double threshold = 0.0;
+  std::string text;  ///< Original spelling, for messages and bundles.
+};
+
+/// Parse the rule grammar above; throws (std::invalid_argument) with the
+/// offending term on any violation — a misspelled SLO must fail at startup.
+std::vector<SloRule> parse_slo_rules(const std::string& spec);
+
+struct WatchdogConfig {
+  std::string rules;          ///< Rule string (parse_slo_rules grammar).
+  std::vector<double> delta;  ///< Per-class targets (ratio_err, vs delta_0).
+  /// Band half-width for the settle clock (the run's converge_tol).
+  double settle_band = 0.25;
+  /// Rules stay disarmed before this time (the run's warmup: cold windows
+  /// would trip goodput floors before any completion can exist).
+  double arm_time = 0.0;
+  /// Minimum seconds between flight-recorder dumps.
+  double cooldown = 1.0;
+  /// Flight bundle path prefix; the breach time is appended, so under a
+  /// ManualClock the dump filename is deterministic too.
+  std::string flight_prefix = "psd-flight";
+  /// Last-K traced spans retained for the bundle.
+  std::size_t flight_span_capacity = 1024;
+};
+
+/// Per-window SLO metrics, kept for introspection and the bundle.
+struct SloWindowStats {
+  double t = 0.0;
+  double ratio_err = kNaN;
+  double goodput = kNaN;
+  double shed_rate = kNaN;
+  double settle = 0.0;
+};
+
+class Watchdog {
+ public:
+  /// Borrowed pointers must outlive the watchdog.  Throws on a rule-grammar
+  /// violation or an empty rule string.
+  Watchdog(WatchdogConfig cfg, std::vector<rt::Shard*> shards,
+           const rt::Controller* controller);
+
+  /// Feed freshly drained spans into the flight-recorder retention ring
+  /// (exporter thread, before evaluate()).
+  void observe_spans(const std::vector<Span>& spans);
+
+  /// Evaluate every rule against fresh snapshots; called once per stats
+  /// window from the exporter.  On any breach past the cooldown, writes a
+  /// flight bundle.  Returns the number of rules breached this window.
+  std::size_t evaluate(double now);
+
+  /// Permanently stop evaluating (load generation ended; the runtime calls
+  /// this at drain start).  SLO rules govern the LIVE serving interval:
+  /// during the shutdown drain arrivals stop, windows close over draining
+  /// backlog, and metrics like the settle clock would climb on data that no
+  /// longer describes service — a false alarm at every clean shutdown.
+  void disarm() { disarmed_.store(true, std::memory_order_release); }
+
+  std::uint64_t total_breaches() const { return total_breaches_; }
+  std::uint64_t dumps() const { return dumps_; }
+  const std::string& last_flight_path() const { return last_flight_path_; }
+  const SloWindowStats& stats() const { return stats_; }
+  const std::vector<SloRule>& rules() const { return rules_; }
+
+ private:
+  SloWindowStats scrape(double now);
+  double metric_value(SloMetric m) const;
+  void dump_flight(double now, const std::vector<const SloRule*>& breached);
+
+  WatchdogConfig cfg_;
+  std::vector<rt::Shard*> shards_;
+  const rt::Controller* controller_;
+  std::vector<SloRule> rules_;
+
+  SloWindowStats stats_;
+  // Previous-window totals for the rate metrics.
+  double prev_t_ = -1.0;
+  std::uint64_t prev_completed_ = 0;
+  std::uint64_t prev_accepted_ = 0;
+  std::uint64_t prev_shed_ = 0;
+  double out_of_band_since_ = kNaN;  ///< Settle clock anchor.
+
+  std::deque<Span> recent_spans_;  ///< Bounded at flight_span_capacity.
+  /// Atomic: run() flips it from the main thread while the exporter thread
+  /// is still sampling.
+  std::atomic<bool> disarmed_{false};
+  std::uint64_t total_breaches_ = 0;
+  std::uint64_t dumps_ = 0;
+  double last_dump_t_ = -kInf;
+  std::string last_flight_path_;
+};
+
+}  // namespace psd::obs

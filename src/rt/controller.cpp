@@ -146,7 +146,9 @@ void Controller::tick(Time now) {
     const double inv_shards = 1.0 / static_cast<double>(shards_.size());
     std::vector<double> slice(n);
     for (std::size_t c = 0; c < n; ++c) slice[c] = rates_[c] * inv_shards;
-    for (Shard* shard : shards_) shard->apply_rates(slice);
+    // Stamp the handoff with this tick so spans admitted under these rates
+    // name the allocation that governed them.
+    for (Shard* shard : shards_) shard->apply_rates(slice, ticks_);
   }
   if (cfg_.trace) {
     for (std::size_t c = 0; c < n; ++c) trace_entry.rate_out[c] = rates_[c];

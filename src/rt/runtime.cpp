@@ -106,9 +106,13 @@ void Runtime::build_shards(double shard_capacity) {
   // --stats-interval never reads a stale snapshot twice.
   sc.telemetry_publish_interval =
       std::min(sc.telemetry_publish_interval, cfg_.obs.stats_interval);
+  sc.tracing = cfg_.obs.tracing();
+  sc.trace_sample_period = cfg_.obs.trace_sample_period;
+  sc.span_ring_capacity = cfg_.obs.span_ring_capacity;
   shards_.reserve(cfg_.shards);
   const SamplerVariant dist = make_sampler(cfg_.size_dist);
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    sc.shard_id = static_cast<std::uint32_t>(i);
     shards_.push_back(std::make_unique<Shard>(sc, master.fork(9000 + i)));
     if (cfg_.admission.active()) {
       // One gate per shard, sized at shard capacity — gate state stays
@@ -157,6 +161,20 @@ void Runtime::init_exporter() {
       cfg_.obs, shard_ptrs(), controller_.get(), std::move(gen_ptrs),
       clock_.is_manual());
   next_sample_ = cfg_.obs.stats_interval;
+  if (!cfg_.obs.slo_rules.empty()) {
+    obs::WatchdogConfig wc;
+    wc.rules = cfg_.obs.slo_rules;
+    wc.delta = cfg_.delta;
+    wc.settle_band = cfg_.converge_tol;
+    // Cold windows would trip goodput floors before any completion can
+    // exist; rules arm when metrics do.
+    wc.arm_time = cfg_.warmup;
+    wc.cooldown = cfg_.obs.slo_cooldown;
+    wc.flight_prefix = cfg_.obs.flight_prefix;
+    watchdog_ = std::make_unique<obs::Watchdog>(std::move(wc), shard_ptrs(),
+                                                controller_.get());
+    exporter_->attach_watchdog(watchdog_.get());
+  }
 }
 
 Runtime::Runtime(RtConfig cfg, ClockVariant clock)
@@ -227,7 +245,7 @@ void Runtime::step_to(Time t) {
   }
   // Deterministic exporter drive: samples land on the fixed interval grid
   // with manual-clock timestamps, so repeated runs emit identical bytes.
-  if (exporter_ != nullptr && exporter_->streaming()) {
+  if (exporter_ != nullptr && exporter_->sampling_active()) {
     while (next_sample_ <= t) {
       exporter_->sample(next_sample_);
       next_sample_ += cfg_.obs.stats_interval;
@@ -237,6 +255,9 @@ void Runtime::step_to(Time t) {
 
 void Runtime::quiesce(Duration max_extra, Duration step) {
   PSD_REQUIRE(clock_.is_manual(), "quiesce requires a ManualClock");
+  // Load generation is over: the SLO watchdog must not alarm on windows
+  // that close over the draining backlog.
+  if (watchdog_ != nullptr) watchdog_->disarm();
   Time t = clock_.now();
   const Time limit = t + max_extra;
   while (total_outstanding() > 0 && t < limit) {
@@ -250,6 +271,10 @@ void Runtime::finish() {
   finalized_ = true;
   const Time now = clock_.now();
   for (auto& s : shards_) s->finalize(now);
+  // After the final drains: pull the span rings dry and write the trace
+  // footer, so spans emitted between the last sample and shutdown land in
+  // the file and it is loadable even for runs shorter than one interval.
+  if (exporter_ != nullptr) exporter_->final_flush(now);
 }
 
 RtReport Runtime::run() {
@@ -257,6 +282,11 @@ RtReport Runtime::run() {
   PSD_REQUIRE(!clock_.is_manual(),
               "run() spins wall-clock threads; use step_to with ManualClock");
   ran_ = true;
+
+  // Bind the metrics listener BEFORE any worker thread exists: a bound
+  // port or socket failure must surface as a clean startup exception, and
+  // throwing with joinable std::threads alive would std::terminate.
+  if (exporter_ != nullptr) exporter_->start_http();
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::atomic<bool> stop_gen{false};
@@ -312,8 +342,7 @@ RtReport Runtime::run() {
     }
   });
   if (exporter_ != nullptr) {
-    exporter_->start_http();
-    if (exporter_->streaming()) {
+    if (exporter_->sampling_active()) {
       threads.emplace_back([this, &stop_rest] {
         Time next = next_sample_;
         while (!stop_rest.load(std::memory_order_acquire)) {
@@ -341,6 +370,9 @@ RtReport Runtime::run() {
         std::min(cfg_.duration - clock_.now(), 1e-2)));
   }
   stop_gen.store(true, std::memory_order_release);
+  // The exporter thread keeps sampling through the grace period; the
+  // watchdog must not alarm on drain-phase windows (see quiesce()).
+  if (watchdog_ != nullptr) watchdog_->disarm();
 
   // Grace period: shards keep draining until the accepted backlog clears
   // (bounded — a near-zero-rate class paying off a token deficit may

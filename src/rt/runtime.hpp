@@ -186,8 +186,11 @@ class Runtime {
   Controller& controller_mut() { return *controller_; }
   const RtConfig& config() const { return cfg_; }
   ClockVariant& clock() { return clock_; }
-  /// Null unless cfg.obs requested a stream or a metrics port.
+  /// Null unless cfg.obs requested a stream, a metrics port, tracing, or
+  /// an SLO watchdog.
   obs::StatsExporter* exporter() { return exporter_.get(); }
+  /// Null unless cfg.obs.slo_rules is non-empty.
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
 
  private:
   /// Shared constructor core: validate, build shards + controller.  Returns
@@ -203,6 +206,7 @@ class Runtime {
   std::vector<std::unique_ptr<LoadSource>> gens_;
   std::unique_ptr<Controller> controller_;
   std::unique_ptr<obs::StatsExporter> exporter_;
+  std::unique_ptr<obs::Watchdog> watchdog_;  ///< Driven via the exporter.
   Time next_tick_;
   Time next_sample_ = 0.0;
   double run_elapsed_ = -1.0;  ///< Set once a threaded run completes.

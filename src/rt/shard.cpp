@@ -7,6 +7,31 @@
 
 namespace psd::rt {
 
+// The span verdict byte is AdmitVerdict passed through untranslated; keep
+// the two enums value-aligned or the trace files lie about shed causes.
+static_assert(obs::kSpanAdmitted == static_cast<std::uint8_t>(kAdmitted) &&
+                  obs::kSpanShedMask == static_cast<std::uint8_t>(kShedMask) &&
+                  obs::kSpanShedThinned ==
+                      static_cast<std::uint8_t>(kShedThinned) &&
+                  obs::kSpanShedBucket ==
+                      static_cast<std::uint8_t>(kShedBucket),
+              "obs::SpanVerdict must stay value-aligned with AdmitVerdict");
+
+namespace {
+
+/// Run-unique span id: shard(8) | class(8) | shed-flag(1) | ordinal(47).
+/// Pure function of (shard, class, per-class ordinal), so ids — like the
+/// sampled subset itself — are deterministic across replays.
+std::uint64_t make_trace_id(std::uint32_t shard, ClassId cls, bool shed,
+                            std::uint64_t ordinal) {
+  return (static_cast<std::uint64_t>(shard & 0xff) << 56) |
+         (static_cast<std::uint64_t>(cls & 0xff) << 48) |
+         (shed ? (std::uint64_t{1} << 47) : 0) |
+         (ordinal & ((std::uint64_t{1} << 47) - 1));
+}
+
+}  // namespace
+
 Shard::Shard(const ShardConfig& cfg, Rng rng)
     : cfg_(cfg),
       ingress_(cfg.ingress_capacity),
@@ -18,7 +43,8 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
       ingress_wait_(cfg.num_classes),
       lambda_cache_(cfg.num_classes, 0.0),
       window_sd_cache_(cfg.num_classes, kNaN),
-      window_seq_cache_(cfg.num_classes, 0) {
+      window_seq_cache_(cfg.num_classes, 0),
+      released_(cfg.num_classes, 0) {
   PSD_REQUIRE(cfg.num_classes >= 1 && cfg.num_classes <= kMaxRtClasses,
               "shard supports 1..kMaxRtClasses classes");
   PSD_REQUIRE(cfg.window > 0.0, "window must be positive");
@@ -27,6 +53,10 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
                   (cfg.telemetry_sample_period &
                    (cfg.telemetry_sample_period - 1)) == 0,
               "telemetry_sample_period must be a power of two");
+  PSD_REQUIRE(cfg.trace_sample_period >= 1 &&
+                  (cfg.trace_sample_period &
+                   (cfg.trace_sample_period - 1)) == 0,
+              "trace_sample_period must be a power of two");
 
   telem_.num_classes = static_cast<std::uint32_t>(cfg.num_classes);
   telem_.sample_period = cfg.telemetry_sample_period;
@@ -36,6 +66,9 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
   sample_mask_ = cfg.telemetry
                      ? std::uint64_t{cfg.telemetry_sample_period} - 1
                      : ~std::uint64_t{0};
+  // Same idiom for the span hooks.
+  trace_mask_ = cfg.tracing ? std::uint64_t{cfg.trace_sample_period} - 1
+                            : ~std::uint64_t{0};
 
   ServerConfig sc;
   sc.num_classes = cfg.num_classes;
@@ -50,6 +83,9 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
       std::move(rng));
   server_->set_completion_observer([this](const Request& req) {
     ++done_cls_[req.cls];
+    // Completion ordinal == accepted ordinal (FIFO within class), so the
+    // same mask that sampled this request at admission fires again here.
+    if ((done_cls_[req.cls] & trace_mask_) == 0) trace_complete(req);
     // Distribution fills are 1-in-N sampled per class (counters stay
     // exact): one AND against the completion ordinal just incremented, so
     // the subsample — and every percentile derived from it — is a
@@ -85,6 +121,10 @@ Shard::Shard(const ShardConfig& cfg, Rng rng)
     sd_hist_.assign(cfg.num_classes, LogHistogram(1e-3, 1e4, 20));
     prof_.set_enabled(cfg.profile);
   }
+  if (cfg.tracing) {
+    pending_spans_.resize(cfg.num_classes);
+    span_ring_ = std::make_unique<obs::SpanRing>(cfg.span_ring_capacity);
+  }
 
   publish(0.0);
   publish_telemetry(0.0);
@@ -102,10 +142,12 @@ bool Shard::submit(const Request& req) {
   return false;
 }
 
-void Shard::apply_rates(const std::vector<double>& rates) {
+void Shard::apply_rates(const std::vector<double>& rates,
+                        std::uint64_t tick_seq) {
   PSD_REQUIRE(rates.size() == cfg_.num_classes, "rate vector size mismatch");
   std::lock_guard<std::mutex> lock(pending_m_);
   pending_rates_ = rates;
+  pending_tick_seq_ = tick_seq;
   has_pending_ = true;
 }
 
@@ -144,6 +186,7 @@ std::size_t Shard::drain(Time now) {
     std::lock_guard<std::mutex> lock(pending_m_);
     if (has_pending_) {
       rates_ = pending_rates_;
+      ctrl_tick_seq_ = pending_tick_seq_;
       has_pending_ = false;
       server_->set_rates(rates_);
       for (std::size_t c = 0; c < buckets_.size(); ++c) {
@@ -168,8 +211,9 @@ std::size_t Shard::drain(Time now) {
   {
     obs::ScopedProfTimer prof_pop(&prof_, obs::kProfRingPop);
     // Hoisted: the opaque push_back below would otherwise force a reload
-    // every iteration.  All-ones when telemetry is off (never fires).
+    // every iteration.  All-ones when telemetry/tracing is off (never fires).
     const std::uint64_t mask = sample_mask_;
+    const std::uint64_t tmask = trace_mask_;
     while (ingress_.try_pop(req)) {
       ++popped;
       const ClassId c = req.cls;
@@ -182,6 +226,7 @@ std::size_t Shard::drain(Time now) {
         if (!admission_->admit_request(c, now, req.size)) {
           ++sheds_cls_[c];
           shed_n_.fetch_add(1, std::memory_order_release);
+          if ((sheds_cls_[c] & tmask) == 0) trace_shed(c, req, now);
           continue;
         }
       }
@@ -193,6 +238,9 @@ std::size_t Shard::drain(Time now) {
       if ((accepted_[c] & mask) == 0) {
         telem_.ingress_wait[c].add(wait);
       }
+      // Span open: before the arrival rewrite below, while req.arrival is
+      // still the producer's ingress stamp.
+      if ((accepted_[c] & tmask) == 0) trace_admit(c, req, now);
       req.arrival = now;
       estimator_.on_arrival(c, req.size);
       staged_[c].push_back(req);
@@ -203,11 +251,17 @@ std::size_t Shard::drain(Time now) {
   // 4. Release staged work the token buckets can pay for.
   {
     obs::ScopedProfTimer prof_release(&prof_, obs::kProfBucketRelease);
+    const std::uint64_t tmask = trace_mask_;
     for (std::size_t c = 0; c < staged_.size(); ++c) {
       auto& q = staged_[c];
       while (!q.empty() && buckets_[c].try_consume(q.front().size, now)) {
         server_->submit(q.front());
         q.pop_front();
+        // Release ordinal == accepted ordinal (staging is FIFO), so the
+        // admission-sampled requests are exactly the ones that fire here.
+        if ((++released_[c] & tmask) == 0) {
+          trace_release(static_cast<ClassId>(c), now);
+        }
       }
     }
   }
@@ -233,6 +287,58 @@ std::size_t Shard::drain(Time now) {
     publish_telemetry(now);
   }
   return popped;
+}
+
+void Shard::trace_shed(ClassId c, const Request& req, Time now) {
+  obs::Span s;
+  s.trace_id = make_trace_id(cfg_.shard_id, c, /*shed=*/true, sheds_cls_[c]);
+  s.tick_seq = ctrl_tick_seq_;
+  s.t_ingress = req.arrival;  // still the producer stamp on the shed path
+  s.t_admit = now;
+  s.size = req.size;
+  s.cls = c;
+  s.shard = cfg_.shard_id;
+  s.verdict = static_cast<std::uint8_t>(admission_->shed_verdict());
+  span_ring_->push(s);  // sheds are complete at the verdict: emit now
+}
+
+void Shard::trace_admit(ClassId c, const Request& req, Time now) {
+  PendingTrace p;
+  p.ordinal = accepted_[c];
+  p.span.trace_id =
+      make_trace_id(cfg_.shard_id, c, /*shed=*/false, accepted_[c]);
+  p.span.tick_seq = ctrl_tick_seq_;
+  p.span.t_ingress = req.arrival;  // caller runs this hook pre-rewrite
+  p.span.t_admit = now;
+  p.span.size = req.size;
+  p.span.cls = c;
+  p.span.shard = cfg_.shard_id;
+  pending_spans_[c].push_back(p);
+}
+
+void Shard::trace_release(ClassId c, Time now) {
+  // Front-biased scan: releases happen in ordinal order, so the match is
+  // almost always the first entry without a t_pop yet.
+  for (PendingTrace& p : pending_spans_[c]) {
+    if (p.ordinal == released_[c]) {
+      p.span.t_pop = now;
+      return;
+    }
+  }
+}
+
+void Shard::trace_complete(const Request& req) {
+  auto& q = pending_spans_[req.cls];
+  const std::uint64_t ordinal = done_cls_[req.cls];
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (it->ordinal != ordinal) continue;
+    it->span.t_start = req.service_start;
+    it->span.t_complete = req.departure;
+    it->span.slowdown = req.slowdown();
+    span_ring_->push(it->span);
+    q.erase(it);
+    return;
+  }
 }
 
 void Shard::refresh_estimates() {

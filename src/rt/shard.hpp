@@ -33,6 +33,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/prof.hpp"
+#include "obs/trace.hpp"
 #include "rt/mpsc_queue.hpp"
 #include "rt/seqlock.hpp"
 #include "rt/token_bucket.hpp"
@@ -134,6 +135,18 @@ struct ShardConfig {
   /// Arm the scoped self-profiling timers (implies nothing about telemetry;
   /// only read when telemetry is on).
   bool profile = false;
+  /// Record sampled request-lifecycle spans (obs/trace.hpp) into the SPSC
+  /// span ring.  Off by default: every span hook then costs one AND+branch
+  /// against an all-ones mask, exactly the telemetry idiom above.
+  bool tracing = false;
+  /// Trace every Nth request per class (power of two; the traced subset is
+  /// a deterministic function of the per-class event ordinals).
+  std::uint32_t trace_sample_period = 64;
+  /// Span-ring capacity (rounded up to a power of two); a full ring drops
+  /// the newest span and counts it.
+  std::size_t span_ring_capacity = 1 << 12;
+  /// This shard's index in the runtime — stamped into spans / trace ids.
+  std::uint32_t shard_id = 0;
 };
 
 class Shard {
@@ -153,8 +166,12 @@ class Shard {
   std::size_t drain(Time now);
 
   /// Controller thread: stage a new per-class rate vector; the shard adopts
-  /// it at the start of its next drain.
-  void apply_rates(const std::vector<double>& rates);
+  /// it at the start of its next drain.  `tick_seq` is the controller tick
+  /// that produced the vector; requests admitted after adoption carry it in
+  /// their spans, causally linking each span to the allocation that
+  /// governed it.
+  void apply_rates(const std::vector<double>& rates,
+                   std::uint64_t tick_seq = 0);
 
   /// Setup time (before any producer/controller thread runs): install a
   /// pre-sim admission gate.  Shed requests are counted per class,
@@ -224,10 +241,39 @@ class Shard {
   /// ring-push timer writes from any thread).
   obs::ProfTable& prof() { return prof_; }
 
+  /// True when span tracing is armed (cfg.tracing).
+  bool tracing() const { return span_ring_ != nullptr; }
+
+  /// Exporter thread: drain the span ring (appends to `out`, returns count).
+  std::size_t drain_spans(std::vector<obs::Span>& out) {
+    return span_ring_ != nullptr ? span_ring_->drain(out) : 0;
+  }
+
+  /// Spans lost to a full ring (any thread).
+  std::uint64_t spans_dropped() const {
+    return span_ring_ != nullptr ? span_ring_->dropped() : 0;
+  }
+
  private:
+  /// A traced request between admission and completion: `ordinal` is its
+  /// per-class accepted ordinal, which — staging and the dedicated-rate
+  /// backend both being FIFO within a class — equals its release and
+  /// completion ordinals, so the later hooks find it by ordinal match
+  /// instead of a per-request map.
+  struct PendingTrace {
+    std::uint64_t ordinal = 0;
+    obs::Span span;
+  };
+
   void refresh_estimates();
   void publish(Time now);
   void publish_telemetry(Time now);
+
+  // Span hooks (shard thread; each fires 1-in-trace_sample_period).
+  void trace_shed(ClassId c, const Request& req, Time now);
+  void trace_admit(ClassId c, const Request& req, Time now);
+  void trace_release(ClassId c, Time now);
+  void trace_complete(const Request& req);
 
   ShardConfig cfg_;
   Simulator sim_;
@@ -250,6 +296,7 @@ class Shard {
   // Controller -> shard handoff (rarely contended; one exchange per tick).
   std::mutex pending_m_;
   std::vector<double> pending_rates_;
+  std::uint64_t pending_tick_seq_ = 0;
   bool has_pending_ = false;
   std::vector<double> pending_offered_;
   bool has_pending_admission_ = false;
@@ -279,6 +326,18 @@ class Shard {
   /// telemetry_sample_period - 1; an event is sampled into the histograms
   /// when (its per-class event ordinal & sample_mask_) == 0.
   std::uint64_t sample_mask_ = 0;
+
+  // Request-lifecycle tracing (shard-thread private except the SPSC ring).
+  // trace_mask_ follows the sample_mask_ idiom: all-ones when tracing is
+  // off, so every span hook is one AND+branch that never fires.  released_
+  // is allocated unconditionally (per-class u64s) so the heap layout does
+  // not shift with tracing; the ring and pending deques — like the
+  // telemetry histograms — are allocated LAST in the ctor.
+  std::uint64_t trace_mask_ = ~std::uint64_t{0};
+  std::uint64_t ctrl_tick_seq_ = 0;  ///< Adopted at the last rate handoff.
+  std::vector<std::uint64_t> released_;  ///< Staging releases, per class.
+  std::vector<std::deque<PendingTrace>> pending_spans_;
+  std::unique_ptr<obs::SpanRing> span_ring_;
 
   Seqlock<ShardSnapshot> snap_;
   Seqlock<ShardTelemetry> telem_snap_;

@@ -44,6 +44,33 @@ def load_records(path):
     return records
 
 
+def write_summary_md(path, suite, allowed, rows):
+    """Append a bench-delta markdown table (the $GITHUB_STEP_SUMMARY shape).
+
+    Append, not truncate: several gate invocations (one per suite) share one
+    summary file in CI.
+    """
+
+    def fmt_ns(v):
+        return f"{float(v):.1f}" if v is not None else "—"
+
+    def fmt_delta(d):
+        return f"{d:+.1%}" if d is not None else "—"
+
+    badge = {"OK": "✅", "REGRESSED": "❌", "new": "🆕", "missing": "❌"}
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(f"### Bench gate: `{suite}` (threshold {allowed:.0%})\n\n")
+        fh.write("| bench | fresh ns/op | baseline ns/op | delta | |\n")
+        fh.write("|---|---:|---:|---:|---|\n")
+        for bench, fresh_ns, base_ns, delta, verdict in rows:
+            fh.write(
+                f"| `{bench}` | {fmt_ns(fresh_ns)} | {fmt_ns(base_ns)} "
+                f"| {fmt_delta(delta)} | {badge.get(verdict, verdict)} "
+                f"{verdict} |\n"
+            )
+        fh.write("\n")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="just-measured records file")
@@ -73,6 +100,13 @@ def main():
         default=None,
         help="legacy spelling: allowed fractional increase (0.25 == "
         "--threshold 25); wins over --threshold when both are given",
+    )
+    ap.add_argument(
+        "--summary-md",
+        default=None,
+        metavar="PATH",
+        help="append a markdown bench-delta table to PATH (pass "
+        '"$GITHUB_STEP_SUMMARY" in CI for a per-run report)',
     )
     args = ap.parse_args()
 
@@ -109,6 +143,7 @@ def main():
         )
 
     failures = []
+    rows = []  # (bench, fresh_ns, base_ns, delta, verdict) for --summary-md
     for bench in gated:
         fresh_rec = next(
             (r for k, r in fresh.items() if k[1] == bench and in_suite(k)),
@@ -120,9 +155,13 @@ def main():
         )
         if base_rec is None:
             print(f"[gate] {bench}: new record, skipping (no baseline yet)")
+            fresh_ns = fresh_rec.get("ns_per_op") if fresh_rec else None
+            rows.append((bench, fresh_ns, None, None, "new"))
             continue
         if fresh_rec is None:
             failures.append(f"{bench}: missing from fresh records")
+            rows.append((bench, None, base_rec.get("ns_per_op"), None,
+                         "missing"))
             continue
         try:
             fresh_ns = float(fresh_rec["ns_per_op"])
@@ -136,11 +175,15 @@ def main():
             f"[gate] {bench}: {fresh_ns:.1f} ns vs baseline {base_ns:.1f} ns "
             f"({ratio - 1.0:+.1%}) {verdict}"
         )
+        rows.append((bench, fresh_ns, base_ns, ratio - 1.0, verdict))
         if verdict != "OK":
             failures.append(
                 f"{bench}: {fresh_ns:.1f} ns vs {base_ns:.1f} ns baseline "
                 f"(> {allowed:.0%} regression)"
             )
+
+    if args.summary_md:
+        write_summary_md(args.summary_md, args.suite, allowed, rows)
 
     if failures:
         print("perf gate FAILED:", file=sys.stderr)

@@ -82,6 +82,18 @@ observability (src/obs; all imply --telemetry):
                           http://127.0.0.1:N/metrics while running
   --obs-profile           arm rdtsc self-profiling timers (drain, ring ops,
                           allocator tick) aggregated into the stream
+  --trace-out FILE        write sampled request-lifecycle spans as Chrome
+                          trace-event JSON (schema psd.rt.trace.v1; open in
+                          chrome://tracing or Perfetto)
+  --trace-sample N        trace every Nth request per class, power of two
+                          (default 64; 1 = every request)
+  --slo RULES             SLO watchdog rules, e.g. "ratio_err>0.5,goodput<1e4"
+                          (metrics: ratio_err goodput shed_rate settle; ops
+                          > <; evaluated once per stats interval, armed
+                          after warmup); breach dumps a flight-recorder
+                          bundle (schema psd.rt.flight.v1)
+  --slo-dump PREFIX       flight bundle path prefix (default psd-flight;
+                          files are PREFIX-t<time>.json)
   --help                  this text
 )";
 
@@ -178,6 +190,17 @@ int main(int argc, char** argv) {
       } else if (arg == "--obs-profile") {
         cfg.obs.profile = true;
         cfg.obs.enabled = true;
+      } else if (arg == "--trace-out") {
+        cfg.obs.trace_path = value();
+        cfg.obs.enabled = true;
+      } else if (arg == "--trace-sample") {
+        cfg.obs.trace_sample_period = static_cast<unsigned>(
+            cli::parse_uint(arg, value(), "--trace-sample 64"));
+      } else if (arg == "--slo") {
+        cfg.obs.slo_rules = value();
+        cfg.obs.enabled = true;
+      } else if (arg == "--slo-dump") {
+        cfg.obs.flight_prefix = value();
       } else {
         std::cerr << "error: unknown option '" << arg << "'\n";
         usage(2);
@@ -292,6 +315,26 @@ int main(int argc, char** argv) {
                   << ")";
       }
       std::cout << "\n";
+      if (!cfg.obs.trace_path.empty()) {
+        std::uint64_t span_drops = 0;
+        for (std::size_t i = 0; i < runtime->num_shards(); ++i) {
+          span_drops += runtime->shard(i).spans_dropped();
+        }
+        std::cout << "tracing: " << runtime->exporter()->trace_events()
+                  << " events (1-in-" << cfg.obs.trace_sample_period
+                  << " per class, " << span_drops
+                  << " ring drops) -> " << cfg.obs.trace_path << "\n";
+      }
+      if (runtime->watchdog() != nullptr) {
+        const obs::Watchdog& wd = *runtime->watchdog();
+        std::cout << "watchdog [" << cfg.obs.slo_rules << "]: "
+                  << wd.total_breaches() << " rule breaches, " << wd.dumps()
+                  << " flight dumps";
+        if (wd.dumps() > 0) {
+          std::cout << " (last: " << wd.last_flight_path() << ")";
+        }
+        std::cout << "\n";
+      }
     }
     std::cout << "max ratio error: " << Table::fmt(r.max_ratio_error * 100, 1)
               << "% (of means), "

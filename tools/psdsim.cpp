@@ -71,6 +71,12 @@ options:
   --replay-trace FILE     drive ONE replication from a recorded trace
                           instead of synthetic generators (the same trace
                           also feeds psdserved --replay-trace)
+  --trace-spans FILE      run ONE replication recording every request and
+                          write its lifecycle spans as Chrome-trace JSON
+                          (schema psd.rt.trace.v1 — same format psdserved
+                          --trace-out emits, so a sim run and its rt replay
+                          diff span-by-span; combines with --record-trace /
+                          --replay-trace)
   --summary-json FILE     also write the results as one machine-readable
                           JSON object (schema psd.sim.summary.v1) — tooling
                           parity with psdsweep JSONL without a campaign
@@ -240,6 +246,46 @@ void print_single_run(const ScenarioConfig& cfg, const RunResult& r,
   }
 }
 
+/// Convert one replication's recorded per-request completions into the same
+/// psd.rt.trace.v1 span JSON that psdserved --trace-out emits, so a sim run
+/// and its rt replay of the same trace diff span-by-span.  The simulator has
+/// no ingress ring or admission gate in this path, so every span is
+/// "admitted" on shard 0 with t_ingress = t_admit = t_pop = arrival and
+/// tick 0.  Trace ids use the rt packing (shard 0, shed 0, 1-based per-class
+/// completion ordinal — identical to the rt accepted ordinal because the
+/// dedicated-rate backend completes within-class FIFO), and every record is
+/// emitted: diff against an rt run with --trace-sample 1.
+bool write_span_trace(const std::string& path, const ScenarioConfig& cfg,
+                      const std::vector<Request>& records) {
+  try {
+    obs::TraceWriter writer(path);
+    std::vector<std::uint64_t> ordinal(cfg.num_classes(), 0);
+    for (const Request& req : records) {
+      obs::Span s;
+      s.trace_id = (static_cast<std::uint64_t>(req.cls & 0xff) << 48) |
+                   (++ordinal[req.cls] & ((1ull << 47) - 1));
+      s.cls = static_cast<std::uint32_t>(req.cls);
+      s.shard = 0;
+      s.verdict = obs::kSpanAdmitted;
+      s.tick_seq = 0;
+      s.t_ingress = req.arrival;
+      s.t_admit = req.arrival;
+      s.t_pop = req.arrival;
+      s.t_start = req.service_start;
+      s.t_complete = req.departure;
+      s.size = req.size;
+      s.slowdown = req.slowdown();
+      writer.write_span(s);
+    }
+    writer.close();
+    std::cout << "wrote " << records.size() << " spans to " << path << "\n";
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return false;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +295,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string record_path;
   std::string replay_path;
+  std::string span_path;
   std::string summary_path;
   double check_converge_tu = -1.0;
 
@@ -305,6 +352,7 @@ int main(int argc, char** argv) {
       else if (arg == "--analytic") analytic_only = true;
       else if (arg == "--record-trace") record_path = value();
       else if (arg == "--replay-trace") replay_path = value();
+      else if (arg == "--trace-spans") span_path = value();
       else if (arg == "--summary-json") summary_path = value();
       else if (arg == "--csv") csv = true;
       else {
@@ -364,6 +412,27 @@ int main(int argc, char** argv) {
                    "exclusive\n";
       return 2;
     }
+    if (!span_path.empty()) {
+      // Span emission needs every request record from the whole run, not
+      // the default Figs. 7-8 snapshot window.
+      cfg.record_requests = true;
+      cfg.record_from_tu = 0.0;
+      cfg.record_to_tu = kInf;
+    }
+    if (!span_path.empty() && record_path.empty() && replay_path.empty()) {
+      std::cout << "tracing one replication (" << cfg.measure_tu
+                << " tu, warmup " << cfg.warmup_tu << " tu)...\n\n";
+      Trace trace;  // Arrival trace is a by-product here; discarded.
+      const RunResult r = run_scenario_recorded(cfg, trace);
+      print_single_run(cfg, r, expected, csv);
+      if (!write_span_trace(span_path, cfg, r.records)) return 1;
+      if (!summary_path.empty() &&
+          !write_summary(summary_path, single_run_summary(
+                             cfg, r, expected, dist.name(), lambdas))) {
+        return 1;
+      }
+      return 0;
+    }
     if (!record_path.empty()) {
       std::cout << "recording one replication (" << cfg.measure_tu
                 << " tu, warmup " << cfg.warmup_tu << " tu)...\n\n";
@@ -378,6 +447,9 @@ int main(int argc, char** argv) {
       print_single_run(cfg, r, expected, csv);
       std::cout << "wrote " << trace.size() << " arrivals to " << record_path
                 << "\n";
+      if (!span_path.empty() && !write_span_trace(span_path, cfg, r.records)) {
+        return 1;
+      }
       if (!summary_path.empty() &&
           !write_summary(summary_path, single_run_summary(
                              cfg, r, expected, dist.name(), lambdas))) {
@@ -397,6 +469,9 @@ int main(int argc, char** argv) {
                 << cfg.warmup_tu << " tu)...\n\n";
       const RunResult r = run_scenario_replayed(cfg, trace);
       print_single_run(cfg, r, expected, csv);
+      if (!span_path.empty() && !write_span_trace(span_path, cfg, r.records)) {
+        return 1;
+      }
       if (!summary_path.empty() &&
           !write_summary(summary_path, single_run_summary(
                              cfg, r, expected, dist.name(), lambdas))) {
