@@ -40,16 +40,12 @@ Cluster::Cluster(Simulator& sim, std::size_t nodes,
                  const ServerConfig& node_cfg,
                  const BackendFactory& backend_factory,
                  const AllocatorFactory& allocator_factory,
-                 AssignmentPolicy policy, Rng rng, std::vector<double> cutoffs)
-    : sim_(sim), policy_(policy), rng_(rng), cutoffs_(std::move(cutoffs)) {
-  PSD_REQUIRE(nodes >= 1, "need at least one node");
+                 AssignmentSpec policy, Rng rng, std::vector<double> cutoffs)
+    // The router takes its own copy of `rng`: forks (per-node streams below)
+    // don't advance the source, so the random policy draws the same sequence
+    // it drew when the dispatcher owned the stream directly.
+    : sim_(sim), rng_(rng), router_(policy, nodes, rng, std::move(cutoffs)) {
   PSD_REQUIRE(backend_factory != nullptr, "backend factory required");
-  if (policy == AssignmentPolicy::kSizeInterval) {
-    PSD_REQUIRE(cutoffs_.size() == nodes - 1,
-                "size-interval policy needs nodes-1 cutoffs");
-    PSD_REQUIRE(std::is_sorted(cutoffs_.begin(), cutoffs_.end()),
-                "cutoffs must be increasing");
-  }
   num_classes_ = node_cfg.num_classes;
   nodes_.reserve(nodes);
   outstanding_.assign(nodes, 0.0);
@@ -71,33 +67,8 @@ void Cluster::start(Time origin) {
   for (auto& n : nodes_) n->start(origin);
 }
 
-std::size_t Cluster::route(const Request& req) {
-  switch (policy_) {
-    case AssignmentPolicy::kRandom:
-      return static_cast<std::size_t>(rng_.below(nodes_.size()));
-    case AssignmentPolicy::kRoundRobin: {
-      const std::size_t n = rr_next_;
-      rr_next_ = (rr_next_ + 1) % nodes_.size();
-      return n;
-    }
-    case AssignmentPolicy::kLeastWorkLeft: {
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < nodes_.size(); ++i) {
-        if (outstanding_[i] < outstanding_[best]) best = i;
-      }
-      return best;
-    }
-    case AssignmentPolicy::kSizeInterval: {
-      const auto it =
-          std::upper_bound(cutoffs_.begin(), cutoffs_.end(), req.size);
-      return static_cast<std::size_t>(it - cutoffs_.begin());
-    }
-  }
-  PSD_UNREACHABLE("unknown assignment policy");
-}
-
 void Cluster::submit(const Request& req) {
-  const std::size_t n = route(req);
+  const std::size_t n = router_.route(req.size, outstanding_);
   outstanding_[n] += req.size;
   ++dispatched_[n];
   nodes_[n]->submit(req);

@@ -13,7 +13,11 @@
 //                      cutoff_n), cutoffs chosen to equalize expected load;
 //                      the assignment Harchol-Balter showed to excel under
 //                      heavy tails because it keeps small jobs away from
-//                      monsters.
+//                      monsters,
+//   * kJsq           — JSQ(d): least-loaded of d randomly sampled nodes.
+//
+// Routing itself lives in cluster/router.hpp (AssignmentRouter), shared with
+// the rt ClusterRuntime so a policy behaves identically in sim and serving.
 #pragma once
 
 #include <functional>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "cluster/assignment.hpp"
+#include "cluster/router.hpp"
 #include "dist/bounded_pareto.hpp"
 #include "server/server.hpp"
 
@@ -38,9 +43,11 @@ class Cluster final : public RequestSink {
 
   /// Builds `nodes` identical servers from the config and factories.
   /// `cutoffs` is required (size nodes-1, increasing) for kSizeInterval.
+  /// (AssignmentSpec is implicitly constructible from AssignmentPolicy, so
+  /// policy-enum call sites keep working; pass a spec to set JSQ's d.)
   Cluster(Simulator& sim, std::size_t nodes, const ServerConfig& node_cfg,
           const BackendFactory& backend_factory,
-          const AllocatorFactory& allocator_factory, AssignmentPolicy policy,
+          const AllocatorFactory& allocator_factory, AssignmentSpec policy,
           Rng rng, std::vector<double> cutoffs = {});
 
   void start(Time origin);
@@ -59,17 +66,15 @@ class Cluster final : public RequestSink {
   std::uint64_t completed_total() const;
   std::uint64_t dispatched(std::size_t node) const { return dispatched_[node]; }
 
- private:
-  std::size_t route(const Request& req);
+  const AssignmentRouter& router() const { return router_; }
 
+ private:
   Simulator& sim_;
-  AssignmentPolicy policy_;
-  Rng rng_;
-  std::vector<double> cutoffs_;
+  Rng rng_;  ///< Forks per-node streams; the router gets its own copy.
+  AssignmentRouter router_;
   std::vector<std::unique_ptr<Server>> nodes_;
   std::vector<double> outstanding_;
   std::vector<std::uint64_t> dispatched_;
-  std::size_t rr_next_ = 0;
   std::size_t num_classes_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "dist/distribution.hpp"
 
@@ -43,6 +44,27 @@ struct DistSpec {
   }
   static DistSpec uniform(double lo, double hi) {
     return {Kind::kUniform, lo, hi, 0.0};
+  }
+
+  /// Short kind token ("bp", "det", ... — the CLI grammar's head).
+  const char* kind_name() const;
+  /// Parameter count the kind reads from {a, b, c}.
+  std::size_t arity() const;
+
+  /// Canonical parsable form, e.g. "bp:1.5,0.1,100" (%g-rendered params —
+  /// the exact string sweep labels and JSONL records carry).
+  std::string name() const;
+
+  /// Inverse of name().  Accepted grammar: bp:alpha,k,p | det:c | exp:m |
+  /// bexp:m,lo,hi | lognormal:m,scv | uniform:a,b.  Throws psd::Error on
+  /// malformed input.
+  static DistSpec parse(const std::string& spec);
+
+  friend bool operator==(const DistSpec& x, const DistSpec& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+  friend bool operator!=(const DistSpec& x, const DistSpec& y) {
+    return !(x == y);
   }
 };
 

@@ -180,7 +180,7 @@ RunResult run_cluster_scenario(const ScenarioConfig& cfg,
       sim, nodes, node_server_config(cfg, unit),
       [&] { return make_scenario_backend(cfg, unit); },
       [&] { return make_scenario_allocator(cfg, dist.mean()); },
-      cfg.cluster_policy,
+      AssignmentSpec(cfg.cluster_policy, cfg.cluster_jsq_d),
       run_rng.fork(1000), std::move(cutoffs));
   if (cfg.admission.active()) {
     // Each node gates its own share of the offered load, mirroring the

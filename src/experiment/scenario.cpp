@@ -65,6 +65,9 @@ void ScenarioConfig::validate() const {
                 "size-interval (SITA-E) cutoffs require a bounded-pareto "
                 "service-time distribution");
   }
+  if (cluster_policy == AssignmentPolicy::kJsq) {
+    PSD_REQUIRE(cluster_jsq_d >= 1, "jsq sample size d must be >= 1");
+  }
   if (record_requests) {
     PSD_REQUIRE(record_to_tu > record_from_tu, "empty recording window");
   }

@@ -86,6 +86,7 @@ struct ScenarioConfig {
   /// utilization, so total arrival rate scales with the node count.
   std::size_t cluster_nodes = 1;
   AssignmentPolicy cluster_policy = AssignmentPolicy::kRoundRobin;
+  std::size_t cluster_jsq_d = 2;  ///< JSQ(d) sample width (kJsq only).
 
   // --- per-request recording (Figs. 7-8) ---
   bool record_requests = false;

@@ -1,0 +1,61 @@
+#include "obs/cluster_stats.hpp"
+
+#include "common/error.hpp"
+#include "sweep/jsonl.hpp"
+
+namespace psd::obs {
+
+ClusterStatsLog::ClusterStatsLog(const std::string& path, std::size_t nodes,
+                                 std::size_t num_classes,
+                                 const std::string& assignment) {
+  out_.open(path, std::ios::trunc);
+  PSD_REQUIRE(static_cast<bool>(out_),
+              "cannot open cluster stats file for writing: " + path);
+  out_ << JsonObject()
+              .field("type", "header")
+              .field("schema", "psd.cluster.stats.v1")
+              .field("nodes", nodes)
+              .field("classes", num_classes)
+              .field("assignment", assignment)
+              .str()
+       << '\n';
+}
+
+void ClusterStatsLog::sample(double now,
+                             const std::vector<ClusterNodeStats>& nodes,
+                             const std::vector<double>& global_rates,
+                             std::uint64_t rebalances) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) arr += ',';
+    JsonObject o;
+    o.field("node", i)
+        .field_bool("alive", nodes[i].alive)
+        .field("dispatched", nodes[i].dispatched)
+        .field("outstanding", nodes[i].outstanding)
+        .raw("lambda", json_array(nodes[i].lambda));
+    arr += o.str();
+  }
+  arr += ']';
+  out_ << JsonObject()
+              .field("type", "sample")
+              .field("time", now)
+              .field("rebalances", rebalances)
+              .raw("rate", json_array(global_rates))
+              .raw("node", arr)
+              .str()
+       << '\n';
+  out_.flush();
+}
+
+void ClusterStatsLog::kill(double now, std::size_t node) {
+  out_ << JsonObject()
+              .field("type", "kill")
+              .field("time", now)
+              .field("node", node)
+              .str()
+       << '\n';
+  out_.flush();
+}
+
+}  // namespace psd::obs

@@ -20,6 +20,22 @@ SyntheticLoadGen::SyntheticLoadGen(std::uint32_t gen_id, Rng rng,
   }
 }
 
+SyntheticLoadGen::SyntheticLoadGen(std::uint32_t gen_id, Rng rng,
+                                   std::vector<ClassLoad> classes, Sink sink,
+                                   Time start)
+    : rng_(std::move(rng)),
+      id_base_(static_cast<std::uint64_t>(gen_id) << 48) {
+  PSD_REQUIRE(sink != nullptr, "sink-mode load generator needs a sink");
+  PSD_REQUIRE(!classes.empty(), "load generator needs at least one class");
+  set_sink(std::move(sink));
+  streams_.reserve(classes.size());
+  for (auto& cl : classes) {
+    Stream s{cl.cls, std::move(cl.arrivals), std::move(cl.sizes), 0.0, 0};
+    s.next = start + s.arrivals.next_interarrival(rng_);
+    streams_.push_back(std::move(s));
+  }
+}
+
 Time SyntheticLoadGen::next_time() const {
   Time best = kInf;
   for (const auto& s : streams_) best = std::min(best, s.next);

@@ -19,11 +19,15 @@
 //
 // Requests are sprayed round-robin per class across the shard set, which
 // keeps per-shard class mixes aligned with the global mix (the controller's
-// equal-slice assumption).
+// equal-slice assumption).  Alternatively a source can be built with a Sink:
+// arrivals then go to the sink callback instead of a shard set, which is how
+// the cluster dispatcher interposes its assignment policy between the
+// generators and the nodes without the sources knowing about clusters.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rt/shard.hpp"
@@ -34,6 +38,10 @@ namespace psd::rt {
 
 class LoadSource {
  public:
+  /// Arrival consumer for sink-mode sources (cluster dispatch).  Called on
+  /// the generator's thread for every produced request.
+  using Sink = std::function<void(const Request&)>;
+
   virtual ~LoadSource() = default;
 
   /// Produce (and route) every arrival with timestamp <= t.
@@ -47,16 +55,25 @@ class LoadSource {
   }
 
  protected:
-  /// Drops are counted where they happen (Shard::submit), not here.
+  /// Drops are counted where they happen (Shard::submit), not here.  With a
+  /// sink installed the shard spray is bypassed entirely (`shards` may be
+  /// empty) and the sink owns routing.
   void route(std::vector<Shard*>& shards, std::size_t& rr,
              const Request& req) {
     produced_.fetch_add(1, std::memory_order_relaxed);
+    if (sink_) {
+      sink_(req);
+      return;
+    }
     shards[rr]->submit(req);
     rr = (rr + 1) % shards.size();
   }
 
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
  private:
   std::atomic<std::uint64_t> produced_{0};
+  Sink sink_;
 };
 
 class SyntheticLoadGen final : public LoadSource {
@@ -71,6 +88,12 @@ class SyntheticLoadGen final : public LoadSource {
   SyntheticLoadGen(std::uint32_t gen_id, Rng rng,
                    std::vector<ClassLoad> classes, std::vector<Shard*> shards,
                    Time start);
+
+  /// Sink mode: every arrival goes to `sink` (the cluster dispatcher)
+  /// instead of a shard spray.  Draw sequences are identical to the
+  /// shard-spray construction at the same seed — only delivery differs.
+  SyntheticLoadGen(std::uint32_t gen_id, Rng rng,
+                   std::vector<ClassLoad> classes, Sink sink, Time start);
 
   void step_until(Time t) override;
   Time next_time() const override;

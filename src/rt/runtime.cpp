@@ -223,6 +223,14 @@ Runtime::Runtime(RtConfig cfg, ClockVariant clock, Trace trace,
   init_exporter();
 }
 
+Runtime::Runtime(RtConfig cfg, ClockVariant clock, EmbeddedTag)
+    : cfg_(std::move(cfg)),
+      clock_(std::move(clock)),
+      next_tick_(cfg_.controller_period) {
+  init_topology();
+  init_exporter();
+}
+
 std::uint64_t Runtime::total_outstanding() const {
   std::uint64_t n = 0;
   for (const auto& s : shards_) n += s->outstanding();
@@ -479,26 +487,21 @@ RtReport Runtime::report() const {
 
   // Windowed medians: pool per-window slowdown ratios (class c vs class 0,
   // index-aligned — every shard rolls the same warmup/window grid) across
-  // shards and take the median.  Reads the servers' window series directly,
-  // so only after finish() stopped the shard threads.
+  // shards and take the median (stats/convergence.hpp; the cluster report
+  // applies the same statistic one level up, across all nodes' shards).
+  // Reads the servers' window series directly, so only after finish()
+  // stopped the shard threads.
   if (finalized_) {
     double worst_w = kNaN;
     for (std::size_t c = 1; c < n; ++c) {
-      std::vector<double> ratios;
+      std::vector<const std::vector<IntervalStat>*> base, cls;
       for (const auto& shard : shards_) {
         const auto& m = shard->server().metrics();
-        const auto& w0 = m.windows(0);
-        const auto& wc = m.windows(static_cast<ClassId>(c));
-        const std::size_t count = std::min(w0.size(), wc.size());
-        for (std::size_t w = 0; w < count; ++w) {
-          if (w0[w].count > 0 && wc[w].count > 0 && w0[w].mean > 0.0) {
-            ratios.push_back(wc[w].mean / w0[w].mean);
-          }
-        }
+        base.push_back(&m.windows(0));
+        cls.push_back(&m.windows(static_cast<ClassId>(c)));
       }
-      if (ratios.empty()) continue;
-      std::sort(ratios.begin(), ratios.end());
-      const double p50 = ratios[ratios.size() / 2];
+      const double p50 = pooled_window_ratio_median(base, cls);
+      if (!std::isfinite(p50)) continue;
       r.cls[c].window_ratio_p50 = p50;
       const double err = std::abs(p50 / r.cls[c].target_ratio - 1.0);
       worst_w = std::isfinite(worst_w) ? std::max(worst_w, err) : err;

@@ -150,6 +150,9 @@ struct RtReport {
   std::uint64_t drains = 0;
 };
 
+/// Tag for the embedded (generator-less) Runtime construction below.
+struct EmbeddedTag {};
+
 class Runtime {
  public:
   Runtime(RtConfig cfg, ClockVariant clock);
@@ -157,6 +160,14 @@ class Runtime {
   /// Replay construction: the trace drives arrivals instead of synthetic
   /// generators.  `time_scale` multiplies recorded times into seconds.
   Runtime(RtConfig cfg, ClockVariant clock, Trace trace, double time_scale);
+
+  /// Embedded construction: full shard/controller/exporter topology, but NO
+  /// internal load sources — an external driver (the cluster dispatcher, a
+  /// test) injects arrivals through a RuntimeHandle and owns the question of
+  /// when load stops.  step_to/run work unchanged (the generator loop is
+  /// simply empty); report().produced stays 0 because production is the
+  /// driver's statistic.
+  Runtime(RtConfig cfg, ClockVariant clock, EmbeddedTag);
 
   // --- threaded drive (SteadyClock) ---
 

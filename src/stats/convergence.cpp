@@ -47,4 +47,25 @@ double ratio_settle_time(const std::vector<IntervalStat>& w0,
   return std::max(0.0, last_bad_end - onset);
 }
 
+double pooled_window_ratio_median(
+    const std::vector<const std::vector<IntervalStat>*>& base,
+    const std::vector<const std::vector<IntervalStat>*>& cls) {
+  PSD_REQUIRE(base.size() == cls.size(),
+              "pooled ratio needs one class series per base series");
+  std::vector<double> ratios;
+  for (std::size_t s = 0; s < base.size(); ++s) {
+    const auto& w0 = *base[s];
+    const auto& wc = *cls[s];
+    const std::size_t count = std::min(w0.size(), wc.size());
+    for (std::size_t w = 0; w < count; ++w) {
+      if (w0[w].count > 0 && wc[w].count > 0 && w0[w].mean > 0.0) {
+        ratios.push_back(wc[w].mean / w0[w].mean);
+      }
+    }
+  }
+  if (ratios.empty()) return kNaN;
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
 }  // namespace psd

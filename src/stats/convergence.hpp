@@ -41,4 +41,17 @@ double ratio_settle_time(const std::vector<IntervalStat>& w0,
                          const std::vector<IntervalStat>& wj, double target,
                          double tol, Time onset, Duration window);
 
+/// Median of per-window slowdown ratios pooled across sources: for each
+/// source s, windows pair index-wise between base[s] (class 0) and cls[s]
+/// (class j) — every shard in a runtime (and every node in a cluster) rolls
+/// the same warmup/window grid, so index i is the same time interval
+/// everywhere — and each pair with completions on both sides and a positive
+/// base mean contributes one ratio.  Returns the median over the pooled
+/// ratios, NaN when none qualify.  This is THE windowed-ratio statistic the
+/// rt report, the cluster report, and the smoke checks all share; pooling
+/// before taking the median keeps one hot shard from dominating.
+double pooled_window_ratio_median(
+    const std::vector<const std::vector<IntervalStat>*>& base,
+    const std::vector<const std::vector<IntervalStat>*>& cls);
+
 }  // namespace psd

@@ -34,7 +34,8 @@ std::string render_point_record(const CampaignPoint& point,
       .field("dist", dist_name(cfg.size_dist))
       .field("rate_change", rate_change_name(cfg.rate_change))
       .field("nodes", cfg.cluster_nodes)
-      .field("policy", assignment_policy_name(cfg.cluster_policy))
+      .field("policy",
+             AssignmentSpec(cfg.cluster_policy, cfg.cluster_jsq_d).name())
       .field("runs", runs);
 
   // Per-class slowdown CIs.

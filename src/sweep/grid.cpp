@@ -28,33 +28,6 @@ std::string delta_label(const std::vector<double>& delta) {
   return out;
 }
 
-const char* dist_kind_name(DistSpec::Kind k) {
-  switch (k) {
-    case DistSpec::Kind::kBoundedPareto: return "bp";
-    case DistSpec::Kind::kDeterministic: return "det";
-    case DistSpec::Kind::kExponential: return "exp";
-    case DistSpec::Kind::kBoundedExponential: return "bexp";
-    case DistSpec::Kind::kLognormal: return "lognormal";
-    case DistSpec::Kind::kUniform: return "uniform";
-  }
-  PSD_UNREACHABLE("unknown distribution kind");
-}
-
-std::size_t dist_arity(DistSpec::Kind k) {
-  switch (k) {
-    case DistSpec::Kind::kDeterministic:
-    case DistSpec::Kind::kExponential:
-      return 1;
-    case DistSpec::Kind::kLognormal:
-    case DistSpec::Kind::kUniform:
-      return 2;
-    case DistSpec::Kind::kBoundedPareto:
-    case DistSpec::Kind::kBoundedExponential:
-      return 3;
-  }
-  PSD_UNREACHABLE("unknown distribution kind");
-}
-
 }  // namespace
 
 const char* backend_name(BackendKind k) {
@@ -95,20 +68,12 @@ const char* assignment_policy_name(AssignmentPolicy p) {
     case AssignmentPolicy::kRoundRobin: return "rr";
     case AssignmentPolicy::kLeastWorkLeft: return "lwl";
     case AssignmentPolicy::kSizeInterval: return "sita";
+    case AssignmentPolicy::kJsq: return "jsq";
   }
   PSD_UNREACHABLE("unknown assignment policy");
 }
 
-std::string dist_name(const DistSpec& spec) {
-  std::string out = dist_kind_name(spec.kind);
-  const double params[] = {spec.a, spec.b, spec.c};
-  const std::size_t arity = dist_arity(spec.kind);
-  for (std::size_t i = 0; i < arity; ++i) {
-    out += i == 0 ? ':' : ',';
-    out += short_num(params[i]);
-  }
-  return out;
-}
+std::string dist_name(const DistSpec& spec) { return spec.name(); }
 
 std::string config_canonical(const ScenarioConfig& in) {
   // Normalize away fields the selected machinery never reads (see header).
@@ -124,6 +89,9 @@ std::string config_canonical(const ScenarioConfig& in) {
     cfg.adaptive = AdaptiveConfig{};
   }
   if (cfg.cluster_nodes == 1) cfg.cluster_policy = defaults.cluster_policy;
+  if (cfg.cluster_policy != AssignmentPolicy::kJsq) {
+    cfg.cluster_jsq_d = defaults.cluster_jsq_d;
+  }
   if (cfg.arrivals != ArrivalKind::kBursty) {
     cfg.burstiness = defaults.burstiness;
     cfg.mmpp_sojourn = defaults.mmpp_sojourn;
@@ -160,7 +128,7 @@ std::string config_canonical(const ScenarioConfig& in) {
   num("load", cfg.load);
   vec("load_share", cfg.load_share);
   s += "dist=";
-  s += dist_kind_name(cfg.size_dist.kind);
+  s += cfg.size_dist.kind_name();
   s += '(' + json_number(cfg.size_dist.a) + ',' +
        json_number(cfg.size_dist.b) + ',' + json_number(cfg.size_dist.c) +
        ");";
@@ -214,6 +182,12 @@ std::string config_canonical(const ScenarioConfig& in) {
   s += "cluster_policy=";
   s += assignment_policy_name(cfg.cluster_policy);
   s += ';';
+  // Appended only under kJsq (a policy no pre-existing config could name),
+  // so every other config keeps its canonical string — and with it its
+  // content key, resume identity, and derived point seed — byte-for-byte.
+  if (cfg.cluster_policy == AssignmentPolicy::kJsq) {
+    uns("cluster_jsq_d", cfg.cluster_jsq_d);
+  }
   uns("record_requests", cfg.record_requests ? 1 : 0);
   num("record_from_tu", cfg.record_from_tu);
   num("record_to_tu", cfg.record_to_tu);
@@ -320,8 +294,10 @@ std::vector<CampaignPoint> expand_grid(const GridSpec& grid) {
                                    rate_change_name(rate_change);
                       }
                       if (node_count > 1) {
-                        p.label += " nodes=" + std::to_string(node_count) +
-                                   " policy=" + assignment_policy_name(policy);
+                        p.label +=
+                            " nodes=" + std::to_string(node_count) +
+                            " policy=" +
+                            AssignmentSpec(policy, cfg.cluster_jsq_d).name();
                       }
                       if (profile.active()) {
                         p.label += " profile=" + profile.name();

@@ -1,11 +1,86 @@
 #include "workload/class_spec.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <numeric>
+#include <sstream>
 
 #include "common/error.hpp"
 
 namespace psd {
+
+namespace {
+
+std::string short_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+constexpr const char* kArrivalGrammar =
+    "poisson | det | mmpp:burst[,sojourn[,duty]]";
+
+}  // namespace
+
+void ArrivalSpec::validate() const {
+  if (kind == ArrivalKind::kBursty) {
+    PSD_REQUIRE(burstiness >= 1.0, "mmpp burst must be >= 1");
+    PSD_REQUIRE(sojourn > 0.0, "mmpp sojourn must be positive");
+    PSD_REQUIRE(duty > 0.0 && duty < 1.0, "mmpp duty must be in (0,1)");
+  }
+}
+
+std::string ArrivalSpec::name() const {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kDeterministic:
+      return "det";
+    case ArrivalKind::kBursty:
+      return "mmpp:" + short_num(burstiness) + ',' + short_num(sojourn) +
+             ',' + short_num(duty);
+  }
+  PSD_UNREACHABLE("unknown arrival kind");
+}
+
+ArrivalSpec ArrivalSpec::parse(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  ArrivalSpec out;
+  if (kind == "poisson" || kind == "det" || kind == "deterministic") {
+    PSD_REQUIRE(colon == std::string::npos,
+                "arrival process '" + kind + "' takes no parameters");
+    out.kind = kind == "poisson" ? ArrivalKind::kPoisson
+                                 : ArrivalKind::kDeterministic;
+    return out;
+  }
+  PSD_REQUIRE(kind == "mmpp", "unknown arrival process '" + spec +
+                                  "' (expected " + kArrivalGrammar + ")");
+  std::vector<double> args;
+  if (colon != std::string::npos) {
+    std::stringstream ss(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      try {
+        std::size_t used = 0;
+        const double v = std::stod(item, &used);
+        PSD_REQUIRE(used == item.size(), "");
+        args.push_back(v);
+      } catch (const std::exception&) {
+        PSD_REQUIRE(false, "mmpp has a malformed parameter (expected " +
+                               std::string(kArrivalGrammar) + ")");
+      }
+    }
+  }
+  PSD_REQUIRE(!args.empty() && args.size() <= 3,
+              "mmpp needs 1-3 parameters (burst[,sojourn[,duty]])");
+  out.kind = ArrivalKind::kBursty;
+  out.burstiness = args[0];
+  if (args.size() >= 2) out.sojourn = args[1];
+  if (args.size() >= 3) out.duty = args[2];
+  out.validate();
+  return out;
+}
 
 std::vector<double> rates_for_load(double load, double capacity,
                                    double mean_size,

@@ -3,6 +3,7 @@
 // into per-class arrival rates.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "dist/factory.hpp"
@@ -21,6 +22,18 @@ struct ArrivalSpec {
   double burstiness = 1.0;
   double sojourn = 10.0;
   double duty = 0.5;
+
+  void validate() const;
+
+  /// Canonical parsable form: "poisson" | "det" | "mmpp:burst,sojourn,duty"
+  /// (%g-rendered params).
+  std::string name() const;
+
+  /// Inverse of name().  Accepted grammar: poisson | det | deterministic |
+  /// mmpp:burst[,sojourn[,duty]] (burst >= 1, sojourn > 0, duty in (0,1));
+  /// omitted mmpp params keep their defaults.  Throws psd::Error on
+  /// malformed input.
+  static ArrivalSpec parse(const std::string& spec);
 
   friend bool operator==(const ArrivalSpec& x, const ArrivalSpec& y) {
     return x.kind == y.kind && x.burstiness == y.burstiness &&

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "cluster/dispatcher.hpp"
+#include "cluster/router.hpp"
 #include "common/math.hpp"
 #include "core/psd_rate_allocator.hpp"
 #include "sched/dedicated_rate.hpp"
@@ -245,6 +246,94 @@ TEST(Cluster, EndToEndPsdOnEveryNode) {
   EXPECT_LT(sd[0], sd[1]);
   EXPECT_NEAR(sd[1] / sd[0], 2.0, 0.9);
 }
+
+
+// ----------------------------------------------------------- AssignmentRouter
+// The one routing implementation both the sim Cluster and the rt
+// ClusterRuntime dispatch through (cluster/router.hpp).
+
+TEST(Router, JsqFullScanTiesBreakToLowestIndex) {
+  // d >= alive degenerates to a deterministic full least-loaded scan.
+  AssignmentRouter r({AssignmentPolicy::kJsq, 8}, 4, Rng(1));
+  EXPECT_EQ(r.route(1.0, {5.0, 3.0, 3.0, 9.0}), 1u);
+  EXPECT_EQ(r.route(1.0, {2.0, 2.0, 2.0, 2.0}), 0u);
+}
+
+TEST(Router, JsqSamplesOnlyAliveNodes) {
+  AssignmentRouter r({AssignmentPolicy::kJsq, 2}, 4, Rng(2));
+  r.set_alive(0, false);
+  r.set_alive(2, false);
+  // Node 0 is idle but dead; every decision must land on 1 or 3.
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = r.route(1.0, {0.0, 4.0, 0.0, 5.0});
+    EXPECT_TRUE(n == 1 || n == 3) << n;
+  }
+}
+
+TEST(Router, JsqPrefersLessLoadedOfTheSample) {
+  // With d = alive = 2 the sample (with replacement) either hits both
+  // nodes — then the less-loaded one must win — or the same node twice.
+  // Over many draws the idle node must dominate.
+  AssignmentRouter r({AssignmentPolicy::kJsq, 2}, 4, Rng(3));
+  r.set_alive(2, false);
+  r.set_alive(3, false);
+  int idle = 0;
+  for (int i = 0; i < 400; ++i) {
+    idle += r.route(1.0, {0.0, 50.0, 0.0, 0.0}) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(idle, 250);
+}
+
+TEST(Router, SitaReroutesDeadBandToNextAliveWrapping) {
+  const std::vector<double> cutoffs = {1.0, 2.0, 3.0};
+  AssignmentRouter r(AssignmentPolicy::kSizeInterval, 4, Rng(4), cutoffs);
+  EXPECT_EQ(r.route(0.5, {}), 0u);
+  EXPECT_EQ(r.route(1.5, {}), 1u);
+  EXPECT_EQ(r.route(9.0, {}), 3u);
+  r.set_alive(1, false);
+  EXPECT_EQ(r.route(1.5, {}), 2u);  // band 1 -> next alive
+  r.set_alive(3, false);
+  EXPECT_EQ(r.route(9.0, {}), 0u);  // band 3 wraps to node 0
+  EXPECT_EQ(r.route(0.5, {}), 0u);  // alive bands stay home
+}
+
+TEST(Router, RoundRobinSkipsDeadNodes) {
+  AssignmentRouter r(AssignmentPolicy::kRoundRobin, 3, Rng(5));
+  r.set_alive(1, false);
+  EXPECT_EQ(r.route(1.0, {}), 0u);
+  EXPECT_EQ(r.route(1.0, {}), 2u);
+  EXPECT_EQ(r.route(1.0, {}), 0u);
+  EXPECT_EQ(r.alive_count(), 2u);
+}
+
+TEST(Router, LastAliveNodeCannotBeKilled) {
+  AssignmentRouter r(AssignmentPolicy::kRoundRobin, 2, Rng(6));
+  r.set_alive(0, false);
+  EXPECT_THROW(r.set_alive(1, false), std::invalid_argument);
+  r.set_alive(0, true);  // revival re-enters the rotation
+  EXPECT_EQ(r.alive_count(), 2u);
+}
+
+TEST(Router, WorkWeightsFollowThePolicy) {
+  // Uniform policies: equal share over alive nodes, 0 on the dead.
+  AssignmentRouter rr(AssignmentPolicy::kRoundRobin, 4, Rng(7));
+  rr.set_alive(2, false);
+  const auto w = rr.work_weights();
+  EXPECT_DOUBLE_EQ(w[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+
+  // SITA-E: a dead node's equal-load band moves to the node that inherits
+  // it, so that node carries a double share.
+  AssignmentRouter sita(AssignmentPolicy::kSizeInterval, 4, Rng(8),
+                        std::vector<double>{1.0, 2.0, 3.0});
+  sita.set_alive(1, false);
+  const auto ws = sita.work_weights();
+  EXPECT_DOUBLE_EQ(ws[0], 0.25);
+  EXPECT_DOUBLE_EQ(ws[1], 0.0);
+  EXPECT_DOUBLE_EQ(ws[2], 0.50);
+  EXPECT_DOUBLE_EQ(ws[3], 0.25);
+}
+
 
 }  // namespace
 }  // namespace psd

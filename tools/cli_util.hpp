@@ -1,9 +1,15 @@
-// Shared command-line parsing for the psd tools (psdsim, psdsweep).
+// Shared command-line parsing for the psd tools (psdsim, psdsweep,
+// psdserved, psdcluster).
 //
 // Every numeric conversion validates its input and throws CliError with a
 // one-line message plus a usage hint — a typo'd `--dist bp:x,y,z` or
 // `--classes a,b` must print one helpful line, not terminate() on an
 // unhandled std::invalid_argument from a bare std::stod.
+//
+// Spec-valued flags (--dist, --arrivals, --profile, --admission, --policy,
+// --cluster) all route through the common/spec.hpp registry: parse_spec<S>
+// wraps S::parse with CLI error formatting, so every tool accepts exactly
+// the library grammar and a new spec type needs no per-tool parser.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/spec.hpp"
 #include "experiment/scenario.hpp"
 #include "sweep/grid.hpp"
 
@@ -66,46 +73,27 @@ inline std::vector<double> parse_list(const std::string& opt,
   return out;
 }
 
+/// Spec-valued flag -> spec type S via the common/spec.hpp registry
+/// (library grammar, CliError on typos).  Strips the PSD_REQUIRE
+/// "precondition failed: (...) at file:line — " prefix; the CLI surface
+/// wants the human half of the message only.
+template <spec::Spec S>
+S parse_spec(const std::string& opt, const std::string& s) {
+  try {
+    return S::parse(s);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    const auto dash = what.rfind(" — ");
+    fail(opt + ": " +
+             (dash == std::string::npos ? what
+                                        : what.substr(dash + sizeof(" — ") -
+                                                      sizeof(""))),
+         s, spec::hint<S>());
+  }
+}
+
 inline DistSpec parse_dist(const std::string& opt, const std::string& s) {
-  const std::string hint = "bp:1.5,0.1,100 | det:1 | exp:1 | bexp:1,0.1,10 | "
-                           "lognormal:1,4 | uniform:0.5,1.5";
-  const auto colon = s.find(':');
-  const std::string kind = s.substr(0, colon);
-  const auto args = colon == std::string::npos
-                        ? std::vector<double>{}
-                        : parse_list(opt, s.substr(colon + 1), hint);
-  auto need = [&](std::size_t n) {
-    if (args.size() != n) {
-      fail(opt + ": distribution '" + kind + "' needs " +
-               std::to_string(n) + " parameters",
-           s, hint);
-    }
-  };
-  if (kind == "bp") {
-    need(3);
-    return DistSpec::bounded_pareto(args[0], args[1], args[2]);
-  }
-  if (kind == "det") {
-    need(1);
-    return DistSpec::deterministic(args[0]);
-  }
-  if (kind == "exp") {
-    need(1);
-    return DistSpec::exponential(args[0]);
-  }
-  if (kind == "bexp") {
-    need(3);
-    return DistSpec::bounded_exponential(args[0], args[1], args[2]);
-  }
-  if (kind == "lognormal") {
-    need(2);
-    return DistSpec::lognormal(args[0], args[1]);
-  }
-  if (kind == "uniform") {
-    need(2);
-    return DistSpec::uniform(args[0], args[1]);
-  }
-  fail(opt + ": unknown distribution", s, hint);
+  return parse_spec<DistSpec>(opt, s);
 }
 
 // Enum parsers invert the canonical *_name tables from sweep/grid.cpp, so a
@@ -144,37 +132,13 @@ inline RateChangePolicy parse_rate_change(const std::string& opt,
 /// Load-profile spec -> LoadProfile (library grammar, CliError on typos).
 inline LoadProfile parse_profile(const std::string& opt,
                                  const std::string& s) {
-  try {
-    return LoadProfile::parse(s);
-  } catch (const std::exception& e) {
-    // Strip the PSD_REQUIRE "precondition failed: (...) at file:line — "
-    // prefix; the CLI surface wants the human half of the message only.
-    const std::string what = e.what();
-    const auto dash = what.rfind(" — ");
-    fail(opt + ": " +
-             (dash == std::string::npos ? what
-                                        : what.substr(dash + sizeof(" — ") -
-                                                      sizeof(""))),
-         s, "ramp:t0,t1,f0,f1 | sin:period,amp | spike:t0,dur,mag | none");
-  }
+  return parse_spec<LoadProfile>(opt, s);
 }
 
 /// Admission spec -> AdmissionSpec (library grammar, CliError on typos).
 inline AdmissionSpec parse_admission(const std::string& opt,
                                      const std::string& s) {
-  try {
-    return AdmissionSpec::parse(s);
-  } catch (const std::exception& e) {
-    const std::string what = e.what();
-    const auto dash = what.rfind(" — ");
-    fail(opt + ": " +
-             (dash == std::string::npos ? what
-                                        : what.substr(dash + sizeof(" — ") -
-                                                      sizeof(""))),
-         s,
-         "none | admit-all | util[:thresh] | slowdown-budget[:budget] | "
-         "delta-aware[:thresh] | token-bucket[:thresh[,burst]]");
-  }
+  return parse_spec<AdmissionSpec>(opt, s);
 }
 
 /// Arrival-process spec: poisson | det | mmpp:burst[,sojourn[,duty]].
@@ -183,46 +147,19 @@ inline AdmissionSpec parse_admission(const std::string& opt,
 /// fraction (small duty -> ON-OFF).
 inline ArrivalSpec parse_arrival_spec(const std::string& opt,
                                       const std::string& s) {
-  const std::string hint = "poisson | det | mmpp:4 | mmpp:8,20,0.2";
-  const auto colon = s.find(':');
-  const std::string kind = s.substr(0, colon);
-  ArrivalSpec spec;
-  if (kind == "poisson" || kind == "det" || kind == "deterministic") {
-    if (colon != std::string::npos) {
-      fail(opt + ": '" + kind + "' takes no parameters", s, hint);
-    }
-    spec.kind = kind == "poisson" ? ArrivalKind::kPoisson
-                                  : ArrivalKind::kDeterministic;
-    return spec;
-  }
-  if (kind != "mmpp") fail(opt + ": unknown arrival process", s, hint);
-  const auto args = colon == std::string::npos
-                        ? std::vector<double>{}
-                        : parse_list(opt, s.substr(colon + 1), hint);
-  if (args.empty() || args.size() > 3) {
-    fail(opt + ": mmpp needs 1-3 parameters (burst[,sojourn[,duty]])", s,
-         hint);
-  }
-  spec.kind = ArrivalKind::kBursty;
-  spec.burstiness = args[0];
-  if (args.size() >= 2) spec.sojourn = args[1];
-  if (args.size() >= 3) spec.duty = args[2];
-  if (spec.burstiness < 1.0 || spec.sojourn <= 0.0 || spec.duty <= 0.0 ||
-      spec.duty >= 1.0) {
-    fail(opt + ": mmpp needs burst >= 1, sojourn > 0, duty in (0,1)", s,
-         hint);
-  }
-  return spec;
+  return parse_spec<ArrivalSpec>(opt, s);
 }
 
-inline AssignmentPolicy parse_assignment(const std::string& opt,
-                                         const std::string& s) {
-  for (auto p : {AssignmentPolicy::kRandom, AssignmentPolicy::kRoundRobin,
-                 AssignmentPolicy::kLeastWorkLeft,
-                 AssignmentPolicy::kSizeInterval}) {
-    if (s == assignment_policy_name(p)) return p;
-  }
-  fail(opt + ": unknown assignment policy", s, "random | rr | lwl | sita");
+/// Assignment spec: random | rr | lwl | sita | jsq[d] (e.g. jsq2).
+inline AssignmentSpec parse_assignment(const std::string& opt,
+                                       const std::string& s) {
+  return parse_spec<AssignmentSpec>(opt, s);
+}
+
+/// Cluster topology spec: nodes[:policy] (e.g. 4 | 4:jsq2 | 8:sita).
+inline ClusterSpec parse_cluster(const std::string& opt,
+                                 const std::string& s) {
+  return parse_spec<ClusterSpec>(opt, s);
 }
 
 /// Loads may be given as fractions (0.6) or percents (60); anything > 1 is

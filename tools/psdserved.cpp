@@ -21,7 +21,8 @@
 #include "psd.hpp"
 #include "../bench/json_bench.hpp"
 #include "cli_util.hpp"
-#include "rt/runtime.hpp"
+#include "rt/handle.hpp"
+#include "rt_flags.hpp"
 
 namespace {
 
@@ -123,47 +124,9 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--help" || arg == "-h") usage(0);
-      else if (arg == "--classes")
-        cfg.delta = cli::parse_list(arg, value(), "--classes 1,2,4");
-      else if (arg == "--load")
-        cfg.load = cli::normalize_load(
-            arg, cli::parse_double(arg, value(), "--load 0.6"));
-      else if (arg == "--shares")
-        cfg.load_share = cli::parse_list(arg, value(), "--shares 0.7,0.3");
-      else if (arg == "--dist") cfg.size_dist = cli::parse_dist(arg, value());
-      else if (arg == "--arrivals")
-        cfg.arrivals = cli::parse_arrival_spec(arg, value());
-      else if (arg == "--profile")
-        cfg.profile = cli::parse_profile(arg, value());
-      else if (arg == "--admission")
-        cfg.admission = cli::parse_admission(arg, value());
-      else if (arg == "--converge-tol")
-        cfg.converge_tol =
-            cli::parse_double(arg, value(), "--converge-tol 0.25");
-      else if (arg == "--shards")
-        cfg.shards = static_cast<std::size_t>(
-            cli::parse_uint(arg, value(), "--shards 2"));
-      else if (arg == "--loadgens")
-        cfg.loadgens = static_cast<std::size_t>(
-            cli::parse_uint(arg, value(), "--loadgens 2"));
-      else if (arg == "--duration")
-        cfg.duration = cli::parse_double(arg, value(), "--duration 3");
-      else if (arg == "--warmup")
-        cfg.warmup = cli::parse_double(arg, value(), "--warmup 0.5");
-      else if (arg == "--mean-service-us")
-        cfg.mean_service_seconds =
-            cli::parse_double(arg, value(), "--mean-service-us 100") * 1e-6;
-      else if (arg == "--period-ms")
-        cfg.controller_period =
-            cli::parse_double(arg, value(), "--period-ms 50") * 1e-3;
-      else if (arg == "--allocator")
-        cfg.allocator = cli::parse_allocator(arg, value());
-      else if (arg == "--burst")
-        cfg.bucket_burst_seconds =
-            cli::parse_double(arg, value(), "--burst 0.1");
-      else if (arg == "--seed")
-        cfg.seed = cli::parse_uint(arg, value(), "--seed 42");
-      else if (arg == "--pin") cfg.pin_threads = true;
+      else if (cli::parse_rt_flag(arg, value, cfg)) {
+        // Shared RtConfig grammar (tools/rt_flags.hpp) — also psdcluster's.
+      }
       else if (arg == "--replay-trace") replay_path = value();
       else if (arg == "--trace-scale")
         trace_scale = cli::parse_double(arg, value(), "--trace-scale 1e-4");
@@ -176,31 +139,12 @@ int main(int argc, char** argv) {
         check_shed_skew =
             cli::parse_double(arg, value(), "--check-shed-skew 0.1");
       else if (arg == "--bench-out") bench_out = value();
-      else if (arg == "--telemetry") cfg.obs.enabled = true;
       else if (arg == "--stats-out") {
         cfg.obs.stats_path = value();
-        cfg.obs.enabled = true;
-      } else if (arg == "--stats-interval")
-        cfg.obs.stats_interval =
-            cli::parse_double(arg, value(), "--stats-interval 0.5");
-      else if (arg == "--metrics-port") {
-        cfg.obs.metrics_port = static_cast<int>(
-            cli::parse_uint(arg, value(), "--metrics-port 9464"));
-        cfg.obs.enabled = true;
-      } else if (arg == "--obs-profile") {
-        cfg.obs.profile = true;
         cfg.obs.enabled = true;
       } else if (arg == "--trace-out") {
         cfg.obs.trace_path = value();
         cfg.obs.enabled = true;
-      } else if (arg == "--trace-sample") {
-        cfg.obs.trace_sample_period = static_cast<unsigned>(
-            cli::parse_uint(arg, value(), "--trace-sample 64"));
-      } else if (arg == "--slo") {
-        cfg.obs.slo_rules = value();
-        cfg.obs.enabled = true;
-      } else if (arg == "--slo-dump") {
-        cfg.obs.flight_prefix = value();
       } else {
         std::cerr << "error: unknown option '" << arg << "'\n";
         usage(2);
@@ -257,7 +201,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "...\n\n";
 
-    const rt::RtReport r = runtime->run();
+    // psdserved is the 1-node special case of the cluster tier: the whole
+    // serving session runs through the same RuntimeHandle the cluster
+    // dispatcher drives its nodes through.
+    rt::RuntimeHandle handle(*runtime);
+    const rt::RtReport r = handle.run();
 
     const bool gated = cfg.admission.active();
     std::vector<std::string> cols = {"class", "delta", "completed", "dropped",

@@ -60,7 +60,7 @@ options:
                           (default dedicated)
   --allocator NAME        psd | adaptive | equal | loadprop     (default psd)
   --nodes N               cluster nodes (1 = single server)     (default 1)
-  --policy NAME           random | rr | lwl | sita  (with --nodes > 1)
+  --policy NAME           random | rr | lwl | sita | jsq[d]  (with --nodes > 1)
   --runs N                replications                          (default 32)
   --measure TU            measurement length in time units      (default 60000)
   --warmup TU             warmup in time units                  (default 10000)
@@ -338,8 +338,11 @@ int main(int argc, char** argv) {
       else if (arg == "--nodes")
         cfg.cluster_nodes = static_cast<std::size_t>(
             cli::parse_uint(arg, value(), "--nodes 4"));
-      else if (arg == "--policy")
-        cfg.cluster_policy = cli::parse_assignment(arg, value());
+      else if (arg == "--policy") {
+        const AssignmentSpec as = cli::parse_assignment(arg, value());
+        cfg.cluster_policy = as.policy;
+        cfg.cluster_jsq_d = as.d;
+      }
       else if (arg == "--runs")
         runs = static_cast<std::size_t>(
             cli::parse_uint(arg, value(), "--runs 32"));
@@ -485,7 +488,8 @@ int main(int argc, char** argv) {
               << " tu";
     if (cfg.cluster_nodes > 1) {
       std::cout << ", " << cfg.cluster_nodes << " nodes, "
-                << assignment_policy_name(cfg.cluster_policy);
+                << AssignmentSpec(cfg.cluster_policy, cfg.cluster_jsq_d)
+                       .name();
     }
     if (cfg.arrivals == ArrivalKind::kBursty) {
       std::cout << ", mmpp burst=" << cfg.burstiness;

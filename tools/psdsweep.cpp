@@ -38,7 +38,7 @@ grid axes (comma-separated; every axis defaults to one base value):
   --dists D1;D2;...        ';'-separated specs (e.g. 'bp:1.5,0.1,100;det:1')
   --rate-changes R1,R2     rescale | finish
   --nodes N1,N2,...        cluster sizes (1 = single server)
-  --policies P1,P2,...     random | rr | lwl | sita
+  --policies P1,P2,...     random | rr | lwl | sita | jsq[d]
   --profiles S1;S2;...     ';'-separated nonstationary load profiles, times
                            in tu (e.g. 'none;spike:30000,5000,2' compares the
                            stationary control against a flash crowd)
@@ -136,7 +136,13 @@ void apply_option(Options& o, const std::string& key,
   } else if (key == "policies") {
     o.grid.cluster_policies.clear();
     for (const auto& item : cli::split(value, ',')) {
-      o.grid.cluster_policies.push_back(cli::parse_assignment(opt, item));
+      const AssignmentSpec as = cli::parse_assignment(opt, item);
+      o.grid.cluster_policies.push_back(as.policy);
+      // The grid axis carries the policy only; a jsq token's sample width
+      // lands on the base config (one d per campaign).
+      if (as.policy == AssignmentPolicy::kJsq) {
+        o.grid.base.cluster_jsq_d = as.d;
+      }
     }
   } else if (key == "profiles") {
     o.grid.profiles.clear();
@@ -238,7 +244,8 @@ void write_csv_pivot(const std::string& path, const CampaignResult& result) {
         // dist specs contain commas (bp:1.5,0.1,100) — CSV-quote them.
         << ',' << '"' << dist_name(cfg.size_dist) << '"' << ',' << delta << ','
         << cfg.cluster_nodes << ','
-        << assignment_policy_name(cfg.cluster_policy) << ','
+        << AssignmentSpec(cfg.cluster_policy, cfg.cluster_jsq_d).name()
+        << ','
         << rate_change_name(cfg.rate_change) << ',' << p.result.runs << ','
         << (p.skipped ? 1 : 0);
     // Resumed points carry no in-memory results (their numbers live in the
